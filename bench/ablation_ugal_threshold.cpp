@@ -1,0 +1,59 @@
+// Ablation: sensitivity of the flattened butterfly's performance to the
+// UGAL minimal-path bias threshold. The paper (via [18]) uses UGAL's
+// queue-times-hops comparison; the threshold suppresses misroutes caused by
+// transient queue noise. This sweep shows why the default bias is needed:
+// with no bias, low-load latency rises (needless Valiant detours); with too
+// much, the saturation benefit of adaptivity erodes under adversarial load.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "noc/sim.hpp"
+
+using namespace nocalloc;
+using namespace nocalloc::noc;
+
+namespace {
+
+void sweep(TrafficPattern pattern) {
+  const bool fast = nocalloc::bench::fast_mode();
+  std::printf("  %-10s %-6s %-12s %-12s %-10s\n", "threshold", "rate",
+              "latency", "accepted", "misroute%");
+  for (std::size_t threshold : {0u, 1u, 3u, 8u, 32u}) {
+    for (double rate : {0.1, 0.3, 0.5}) {
+      SimConfig cfg;
+      cfg.topology = TopologyKind::kFbfly4x4;
+      cfg.vcs_per_class = 2;
+      cfg.ugal_threshold = threshold;
+      cfg.pattern = pattern;
+      cfg.injection_rate = rate;
+      cfg.warmup_cycles = fast ? 600 : 2000;
+      cfg.measure_cycles = fast ? 1200 : 4000;
+      cfg.drain_cycles = fast ? 1200 : 4000;
+      const SimResult r = run_simulation(cfg);
+      std::printf("  %-10zu %-6.2f %-12.1f %-12.3f %-10.1f%s\n", threshold,
+                  rate, r.avg_packet_latency, r.accepted_flit_rate,
+                  100 * r.ugal_nonminimal_fraction,
+                  r.saturated ? "  (saturated)" : "");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: UGAL minimal-path bias threshold (fbfly 2x2x2)");
+
+  bench::subheading("uniform random traffic (benign: minimal is optimal)");
+  sweep(TrafficPattern::kUniform);
+
+  bench::subheading("tornado traffic (adversarial: misrouting pays off)");
+  sweep(TrafficPattern::kTornado);
+
+  bench::subheading("interpretation");
+  std::printf(
+      "under uniform traffic minimal routing is optimal, so large\n"
+      "thresholds (fewer misroutes) win slightly; under tornado traffic\n"
+      "minimal routing concentrates load and adaptive misrouting is what\n"
+      "sustains throughput -- exactly the trade UGAL's threshold tunes.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench prints the data series of one paper figure as plain text
+// tables (one row per data point), followed by a summary of the headline
+// numbers the paper quotes for that figure. Environment knob:
+//   NOCALLOC_BENCH_FAST=1  -- shorten simulations/trials (smoke mode)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "vc/vc_partition.hpp"
+
+namespace nocalloc::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("NOCALLOC_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// One of the paper's six VC design points (Sec. 3): label, router radix,
+/// and the M x R x C partition.
+struct DesignPoint {
+  const char* label;
+  std::size_t ports;
+  VcPartition partition;
+};
+
+inline std::vector<DesignPoint> paper_design_points() {
+  return {
+      {"mesh 2x1x1", 5, VcPartition::mesh(2, 1)},
+      {"mesh 2x1x2", 5, VcPartition::mesh(2, 2)},
+      {"mesh 2x1x4", 5, VcPartition::mesh(2, 4)},
+      {"fbfly 2x2x1", 10, VcPartition::fbfly(2, 1)},
+      {"fbfly 2x2x2", 10, VcPartition::fbfly(2, 2)},
+      {"fbfly 2x2x4", 10, VcPartition::fbfly(2, 4)},
+  };
+}
+
+}  // namespace nocalloc::bench

@@ -1,0 +1,47 @@
+// Figure 4: VC transition matrix for the flattened butterfly with
+// 2 x 2 x 4 VCs. Prints the 16x16 matrix of legal VC-to-VC transitions and
+// the sparseness statistics the paper quotes (96 of 256 legal, at most 8
+// successors/predecessors per VC).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "vc/vc_partition.hpp"
+
+using namespace nocalloc;
+
+int main() {
+  bench::heading("Figure 4: VC transition matrix (fbfly, 2x2x4 VCs)");
+
+  const VcPartition part = VcPartition::fbfly(2, 4);
+  const BitMatrix t = part.transition_matrix();
+  const std::size_t v = part.total_vcs();
+
+  std::printf("\nrows: input VC, cols: output VC; 'o' = legal transition\n");
+  std::printf("VC layout: message class (request/reply) x resource class "
+              "(minimal/non-minimal) x 4 VCs\n\n");
+  std::printf("        ");
+  for (std::size_t w = 0; w < v; ++w) std::printf("%2zu", w);
+  std::printf("\n");
+  for (std::size_t u = 0; u < v; ++u) {
+    std::printf("  vc %2zu ", u);
+    for (std::size_t w = 0; w < v; ++w) {
+      std::printf(" %c", t.get(u, w) ? 'o' : '.');
+    }
+    std::printf("   m=%zu r=%zu\n", part.message_class_of(u),
+                part.resource_class_of(u));
+  }
+
+  std::size_t max_succ = 0, max_pred = 0;
+  for (std::size_t u = 0; u < v; ++u) {
+    max_succ = std::max(max_succ, t.row_count(u));
+    max_pred = std::max(max_pred, t.col_count(u));
+  }
+
+  bench::subheading("summary vs paper");
+  std::printf("legal transitions: %zu of %zu   (paper: 96 of 256)\n",
+              part.legal_transition_count(), v * v);
+  std::printf("max successors per VC: %zu, max predecessors: %zu   "
+              "(paper: at most 8)\n",
+              max_succ, max_pred);
+  return 0;
+}

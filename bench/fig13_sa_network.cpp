@@ -1,0 +1,101 @@
+// Figure 13: average packet latency vs injection rate for the three switch
+// allocator architectures across the six network design points (Sec. 5.3.3).
+// Also prints the paper's conclusion-level numbers: the wavefront vs
+// separable-input-first saturation gap on the flattened butterfly.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "noc/sim.hpp"
+
+using namespace nocalloc;
+using namespace nocalloc::noc;
+
+namespace {
+
+struct Sweep {
+  double max_accepted = 0.0;   // saturation throughput estimate
+  double zero_load_latency = 0.0;
+};
+
+Sweep sweep_curve(TopologyKind topo, std::size_t c, AllocatorKind sa,
+                  double max_rate) {
+  const bool fast = bench::fast_mode();
+  Sweep sweep;
+  std::printf("    rate:");
+  for (double rate = 0.05; rate <= max_rate + 1e-9; rate += 0.05) {
+    SimConfig cfg;
+    cfg.topology = topo;
+    cfg.vcs_per_class = c;
+    cfg.sw_alloc = sa;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = fast ? 600 : 2000;
+    cfg.measure_cycles = fast ? 1200 : 5000;
+    cfg.drain_cycles = fast ? 1200 : 5000;
+    const SimResult r = run_simulation(cfg);
+    sweep.max_accepted = std::max(sweep.max_accepted, r.accepted_flit_rate);
+    if (rate <= 0.05 + 1e-9) sweep.zero_load_latency = r.avg_packet_latency;
+    if (r.saturated) {
+      std::printf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
+      break;
+    }
+    std::printf(" %.2f:%.1f", rate, r.avg_packet_latency);
+  }
+  std::printf("\n");
+  return sweep;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 13: network latency vs injection rate per switch "
+                 "allocator");
+  std::printf("(entries are rate:avg-latency-in-cycles; SAT marks the "
+              "saturation point)\n");
+
+  constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
+                                      AllocatorKind::kSeparableOutputFirst,
+                                      AllocatorKind::kWavefront};
+
+  struct Config {
+    const char* label;
+    TopologyKind topo;
+    std::size_t c;
+    double max_rate;
+  };
+  const Config configs[] = {
+      {"mesh 2x1x1", TopologyKind::kMesh8x8, 1, 0.45},
+      {"mesh 2x1x2", TopologyKind::kMesh8x8, 2, 0.50},
+      {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
+      {"fbfly 2x2x1", TopologyKind::kFbfly4x4, 1, 0.60},
+      {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2, 0.70},
+      {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
+  };
+
+  std::map<std::pair<const char*, AllocatorKind>, Sweep> results;
+  for (const Config& c : configs) {
+    bench::subheading(c.label);
+    for (AllocatorKind kind : kKinds) {
+      std::printf("  %s\n", to_string(kind).c_str());
+      results[{c.label, kind}] = sweep_curve(c.topo, c.c, kind, c.max_rate);
+    }
+  }
+
+  bench::subheading("summary vs paper (Secs. 5.3.3 and 6)");
+  for (const Config& c : configs) {
+    const double sif =
+        results[{c.label, AllocatorKind::kSeparableInputFirst}].max_accepted;
+    const double sof =
+        results[{c.label, AllocatorKind::kSeparableOutputFirst}].max_accepted;
+    const double wf =
+        results[{c.label, AllocatorKind::kWavefront}].max_accepted;
+    std::printf("%-12s saturation: sep_if %.3f, sep_of %.3f, wf %.3f -> wf "
+                "gains %+.0f%% over sep_if\n",
+                c.label, sif, sof, wf, 100 * (wf / sif - 1.0));
+  }
+  std::printf("\npaper: mesh differences negligible (<4%% at 2x1x4); fbfly "
+              "wf gains ~4%% at 2x2x1,\n~15%% at 8 VCs and >20%% at 16 VCs; "
+              "sep_if and sep_of virtually identical.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 14: average packet latency vs injection rate for the three
+// speculation policies (nonspec, conventional spec_gnt, pessimistic
+// spec_req), using a separable input-first switch allocator (Sec. 5.3.3).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "noc/sim.hpp"
+
+using namespace nocalloc;
+using namespace nocalloc::noc;
+
+namespace {
+
+struct Sweep {
+  double max_accepted = 0.0;
+  double zero_load_latency = 0.0;
+};
+
+Sweep sweep_curve(TopologyKind topo, std::size_t c, SpecMode mode,
+                  double max_rate) {
+  const bool fast = bench::fast_mode();
+  Sweep sweep;
+  std::printf("    rate:");
+  for (double rate = 0.05; rate <= max_rate + 1e-9; rate += 0.05) {
+    SimConfig cfg;
+    cfg.topology = topo;
+    cfg.vcs_per_class = c;
+    cfg.spec = mode;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = fast ? 600 : 2000;
+    cfg.measure_cycles = fast ? 1200 : 5000;
+    cfg.drain_cycles = fast ? 1200 : 5000;
+    const SimResult r = run_simulation(cfg);
+    sweep.max_accepted = std::max(sweep.max_accepted, r.accepted_flit_rate);
+    if (rate <= 0.05 + 1e-9) sweep.zero_load_latency = r.avg_packet_latency;
+    if (r.saturated) {
+      std::printf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
+      break;
+    }
+    std::printf(" %.2f:%.1f", rate, r.avg_packet_latency);
+  }
+  std::printf("\n");
+  return sweep;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 14: speculative switch allocation policies");
+  std::printf("(separable input-first switch allocator; entries are "
+              "rate:latency, SAT = saturated)\n");
+
+  constexpr SpecMode kModes[] = {SpecMode::kNonSpeculative,
+                                 SpecMode::kConservative,
+                                 SpecMode::kPessimistic};
+
+  struct Config {
+    const char* label;
+    TopologyKind topo;
+    std::size_t c;
+    double max_rate;
+  };
+  const Config configs[] = {
+      {"mesh 2x1x1", TopologyKind::kMesh8x8, 1, 0.45},
+      {"mesh 2x1x2", TopologyKind::kMesh8x8, 2, 0.50},
+      {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
+      {"fbfly 2x2x1", TopologyKind::kFbfly4x4, 1, 0.60},
+      {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2, 0.70},
+      {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
+  };
+
+  std::map<std::pair<const char*, SpecMode>, Sweep> results;
+  for (const Config& c : configs) {
+    bench::subheading(c.label);
+    for (SpecMode mode : kModes) {
+      std::printf("  %s\n", to_string(mode).c_str());
+      results[{c.label, mode}] = sweep_curve(c.topo, c.c, mode, c.max_rate);
+    }
+  }
+
+  bench::subheading("summary vs paper (Sec. 5.3.3)");
+  for (const Config& c : configs) {
+    const Sweep& ns = results[{c.label, SpecMode::kNonSpeculative}];
+    const Sweep& sg = results[{c.label, SpecMode::kConservative}];
+    const Sweep& sr = results[{c.label, SpecMode::kPessimistic}];
+    std::printf(
+        "%-12s zero-load: nonspec %5.1f, spec %5.1f (-%4.1f%%)   saturation: "
+        "nonspec %.3f, spec_gnt %.3f (+%4.1f%%), spec_req %.3f (%+.1f%% vs "
+        "spec_gnt)\n",
+        c.label, ns.zero_load_latency, sr.zero_load_latency,
+        100 * (1.0 - sr.zero_load_latency / ns.zero_load_latency),
+        ns.max_accepted, sg.max_accepted,
+        100 * (sg.max_accepted / ns.max_accepted - 1.0), sr.max_accepted,
+        100 * (sr.max_accepted / sg.max_accepted - 1.0));
+  }
+  std::printf("\npaper: zero-load improves ~23%% (mesh) / ~14%% (fbfly); "
+              "saturation gains 14%% (mesh 2x1x1),\n6%% (fbfly 2x2x1), <5%% "
+              "elsewhere; spec_req loses <4%% throughput vs spec_gnt.\n");
+  return 0;
+}

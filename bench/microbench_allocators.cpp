@@ -1,0 +1,80 @@
+// Google-benchmark microbenchmarks of the allocator software models.
+//
+// These measure *simulation* throughput (allocations per second of the C++
+// models), not hardware delay -- they bound how fast the cycle-accurate
+// network simulator can run and document the complexity gap between the
+// architectures (wavefront's O(N^2) sweep vs separable's O(N) arbitration
+// passes vs Hopcroft-Karp).
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.hpp"
+#include "common/rng.hpp"
+#include "sa/switch_allocator.hpp"
+#include "vc/vc_allocator.hpp"
+
+namespace nocalloc {
+namespace {
+
+BitMatrix random_matrix(std::size_t n, double density, Rng& rng) {
+  BitMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.next_bool(density)) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+void BM_Allocator(benchmark::State& state, AllocatorKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto alloc = make_allocator(kind, n, n);
+  Rng rng(1);
+  // A rotating set of request matrices avoids measuring one lucky pattern.
+  std::vector<BitMatrix> reqs;
+  for (int i = 0; i < 16; ++i) reqs.push_back(random_matrix(n, 0.4, rng));
+  BitMatrix gnt;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    alloc->allocate(reqs[i++ % reqs.size()], gnt);
+    benchmark::DoNotOptimize(gnt);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SwitchAllocator(benchmark::State& state, AllocatorKind kind) {
+  const auto ports = static_cast<std::size_t>(state.range(0));
+  const auto vcs = static_cast<std::size_t>(state.range(1));
+  auto alloc = make_switch_allocator({ports, vcs, kind, ArbiterKind::kRoundRobin});
+  Rng rng(2);
+  std::vector<SwitchRequest> req(ports * vcs);
+  for (auto& r : req) {
+    r.valid = rng.next_bool(0.4);
+    r.out_port = r.valid ? static_cast<int>(rng.next_below(ports)) : -1;
+  }
+  std::vector<SwitchGrant> gnt;
+  for (auto _ : state) {
+    alloc->allocate(req, gnt);
+    benchmark::DoNotOptimize(gnt);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK_CAPTURE(BM_Allocator, sep_if, AllocatorKind::kSeparableInputFirst)
+    ->Arg(10)->Arg(40)->Arg(160);
+BENCHMARK_CAPTURE(BM_Allocator, sep_of, AllocatorKind::kSeparableOutputFirst)
+    ->Arg(10)->Arg(40)->Arg(160);
+BENCHMARK_CAPTURE(BM_Allocator, wf, AllocatorKind::kWavefront)
+    ->Arg(10)->Arg(40)->Arg(160);
+BENCHMARK_CAPTURE(BM_Allocator, max, AllocatorKind::kMaximumSize)
+    ->Arg(10)->Arg(40)->Arg(160);
+
+BENCHMARK_CAPTURE(BM_SwitchAllocator, sep_if,
+                  AllocatorKind::kSeparableInputFirst)
+    ->Args({5, 2})->Args({10, 16});
+BENCHMARK_CAPTURE(BM_SwitchAllocator, wf, AllocatorKind::kWavefront)
+    ->Args({5, 2})->Args({10, 16});
+
+}  // namespace
+}  // namespace nocalloc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Sec. 4.3.3: the choice of VC allocator does not significantly affect
+// network-level latency-throughput behaviour (the result the paper states
+// without a figure "due to space constraints"). Sweeps all three VC
+// allocator architectures on the most VC-rich design points, where
+// differences would be largest if they existed.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "noc/sim.hpp"
+
+using namespace nocalloc;
+using namespace nocalloc::noc;
+
+int main() {
+  bench::heading("Sec. 4.3.3: network-level insensitivity to the VC "
+                 "allocator");
+
+  constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
+                                      AllocatorKind::kSeparableOutputFirst,
+                                      AllocatorKind::kWavefront};
+
+  struct Config {
+    const char* label;
+    TopologyKind topo;
+    std::size_t c;
+    double max_rate;
+  };
+  const Config configs[] = {
+      {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
+      {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
+  };
+  const bool fast = bench::fast_mode();
+
+  for (const Config& c : configs) {
+    bench::subheading(c.label);
+    double min_sat = 1e9, max_sat = 0.0;
+    double min_zll = 1e9, max_zll = 0.0;
+    for (AllocatorKind kind : kKinds) {
+      std::printf("  vc_alloc=%s\n    rate:", to_string(kind).c_str());
+      double sat = 0.0, zll = 0.0;
+      for (double rate = 0.05; rate <= c.max_rate + 1e-9; rate += 0.1) {
+        SimConfig cfg;
+        cfg.topology = c.topo;
+        cfg.vcs_per_class = c.c;
+        cfg.vc_alloc = kind;
+        cfg.injection_rate = rate;
+        cfg.warmup_cycles = fast ? 600 : 2000;
+        cfg.measure_cycles = fast ? 1200 : 4000;
+        cfg.drain_cycles = fast ? 1200 : 4000;
+        const SimResult r = run_simulation(cfg);
+        sat = std::max(sat, r.accepted_flit_rate);
+        if (rate <= 0.05 + 1e-9) zll = r.avg_packet_latency;
+        if (r.saturated) {
+          std::printf(" %.2f:SAT", rate);
+          break;
+        }
+        std::printf(" %.2f:%.1f", rate, r.avg_packet_latency);
+      }
+      std::printf("\n    zero-load %.1f cycles, saturation %.3f "
+                  "flits/terminal/cycle\n",
+                  zll, sat);
+      min_sat = std::min(min_sat, sat);
+      max_sat = std::max(max_sat, sat);
+      min_zll = std::min(min_zll, zll);
+      max_zll = std::max(max_zll, zll);
+    }
+    std::printf("  spread across VC allocators: zero-load %.1f%%, saturation "
+                "%.1f%%\n",
+                100 * (max_zll / min_zll - 1.0),
+                100 * (max_sat / min_sat - 1.0));
+  }
+
+  bench::subheading("summary vs paper");
+  std::printf("paper: \"both zero-load latency and saturation bandwidth "
+              "remain virtually unchanged\"\nacross VC allocator choices; "
+              "spreads above should be within a few percent.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Extending the library with a custom allocator architecture.
+//
+// Implements a "greedy row-scan" allocator (first-come-first-served over
+// requesters with a rotating start row) as a user-defined Allocator
+// subclass, then scores it against the built-in architectures with the same
+// open-loop protocol the paper uses (grants normalized to maximum-size).
+#include <cstdio>
+
+#include "alloc/allocator.hpp"
+#include "alloc/max_size_allocator.hpp"
+#include "common/rng.hpp"
+
+using namespace nocalloc;
+
+namespace {
+
+/// Greedy allocator: scan requesters from a rotating offset; each takes its
+/// first still-free requested resource. Maximal (like wavefront) but biased:
+/// earlier rows see more free resources, and it needs O(N^2) sequential
+/// logic in hardware -- this is why real routers use the paper's
+/// architectures instead. Still a useful quality ceiling for greedy schemes.
+class GreedyScanAllocator final : public Allocator {
+ public:
+  GreedyScanAllocator(std::size_t inputs, std::size_t outputs)
+      : Allocator(inputs, outputs) {}
+
+  void allocate(const BitMatrix& req, BitMatrix& gnt) override {
+    prepare(req, gnt);
+    std::vector<std::uint8_t> col_free(outputs(), 1);
+    for (std::size_t k = 0; k < inputs(); ++k) {
+      const std::size_t i = (start_ + k) % inputs();
+      for (std::size_t j = 0; j < outputs(); ++j) {
+        if (req.get(i, j) && col_free[j]) {
+          gnt.set(i, j);
+          col_free[j] = 0;
+          break;
+        }
+      }
+    }
+    start_ = (start_ + 1) % inputs();  // weak fairness, like the wavefront
+  }
+
+  void reset() override { start_ = 0; }
+
+ private:
+  std::size_t start_ = 0;
+};
+
+double measure_quality(Allocator& alloc, double density, std::size_t trials) {
+  Rng rng(123);
+  BitMatrix req(alloc.inputs(), alloc.outputs()), gnt;
+  std::uint64_t grants = 0, max_grants = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    req.clear();
+    for (std::size_t i = 0; i < alloc.inputs(); ++i) {
+      for (std::size_t j = 0; j < alloc.outputs(); ++j) {
+        if (rng.next_bool(density)) req.set(i, j);
+      }
+    }
+    alloc.allocate(req, gnt);
+    grants += gnt.count();
+    max_grants += MaxSizeAllocator::max_matching_size(req);
+  }
+  return static_cast<double>(grants) / static_cast<double>(max_grants);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 10;
+  constexpr std::size_t kTrials = 3000;
+
+  std::printf("matching quality on %zux%zu random requests (%zu trials):\n\n",
+              kN, kN, kTrials);
+  std::printf("%-12s", "density");
+  for (double d : {0.1, 0.3, 0.5, 0.8}) std::printf("  %5.2f", d);
+  std::printf("\n");
+
+  GreedyScanAllocator greedy(kN, kN);
+  std::printf("%-12s", "greedy-scan");
+  for (double d : {0.1, 0.3, 0.5, 0.8}) {
+    std::printf("  %5.3f", measure_quality(greedy, d, kTrials));
+  }
+  std::printf("\n");
+
+  for (AllocatorKind kind :
+       {AllocatorKind::kSeparableInputFirst,
+        AllocatorKind::kSeparableOutputFirst, AllocatorKind::kWavefront}) {
+    auto alloc = make_allocator(kind, kN, kN);
+    std::printf("%-12s", to_string(kind).c_str());
+    for (double d : {0.1, 0.3, 0.5, 0.8}) {
+      std::printf("  %5.3f", measure_quality(*alloc, d, kTrials));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nboth greedy-scan and wavefront are maximal, so they score alike;\n"
+      "the wavefront's tile array gets that quality in O(N) gate delay,\n"
+      "which is the whole point of the architecture.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Runs every bench binary at full fidelity; output accumulates into
+# bench_output.txt (and per-binary copies under bench_results/).
+cd /root/repo
+rm -f bench_output.txt
+mkdir -p bench_results
+: > bench_results/progress.log
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  n=$(basename "$b")
+  echo "[$(date +%H:%M:%S)] running $n" >> bench_results/progress.log
+  "$b" > "bench_results/$n.txt" 2>&1
+  cat "bench_results/$n.txt" >> bench_output.txt
+done
+echo "[$(date +%H:%M:%S)] FULL_BENCH_DONE" >> bench_results/progress.log

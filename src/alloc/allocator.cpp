@@ -1,0 +1,40 @@
+#include "alloc/allocator.hpp"
+
+#include "alloc/max_size_allocator.hpp"
+#include "alloc/separable_allocator.hpp"
+#include "alloc/wavefront_allocator.hpp"
+
+namespace nocalloc {
+
+std::string to_string(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kSeparableInputFirst:
+      return "sep_if";
+    case AllocatorKind::kSeparableOutputFirst:
+      return "sep_of";
+    case AllocatorKind::kWavefront:
+      return "wf";
+    case AllocatorKind::kMaximumSize:
+      return "max";
+  }
+  NOCALLOC_CHECK(false);
+}
+
+std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
+                                          std::size_t inputs,
+                                          std::size_t outputs,
+                                          ArbiterKind arb) {
+  switch (kind) {
+    case AllocatorKind::kSeparableInputFirst:
+      return std::make_unique<SeparableInputFirstAllocator>(inputs, outputs, arb);
+    case AllocatorKind::kSeparableOutputFirst:
+      return std::make_unique<SeparableOutputFirstAllocator>(inputs, outputs, arb);
+    case AllocatorKind::kWavefront:
+      return std::make_unique<WavefrontAllocator>(inputs, outputs);
+    case AllocatorKind::kMaximumSize:
+      return std::make_unique<MaxSizeAllocator>(inputs, outputs);
+  }
+  NOCALLOC_CHECK(false);
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,70 @@
+// Allocator interface.
+//
+// An allocator computes a matching between `inputs` requesters and `outputs`
+// resources: given a request matrix R (R[i][j] = input i requests output j)
+// it produces a grant matrix G with G subset-of R, at most one grant per row
+// and at most one grant per column (Becker & Dally Sec. 2).
+//
+// Allocators are stateful only through their arbitration priorities, which
+// provide fairness across successive invocations; allocate() is otherwise a
+// pure combinational function, exactly like the single-cycle RTL blocks the
+// paper synthesizes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "arbiter/arbiter.hpp"
+#include "common/bit_matrix.hpp"
+
+namespace nocalloc {
+
+class Allocator {
+ public:
+  Allocator(std::size_t inputs, std::size_t outputs)
+      : inputs_(inputs), outputs_(outputs) {}
+  virtual ~Allocator() = default;
+
+  std::size_t inputs() const { return inputs_; }
+  std::size_t outputs() const { return outputs_; }
+
+  /// Computes a grant matrix for the given request matrix and advances the
+  /// internal priority state according to the architecture's fairness rule.
+  /// `gnt` is resized to inputs() x outputs().
+  virtual void allocate(const BitMatrix& req, BitMatrix& gnt) = 0;
+
+  /// Resets all priority state.
+  virtual void reset() = 0;
+
+ protected:
+  /// Validates the request matrix shape and clears the grant matrix.
+  void prepare(const BitMatrix& req, BitMatrix& gnt) const {
+    NOCALLOC_CHECK(req.rows() == inputs_ && req.cols() == outputs_);
+    gnt.resize(inputs_, outputs_);
+  }
+
+ private:
+  std::size_t inputs_;
+  std::size_t outputs_;
+};
+
+/// Allocator architectures evaluated in the paper.
+enum class AllocatorKind {
+  kSeparableInputFirst,   // sep_if
+  kSeparableOutputFirst,  // sep_of
+  kWavefront,             // wf
+  kMaximumSize,           // reference upper bound (Sec. 2.3)
+};
+
+/// Paper-style short name ("sep_if", "sep_of", "wf", "max").
+std::string to_string(AllocatorKind kind);
+
+/// Creates an allocator. `arb` selects the arbiter architecture for the
+/// separable variants and is ignored by wavefront and maximum-size.
+std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
+                                          std::size_t inputs,
+                                          std::size_t outputs,
+                                          ArbiterKind arb = ArbiterKind::kRoundRobin);
+
+}  // namespace nocalloc

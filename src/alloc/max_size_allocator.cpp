@@ -1,0 +1,114 @@
+#include "alloc/max_size_allocator.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace nocalloc {
+namespace {
+
+// Hopcroft-Karp over adjacency lists built from the request matrix.
+// O(E * sqrt(V)); the matrices here are tiny (<= 40x40), so this is
+// effectively instant but still asymptotically clean for larger harness use.
+class HopcroftKarp {
+ public:
+  explicit HopcroftKarp(const BitMatrix& req)
+      : n_(req.rows()),
+        m_(req.cols()),
+        adj_(req.rows()),
+        match_l_(req.rows(), kFree),
+        match_r_(req.cols(), kFree),
+        dist_(req.rows(), 0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < m_; ++j) {
+        if (req.get(i, j)) adj_[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+
+  std::size_t run() {
+    std::size_t matching = 0;
+    while (bfs()) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (match_l_[i] == kFree && dfs(static_cast<int>(i))) ++matching;
+      }
+    }
+    return matching;
+  }
+
+  int left_match(std::size_t i) const { return match_l_[i]; }
+
+ private:
+  static constexpr int kFree = -1;
+  static constexpr int kInf = std::numeric_limits<int>::max();
+
+  bool bfs() {
+    std::queue<int> q;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (match_l_[i] == kFree) {
+        dist_[i] = 0;
+        q.push(static_cast<int>(i));
+      } else {
+        dist_[i] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : adj_[static_cast<std::size_t>(u)]) {
+        const int w = match_r_[static_cast<std::size_t>(v)];
+        if (w == kFree) {
+          found_augmenting = true;
+        } else if (dist_[static_cast<std::size_t>(w)] == kInf) {
+          dist_[static_cast<std::size_t>(w)] = dist_[static_cast<std::size_t>(u)] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool dfs(int u) {
+    for (int v : adj_[static_cast<std::size_t>(u)]) {
+      const int w = match_r_[static_cast<std::size_t>(v)];
+      if (w == kFree ||
+          (dist_[static_cast<std::size_t>(w)] == dist_[static_cast<std::size_t>(u)] + 1 &&
+           dfs(w))) {
+        match_l_[static_cast<std::size_t>(u)] = v;
+        match_r_[static_cast<std::size_t>(v)] = u;
+        return true;
+      }
+    }
+    dist_[static_cast<std::size_t>(u)] = kInf;
+    return false;
+  }
+
+  std::size_t n_, m_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> match_l_, match_r_;
+  std::vector<int> dist_;
+};
+
+}  // namespace
+
+void MaxSizeAllocator::max_matching(const BitMatrix& req, BitMatrix& gnt) {
+  HopcroftKarp hk(req);
+  hk.run();
+  gnt.resize(req.rows(), req.cols());
+  for (std::size_t i = 0; i < req.rows(); ++i) {
+    const int j = hk.left_match(i);
+    if (j >= 0) gnt.set(i, static_cast<std::size_t>(j));
+  }
+}
+
+std::size_t MaxSizeAllocator::max_matching_size(const BitMatrix& req) {
+  HopcroftKarp hk(req);
+  return hk.run();
+}
+
+void MaxSizeAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
+  prepare(req, gnt);
+  max_matching(req, gnt);
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,29 @@
+// Maximum-size allocator (Becker & Dally Sec. 2.3).
+//
+// Computes a maximum-cardinality bipartite matching via Hopcroft-Karp. The
+// paper uses this as the normalization reference for matching quality: it
+// provides an upper bound no practical single-cycle allocator reaches in
+// general, offers no fairness guarantees, and is not intended as a deployable
+// router building block.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace nocalloc {
+
+class MaxSizeAllocator final : public Allocator {
+ public:
+  MaxSizeAllocator(std::size_t inputs, std::size_t outputs)
+      : Allocator(inputs, outputs) {}
+
+  void allocate(const BitMatrix& req, BitMatrix& gnt) override;
+  void reset() override {}
+
+  /// Size of a maximum matching for `req`, without materializing grants.
+  static std::size_t max_matching_size(const BitMatrix& req);
+
+  /// Computes a maximum matching into `gnt` (resized to req's shape).
+  static void max_matching(const BitMatrix& req, BitMatrix& gnt);
+};
+
+}  // namespace nocalloc

@@ -1,0 +1,36 @@
+#include "alloc/multi_iteration_allocator.hpp"
+
+#include <utility>
+
+namespace nocalloc {
+
+MultiIterationAllocator::MultiIterationAllocator(
+    std::unique_ptr<Allocator> inner, std::size_t iterations)
+    : Allocator(inner->inputs(), inner->outputs()),
+      inner_(std::move(inner)),
+      iterations_(iterations) {
+  NOCALLOC_CHECK(iterations_ >= 1);
+}
+
+void MultiIterationAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
+  prepare(req, gnt);
+
+  BitMatrix remaining = req;
+  BitMatrix pass_gnt;
+  for (std::size_t it = 0; it < iterations_; ++it) {
+    inner_->allocate(remaining, pass_gnt);
+    const std::size_t added = pass_gnt.count();
+    if (added == 0) break;
+    for (std::size_t i = 0; i < inputs(); ++i) {
+      const int j = pass_gnt.row_single(i);
+      if (j < 0) continue;
+      gnt.set(i, static_cast<std::size_t>(j));
+      // Remove the matched row and column from further passes.
+      for (std::size_t c = 0; c < outputs(); ++c) remaining.set(i, c, false);
+      for (std::size_t r = 0; r < inputs(); ++r)
+        remaining.set(r, static_cast<std::size_t>(j), false);
+    }
+  }
+}
+
+}  // namespace nocalloc

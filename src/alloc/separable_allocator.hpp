@@ -1,0 +1,47 @@
+// Separable allocators (Becker & Dally Sec. 2.1, Fig. 1).
+//
+// Allocation decomposes into one round of arbitration across requesters and
+// one across resources. Neither variant guarantees maximal matchings: the two
+// arbitration stages run independently, so stage-1 choices can collide in
+// stage 2 and leave grantable pairs unmatched.
+//
+// Fairness follows the iSLIP rule: a first-stage arbiter's priority advances
+// only if its grant also succeeds in the second stage; second-stage arbiters
+// advance whenever they issue a (final) grant.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace nocalloc {
+
+/// Input-first (sep_if, Fig. 1a): each input picks one of its requested
+/// outputs, then each output picks among the incoming stage-1 winners.
+class SeparableInputFirstAllocator final : public Allocator {
+ public:
+  SeparableInputFirstAllocator(std::size_t inputs, std::size_t outputs,
+                               ArbiterKind arb);
+
+  void allocate(const BitMatrix& req, BitMatrix& gnt) override;
+  void reset() override;
+
+ private:
+  std::vector<std::unique_ptr<Arbiter>> input_arb_;   // one per input, width = outputs
+  std::vector<std::unique_ptr<Arbiter>> output_arb_;  // one per output, width = inputs
+};
+
+/// Output-first (sep_of, Fig. 1b): every output picks among all requesting
+/// inputs, then each input picks among the outputs that chose it.
+class SeparableOutputFirstAllocator final : public Allocator {
+ public:
+  SeparableOutputFirstAllocator(std::size_t inputs, std::size_t outputs,
+                                ArbiterKind arb);
+
+  void allocate(const BitMatrix& req, BitMatrix& gnt) override;
+  void reset() override;
+
+ private:
+  std::vector<std::unique_ptr<Arbiter>> output_arb_;  // one per output, width = inputs
+  std::vector<std::unique_ptr<Arbiter>> input_arb_;   // one per input, width = outputs
+};
+
+}  // namespace nocalloc

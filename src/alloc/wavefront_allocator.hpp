@@ -1,0 +1,43 @@
+// Wavefront allocator (Becker & Dally Sec. 2.2, Fig. 2; Tamir & Chi).
+//
+// Requests are viewed as an NxN matrix. Starting from a rotating priority
+// diagonal, all requests on the current diagonal whose row and column are
+// still free are granted (cells on one wrapped diagonal never conflict);
+// the wave then advances to the next diagonal until all N diagonals have been
+// serviced. The result is always a *maximal* matching -- no further grant can
+// be added -- though not necessarily a maximum one.
+//
+// Fairness is weak: rotating the starting diagonal guarantees every request
+// is eventually served but provides no stronger ordering. This behavioural
+// model computes the matching the loop-free (diagonal-replicated) RTL
+// implementation would produce; the hardware cost of that structure is
+// modelled separately in src/hw.
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+namespace nocalloc {
+
+class WavefrontAllocator final : public Allocator {
+ public:
+  /// Wavefront allocation is defined over a square array; rectangular request
+  /// shapes are handled by padding to max(inputs, outputs) internally.
+  WavefrontAllocator(std::size_t inputs, std::size_t outputs);
+
+  void allocate(const BitMatrix& req, BitMatrix& gnt) override;
+  void reset() override { diagonal_ = 0; }
+
+  /// Currently active starting diagonal (exposed for tests).
+  std::size_t diagonal() const { return diagonal_; }
+
+  /// Computes the wavefront matching for a fixed starting diagonal without
+  /// touching state. Used by tests and by the multi-iteration wrapper.
+  static void allocate_from_diagonal(const BitMatrix& req, std::size_t start,
+                                     BitMatrix& gnt);
+
+ private:
+  std::size_t n_;  // padded square dimension
+  std::size_t diagonal_ = 0;
+};
+
+}  // namespace nocalloc

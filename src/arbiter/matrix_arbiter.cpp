@@ -1,0 +1,54 @@
+#include "arbiter/matrix_arbiter.hpp"
+
+#include "common/check.hpp"
+
+namespace nocalloc {
+
+MatrixArbiter::MatrixArbiter(std::size_t size) : size_(size) {
+  NOCALLOC_CHECK(size > 0);
+  reset();
+}
+
+void MatrixArbiter::reset() {
+  // Initial total order: lower index beats higher index.
+  prio_.assign(size_ * size_, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    for (std::size_t j = i + 1; j < size_; ++j) prio_[i * size_ + j] = 1;
+  }
+}
+
+bool MatrixArbiter::has_priority(std::size_t i, std::size_t j) const {
+  NOCALLOC_CHECK(i < size_ && j < size_ && i != j);
+  return prio_[i * size_ + j] != 0;
+}
+
+int MatrixArbiter::pick(const ReqVector& req) const {
+  NOCALLOC_CHECK(req.size() == size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (!req[i]) continue;
+    bool wins = true;
+    for (std::size_t j = 0; j < size_; ++j) {
+      if (j == i || !req[j]) continue;
+      if (!prio_[i * size_ + j]) {
+        wins = false;
+        break;
+      }
+    }
+    if (wins) return static_cast<int>(i);
+  }
+  // The priority relation always contains a total order restricted to any
+  // requesting subset, so a winner exists whenever any request does.
+  return -1;
+}
+
+void MatrixArbiter::update(int winner) {
+  NOCALLOC_CHECK(winner >= 0 && static_cast<std::size_t>(winner) < size_);
+  const std::size_t w = static_cast<std::size_t>(winner);
+  for (std::size_t j = 0; j < size_; ++j) {
+    if (j == w) continue;
+    prio_[w * size_ + j] = 0;  // winner loses priority over everyone
+    prio_[j * size_ + w] = 1;  // everyone gains priority over winner
+  }
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,33 @@
+// Matrix arbiter: maintains a full pairwise priority relation w(i,j) = "i has
+// priority over j". Input i wins iff it requests and has priority over every
+// other requesting input. After a successful grant the winner's priority is
+// cleared against all inputs and all inputs gain priority over the winner,
+// making the winner least-recently-served. This provides strong (LRS)
+// fairness at higher hardware cost than the round-robin pointer -- the paper
+// evaluates both as the /m and /rr separable-allocator variants.
+#pragma once
+
+#include "arbiter/arbiter.hpp"
+
+namespace nocalloc {
+
+class MatrixArbiter final : public Arbiter {
+ public:
+  explicit MatrixArbiter(std::size_t size);
+
+  std::size_t size() const override { return size_; }
+  int pick(const ReqVector& req) const override;
+  void update(int winner) override;
+  void reset() override;
+
+  /// Priority relation (exposed for tests): true if i beats j.
+  bool has_priority(std::size_t i, std::size_t j) const;
+
+ private:
+  std::size_t size_;
+  // Row-major upper-triangle-complete matrix: prio_[i*size_+j] != 0 means
+  // input i has priority over input j. The diagonal is unused.
+  std::vector<std::uint8_t> prio_;
+};
+
+}  // namespace nocalloc

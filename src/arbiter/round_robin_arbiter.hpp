@@ -1,0 +1,29 @@
+// Round-robin arbiter: a rotating priority pointer grants the first
+// requesting input at or after the pointer position. After a successful
+// grant the pointer moves to one past the winner, giving the just-served
+// input the lowest priority in the next round (weak fairness: every
+// persistent requester is served within N rounds).
+#pragma once
+
+#include "arbiter/arbiter.hpp"
+
+namespace nocalloc {
+
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t size);
+
+  std::size_t size() const override { return size_; }
+  int pick(const ReqVector& req) const override;
+  void update(int winner) override;
+  void reset() override { pointer_ = 0; }
+
+  /// Current priority pointer (exposed for tests).
+  std::size_t pointer() const { return pointer_; }
+
+ private:
+  std::size_t size_;
+  std::size_t pointer_ = 0;
+};
+
+}  // namespace nocalloc

@@ -1,0 +1,67 @@
+#include "common/bit_matrix.hpp"
+
+namespace nocalloc {
+
+std::size_t BitMatrix::count() const {
+  std::size_t n = 0;
+  for (unsigned char v : data_) n += v;
+  return n;
+}
+
+std::size_t BitMatrix::row_count(std::size_t r) const {
+  NOCALLOC_CHECK(r < rows_);
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < cols_; ++c) n += data_[r * cols_ + c];
+  return n;
+}
+
+std::size_t BitMatrix::col_count(std::size_t c) const {
+  NOCALLOC_CHECK(c < cols_);
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < rows_; ++r) n += data_[r * cols_ + c];
+  return n;
+}
+
+int BitMatrix::row_single(std::size_t r) const {
+  NOCALLOC_CHECK(r < rows_);
+  int found = -1;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (data_[r * cols_ + c]) {
+      NOCALLOC_CHECK(found < 0);
+      found = static_cast<int>(c);
+    }
+  }
+  return found;
+}
+
+bool BitMatrix::is_matching() const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_count(r) > 1) return false;
+  }
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (col_count(c) > 1) return false;
+  }
+  return true;
+}
+
+bool BitMatrix::is_subset_of(const BitMatrix& reqs) const {
+  NOCALLOC_CHECK(rows_ == reqs.rows_ && cols_ == reqs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i] && !reqs.data_[i]) return false;
+  }
+  return true;
+}
+
+std::string BitMatrix::to_string() const {
+  std::string out;
+  out.reserve(rows_ * (cols_ + 1));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.push_back(data_[r * cols_ + c] ? 'X' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace nocalloc

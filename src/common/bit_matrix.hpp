@@ -1,0 +1,78 @@
+// Dense boolean matrix used for allocator request and grant matrices.
+//
+// Rows correspond to requesters (allocator inputs) and columns to resources
+// (allocator outputs). The matrices involved are small (at most a few hundred
+// entries -- P*V <= 40 for the paper's design points), so a flat byte vector
+// beats bit packing: it avoids read-modify-write on hot update paths and lets
+// the allocators index without shifts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nocalloc {
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const {
+    NOCALLOC_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c] != 0;
+  }
+
+  void set(std::size_t r, std::size_t c, bool v = true) {
+    NOCALLOC_CHECK(r < rows_ && c < cols_);
+    data_[r * cols_ + c] = v ? 1 : 0;
+  }
+
+  void clear() { data_.assign(data_.size(), 0); }
+
+  /// Resets shape and contents.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0);
+  }
+
+  /// Number of set entries.
+  std::size_t count() const;
+
+  /// Number of set entries in row r / column c.
+  std::size_t row_count(std::size_t r) const;
+  std::size_t col_count(std::size_t c) const;
+
+  /// True if any entry in row r / column c is set.
+  bool row_any(std::size_t r) const { return row_count(r) > 0; }
+  bool col_any(std::size_t c) const { return col_count(c) > 0; }
+
+  /// Index of the single set entry in row r, or -1 if the row is empty.
+  /// Checks that at most one entry is set (useful for validating matchings).
+  int row_single(std::size_t r) const;
+
+  /// True if *this is a valid matching: at most one entry per row and column.
+  bool is_matching() const;
+
+  /// True if every set entry of *this is also set in reqs.
+  bool is_subset_of(const BitMatrix& reqs) const;
+
+  bool operator==(const BitMatrix& other) const = default;
+
+  /// Multi-line ASCII rendering ('.' = 0, 'X' = 1), for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<unsigned char> data_;
+};
+
+}  // namespace nocalloc

@@ -1,0 +1,23 @@
+// Lightweight runtime checks used across the library.
+//
+// NOCALLOC_CHECK is active in all build types: the simulator and the hardware
+// model both rely on structural invariants (matrix shapes, port ranges) whose
+// violation would silently corrupt results, so they are always verified.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nocalloc {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "nocalloc: check failed: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace nocalloc
+
+#define NOCALLOC_CHECK(expr)                                      \
+  do {                                                            \
+    if (!(expr)) ::nocalloc::check_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (traffic injection, request-matrix
+// generation, routing tie-breaks) draw from seeded Rng instances so that every
+// experiment is reproducible bit-for-bit. The generator is xoshiro256**, which
+// is fast, has a 256-bit state and passes BigCrush; quality matters here
+// because the open-loop experiments draw ~10^7 variates per configuration.
+#pragma once
+
+#include <cstdint>
+
+namespace nocalloc {
+
+/// xoshiro256** generator with splitmix64 seeding.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Returns the next 64-bit variate.
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Derives an independent stream for a child component. Mixing the label
+  /// through splitmix64 decorrelates sibling streams.
+  Rng split(std::uint64_t label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace nocalloc

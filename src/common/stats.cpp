@@ -1,0 +1,58 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nocalloc {
+
+void StatAccumulator::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void StatAccumulator::reset() {
+  n_ = 0;
+  mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+double StatAccumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(std::size_t value) {
+  NOCALLOC_CHECK(!counts_.empty());
+  const std::size_t b = value < counts_.size() ? value : counts_.size() - 1;
+  ++counts_[b];
+  ++total_;
+}
+
+void Histogram::reset() {
+  counts_.assign(counts_.size(), 0);
+  total_ = 0;
+}
+
+std::size_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cum += counts_[b];
+    if (static_cast<double>(cum) >= target) return b;
+  }
+  return counts_.size() - 1;
+}
+
+}  // namespace nocalloc

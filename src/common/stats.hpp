@@ -1,0 +1,54 @@
+// Statistics accumulators shared by the simulator and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nocalloc {
+
+/// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class StatAccumulator {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [0, bins); values beyond the last bin saturate.
+/// Used for packet-latency distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t bins) : counts_(bins, 0) {}
+
+  void add(std::size_t value);
+  void reset();
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t b) const { return counts_[b]; }
+  std::uint64_t total() const { return total_; }
+
+  /// Smallest value v such that at least fraction q of samples are <= v.
+  std::size_t quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nocalloc

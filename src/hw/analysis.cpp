@@ -1,0 +1,151 @@
+#include "hw/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+// Electrical fanout (load / input cap) a single gate is allowed to drive
+// before the model inserts a buffer tree, mirroring what synthesis does.
+constexpr double kMaxStageEffort = 6.0;
+// Effort per inserted buffer stage (classic optimum is ~4).
+constexpr double kBufferStageEffort = 4.0;
+// Flip-flop setup time and output-load pin cap, in tau / fF.
+constexpr double kDffSetupTau = 2.0;
+constexpr double kOutputPinCapFf = 4.0;
+
+}  // namespace
+
+SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process) {
+  SynthesisResult result;
+  result.node_count = netlist.size();
+  if (result.node_count > process.synthesis_node_limit) {
+    result.ok = false;
+    return result;
+  }
+
+  const std::size_t n = netlist.size();
+
+  // Pass 1: accumulate the capacitive load each node drives.
+  std::vector<double> load_ff(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = netlist.node(static_cast<NodeId>(i));
+    const double pin_cap = cell_params(node.kind).input_cap_ff;
+    for (std::uint8_t k = 0; k < node.fanin_count; ++k) {
+      load_ff[static_cast<std::size_t>(node.fanin[k])] +=
+          pin_cap + process.wire_cap_ff;
+    }
+  }
+  for (NodeId out : netlist.outputs()) {
+    load_ff[static_cast<std::size_t>(out)] += kOutputPinCapFf;
+  }
+  for (NodeId cap : netlist.captures()) {
+    load_ff[static_cast<std::size_t>(cap)] +=
+        cell_params(CellKind::kDff).input_cap_ff + process.wire_cap_ff;
+  }
+
+  // Pass 2: per-node delay with automatic buffering, arrival-time
+  // propagation (ids are topologically ordered by construction), area and
+  // switched capacitance.
+  std::vector<double> arrival(n, 0.0);  // in tau
+  double max_arrival = 0.0;
+  double area = 0.0;
+  double switched_cap_ff = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = netlist.node(static_cast<NodeId>(i));
+    const CellParams& params = cell_params(node.kind);
+    area += params.area_um2;
+    switched_cap_ff += load_ff[i];
+
+    if (node.kind == CellKind::kInput || node.kind == CellKind::kConst) {
+      arrival[i] = 0.0;
+      continue;
+    }
+
+    double in_arrival = 0.0;
+    for (std::uint8_t k = 0; k < node.fanin_count; ++k) {
+      in_arrival = std::max(
+          in_arrival, arrival[static_cast<std::size_t>(node.fanin[k])]);
+    }
+
+    // Effective drive: stage effort h = load / input cap; when h exceeds the
+    // per-stage limit, a geometric buffer tree caps it and adds log stages.
+    const double cin = std::max(params.input_cap_ff, 1e-3);
+    double h = load_ff[i] / cin;
+    double buffer_delay_tau = 0.0;
+    if (h > kMaxStageEffort) {
+      const double stages =
+          std::ceil(std::log(h / kMaxStageEffort) / std::log(kBufferStageEffort));
+      buffer_delay_tau =
+          stages * (cell_params(CellKind::kBuf).parasitic + kBufferStageEffort);
+      // Buffers needed at the leaf level dominate the tree's cell count.
+      const double buf_cin = cell_params(CellKind::kBuf).input_cap_ff;
+      const double leaf_bufs =
+          std::ceil(load_ff[i] / (kBufferStageEffort * buf_cin));
+      area += leaf_bufs * cell_params(CellKind::kBuf).area_um2 * 1.5;
+      switched_cap_ff += leaf_bufs * buf_cin * 1.5;
+      h = kMaxStageEffort;
+    }
+
+    const double own_delay_tau =
+        params.parasitic + params.logical_effort * h + buffer_delay_tau;
+
+    if (node.kind == CellKind::kDff) {
+      // D input must settle before the clock edge; Q launches a new path.
+      if (node.fanin_count > 0) {
+        max_arrival = std::max(max_arrival, in_arrival + kDffSetupTau);
+      }
+      arrival[i] = own_delay_tau;  // clk-to-q
+    } else {
+      arrival[i] = in_arrival + own_delay_tau;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    max_arrival = std::max(max_arrival, arrival[i]);
+  }
+  for (NodeId cap : netlist.captures()) {
+    max_arrival = std::max(
+        max_arrival, arrival[static_cast<std::size_t>(cap)] + kDffSetupTau);
+  }
+
+  result.ok = true;
+  result.delay_ns = max_arrival * process.tau_ps * 1e-3;
+  result.area_um2 = area;
+
+  const double freq_hz =
+      result.delay_ns > 0.0 ? 1e9 / result.delay_ns : 0.0;
+  // P = alpha * C * V^2 * f; switched_cap is the total load capacitance.
+  result.power_mw = process.internal_activity * switched_cap_ff * 1e-15 *
+                    process.vdd * process.vdd * freq_hz * 1e3;
+  return result;
+}
+
+std::vector<ScopeCost> area_breakdown(const Netlist& netlist) {
+  std::map<std::string, ScopeCost> by_scope;
+  for (std::size_t i = 0; i < netlist.size(); ++i) {
+    const Node& node = netlist.node(static_cast<NodeId>(i));
+    const CellParams& params = cell_params(node.kind);
+    if (params.area_um2 <= 0.0) continue;  // pseudo-cells
+    ScopeCost& cost = by_scope[netlist.node_scope(static_cast<NodeId>(i))];
+    ++cost.cells;
+    cost.area_um2 += params.area_um2;
+  }
+  std::vector<ScopeCost> out;
+  out.reserve(by_scope.size());
+  for (auto& [scope, cost] : by_scope) {
+    cost.scope = scope;
+    out.push_back(std::move(cost));
+  }
+  std::sort(out.begin(), out.end(), [](const ScopeCost& a, const ScopeCost& b) {
+    return a.area_um2 > b.area_um2;
+  });
+  return out;
+}
+
+}  // namespace nocalloc::hw

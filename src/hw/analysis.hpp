@@ -1,0 +1,43 @@
+// Netlist analysis: critical-path delay (method of logical effort with
+// automatic fanout buffering), cell area, and dynamic power.
+//
+// This stands in for the Design Compiler runs of Sec. 3.1: for each design
+// point the paper reports the minimum cycle time, the cell area, and the
+// average power at input activity 0.5 on a 45 nm LP library. We report the
+// same three quantities for the generated netlists, plus a synthesis-failure
+// flag for netlists exceeding the configured resource limit (modelling DC
+// running out of memory on the largest configurations).
+#pragma once
+
+#include "hw/netlist.hpp"
+
+namespace nocalloc::hw {
+
+struct SynthesisResult {
+  bool ok = false;          // false: resource limit exceeded ("out of memory")
+  std::size_t node_count = 0;
+  double delay_ns = 0.0;    // minimum cycle time
+  double area_um2 = 0.0;    // total cell area incl. inferred fanout buffers
+  double power_mw = 0.0;    // dynamic power at f = 1 / delay_ns
+};
+
+/// Analyzes `netlist` under `process`. Never fails structurally; ok is false
+/// only when the node count exceeds process.synthesis_node_limit, in which
+/// case the numeric fields are left zero (matching the paper's missing data
+/// points).
+SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process);
+
+/// Per-scope cost attribution (see Netlist::begin_scope). Sorted by
+/// descending area. Counts instantiated cells only: the fanout buffers
+/// analyze() infers (and pseudo-cells, which have zero area) are not
+/// attributed, so the breakdown sums to slightly less than
+/// SynthesisResult::area_um2.
+struct ScopeCost {
+  std::string scope;
+  std::size_t cells = 0;
+  double area_um2 = 0.0;
+};
+
+std::vector<ScopeCost> area_breakdown(const Netlist& netlist);
+
+}  // namespace nocalloc::hw

@@ -1,0 +1,162 @@
+#include "hw/arbiter_gen.hpp"
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+
+std::vector<NodeId> gen_priority_encoder(Netlist& nl,
+                                         std::span<const NodeId> in) {
+  const std::size_t n = in.size();
+  std::vector<NodeId> out(n);
+  if (n == 0) return out;
+  // prefix[i] = OR(in[0..i]); out[i] = in[i] & !prefix[i-1].
+  std::vector<NodeId> prefix = nl.prefix_or(in);
+  out[0] = in[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    out[i] = nl.and2(in[i], nl.inv(prefix[i - 1]));
+  }
+  return out;
+}
+
+ArbiterCircuit gen_round_robin_arbiter(Netlist& nl,
+                                       std::span<const NodeId> req,
+                                       NodeId update_enable) {
+  const std::size_t n = req.size();
+  NOCALLOC_CHECK(n >= 1);
+  ArbiterCircuit out;
+
+  if (n == 1) {
+    // Degenerate arbiter: the single request is the grant.
+    out.gnt = {req[0]};
+    out.any_gnt = req[0];
+    return out;
+  }
+
+  // One-hot pointer register (initially pointing at input 0): state()
+  // yields the flop Q outputs now; the rotate-on-success next-state signals
+  // are closed with capture() below.
+  std::vector<NodeId> ptr(n);
+  for (std::size_t i = 0; i < n; ++i) ptr[i] = nl.state(i == 0);
+
+  // Thermometer mask: mask[i] = OR(ptr[0..i]) -- requests at or after the
+  // pointer win the masked round.
+  std::vector<NodeId> thermo = nl.prefix_or(ptr);
+
+  // Masked requests and their fixed-priority encode.
+  std::vector<NodeId> masked(n);
+  for (std::size_t i = 0; i < n; ++i) masked[i] = nl.and2(req[i], thermo[i]);
+  std::vector<NodeId> gnt_masked = gen_priority_encoder(nl, masked);
+  std::vector<NodeId> gnt_plain = gen_priority_encoder(nl, req);
+
+  const NodeId any_masked = nl.or_tree(masked);
+
+  out.gnt.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // mux2(sel, a, b): modelled as sel ? gnt_masked : gnt_plain.
+    out.gnt[i] = nl.add(CellKind::kMux2, any_masked, gnt_masked[i], gnt_plain[i]);
+  }
+  out.any_gnt = nl.or_tree(out.gnt);
+
+  // Pointer update: next_ptr = enable ? rotate1(gnt) : ptr.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId rotated = out.gnt[(i + n - 1) % n];
+    const NodeId next = nl.add(CellKind::kMux2, update_enable, rotated, ptr[i]);
+    nl.capture(next);
+  }
+  return out;
+}
+
+ArbiterCircuit gen_matrix_arbiter(Netlist& nl, std::span<const NodeId> req,
+                                  NodeId update_enable) {
+  const std::size_t n = req.size();
+  NOCALLOC_CHECK(n >= 1);
+  ArbiterCircuit out;
+
+  if (n == 1) {
+    out.gnt = {req[0]};
+    out.any_gnt = req[0];
+    return out;
+  }
+
+  // Priority state: w[i][j] ("i beats j") for i < j; w[j][i] is its inverse.
+  std::vector<std::vector<NodeId>> beats(n, std::vector<NodeId>(n, kNoNode));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const NodeId w = nl.state(true);  // lower index wins initially
+      beats[i][j] = w;
+      beats[j][i] = nl.inv(w);
+    }
+  }
+
+  // grant_i = req_i AND over all j != i of NOT(req_j AND beats[j][i]).
+  out.gnt.resize(n);
+  std::vector<NodeId> terms;
+  for (std::size_t i = 0; i < n; ++i) {
+    terms.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      // NOT(req_j & beats_ji) as a NAND2.
+      terms.push_back(nl.nand2(req[j], beats[j][i]));
+    }
+    out.gnt[i] = nl.and2(req[i], nl.and_tree(terms));
+  }
+  out.any_gnt = nl.or_tree(out.gnt);
+
+  // State update (winner loses to everyone): for pair (i, j) with i < j,
+  // next_w = gnt_j ? 1 : (gnt_i ? 0 : w); gated by the update enable.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const NodeId keep = nl.and2(beats[i][j], nl.inv(out.gnt[i]));
+      const NodeId next_val = nl.or2(keep, out.gnt[j]);
+      const NodeId next =
+          nl.add(CellKind::kMux2, update_enable, next_val, beats[i][j]);
+      nl.capture(next);
+    }
+  }
+  return out;
+}
+
+ArbiterCircuit gen_arbiter(Netlist& nl, ArbiterKind kind,
+                           std::span<const NodeId> req, NodeId update_enable) {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin:
+      return gen_round_robin_arbiter(nl, req, update_enable);
+    case ArbiterKind::kMatrix:
+      return gen_matrix_arbiter(nl, req, update_enable);
+  }
+  NOCALLOC_CHECK(false);
+}
+
+ArbiterCircuit gen_tree_arbiter(Netlist& nl, ArbiterKind kind,
+                                std::span<const NodeId> req, std::size_t groups,
+                                NodeId update_enable) {
+  const std::size_t n = req.size();
+  NOCALLOC_CHECK(groups >= 1 && n % groups == 0);
+  const std::size_t width = n / groups;
+
+  ArbiterCircuit out;
+  out.gnt.resize(n);
+
+  // Group-level arbitration first, so each local arbiter's priority update
+  // can be gated on its group actually winning (the on-success-only rule
+  // must hold per arbiter, not just globally).
+  std::vector<NodeId> group_any(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    group_any[g] = nl.or_tree(std::span<const NodeId>(
+        req.subspan(g * width, width)));
+  }
+  ArbiterCircuit top = gen_arbiter(nl, kind, group_any, update_enable);
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    const NodeId local_enable = nl.and2(update_enable, top.gnt[g]);
+    ArbiterCircuit local = gen_arbiter(
+        nl, kind, req.subspan(g * width, width), local_enable);
+    for (std::size_t i = 0; i < width; ++i) {
+      out.gnt[g * width + i] = nl.and2(local.gnt[i], top.gnt[g]);
+    }
+  }
+  out.any_gnt = top.any_gnt;
+  return out;
+}
+
+}  // namespace nocalloc::hw

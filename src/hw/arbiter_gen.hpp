@@ -1,0 +1,51 @@
+// Gate-level generators for the arbiter structures of Sec. 2/4/5.
+//
+// Each generator appends the arbiter's logic to a caller-supplied Netlist,
+// consuming request wires and returning grant wires. State (priority
+// registers) and its update logic are included, with the update-enable
+// provided by the caller so the on-success-only protocol is represented
+// structurally (the enable typically comes from second-stage grant logic).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "arbiter/arbiter.hpp"
+#include "hw/netlist.hpp"
+
+namespace nocalloc::hw {
+
+/// Wires exposed by a generated arbiter.
+struct ArbiterCircuit {
+  std::vector<NodeId> gnt;  // one-hot grant vector, same width as req
+  NodeId any_gnt = kNoNode;  // OR of all grants
+};
+
+/// Round-robin arbiter: one-hot pointer register, thermometer mask derived
+/// by a parallel-prefix OR, dual fixed-priority encoders (masked/unmasked)
+/// and a per-bit mux, plus rotate-on-success pointer update.
+ArbiterCircuit gen_round_robin_arbiter(Netlist& nl, std::span<const NodeId> req,
+                                       NodeId update_enable);
+
+/// Matrix arbiter: N(N-1)/2 priority flops; grant_i = req_i AND over j of
+/// NOT(req_j AND w_ji); winner-loses-all state update gated by the enable.
+ArbiterCircuit gen_matrix_arbiter(Netlist& nl, std::span<const NodeId> req,
+                                  NodeId update_enable);
+
+/// Dispatch on ArbiterKind.
+ArbiterCircuit gen_arbiter(Netlist& nl, ArbiterKind kind,
+                           std::span<const NodeId> req, NodeId update_enable);
+
+/// Tree arbiter (Sec. 4.1): `groups` local arbiters of `req.size()/groups`
+/// inputs in parallel with one groups-input arbiter; grants are the AND of
+/// local and group grant.
+ArbiterCircuit gen_tree_arbiter(Netlist& nl, ArbiterKind kind,
+                                std::span<const NodeId> req, std::size_t groups,
+                                NodeId update_enable);
+
+/// Fixed-priority encoder: out[i] = in[i] AND NOT(OR(in[0..i-1])).
+/// Exposed for tests; log-depth via parallel-prefix OR.
+std::vector<NodeId> gen_priority_encoder(Netlist& nl,
+                                         std::span<const NodeId> in);
+
+}  // namespace nocalloc::hw

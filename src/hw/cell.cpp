@@ -1,0 +1,36 @@
+#include "hw/cell.hpp"
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+// Logical effort and parasitics follow Sutherland/Sproull/Harris textbook
+// values; capacitance and area are representative of a 45 nm LP standard-cell
+// library (roughly 1.1 um^2 per NAND2-equivalent, ~1.8 fF per unit input).
+constexpr CellParams kTable[kCellKindCount] = {
+    // name      g      p     cap_ff  area   max_in
+    {"input",   0.00,  0.00,  0.0,    0.0,   0},
+    {"const",   0.00,  0.00,  0.0,    0.0,   0},
+    {"inv",     1.00,  1.00,  1.8,    0.6,   1},
+    {"buf",     1.00,  2.00,  1.8,    0.9,   1},
+    {"nand2",   1.33,  2.00,  2.4,    1.1,   2},
+    {"nor2",    1.67,  2.00,  3.0,    1.1,   2},
+    {"and2",    1.33,  3.00,  2.4,    1.5,   2},
+    {"or2",     1.67,  3.00,  3.0,    1.5,   2},
+    {"xor2",    2.00,  4.00,  3.6,    2.4,   2},
+    {"mux2",    2.00,  3.50,  3.2,    2.2,   3},
+    {"aoi21",   1.67,  2.50,  2.8,    1.6,   3},
+    {"inhibit", 1.67,  2.50,  2.8,    1.6,   3},
+    {"dff",     1.00,  8.00,  2.0,    4.5,   1},
+};
+
+}  // namespace
+
+const CellParams& cell_params(CellKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  NOCALLOC_CHECK(idx < kCellKindCount);
+  return kTable[idx];
+}
+
+}  // namespace nocalloc::hw

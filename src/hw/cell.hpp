@@ -1,0 +1,67 @@
+// Standard-cell library model.
+//
+// The paper synthesizes with Synopsys Design Compiler on a commercial 45 nm
+// low-power library at the worst-case corner (0.9 V, 125 C). We cannot run a
+// proprietary flow, so src/hw substitutes a structural cost model: generators
+// build a gate-level netlist for every allocator variant and this library
+// supplies per-cell timing (method of logical effort), area and capacitance
+// values representative of a 45 nm LP process at that corner.
+//
+// Absolute numbers are calibrated only loosely (tau below sets the scale);
+// what the model preserves exactly is the *structure* -- gate counts, logic
+// depths, fanouts -- from which all of the paper's comparative conclusions
+// follow.
+#pragma once
+
+#include <cstddef>
+
+namespace nocalloc::hw {
+
+enum class CellKind {
+  kInput,   // primary input pseudo-cell
+  kConst,   // tie-high/tie-low pseudo-cell
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kMux2,     // 2:1 select mux: out = a ? b : c
+  kAoi21,    // AND-OR-invert: out = !((a & b) | c)
+  kInhibit,  // AND with inhibit: out = c & !(a & b); the wavefront-tile
+             // token-kill gate (complexity of an AOI21 with the inverted
+             // token input folded in, as in full-custom tile designs)
+  kDff,      // D flip-flop (state bit)
+};
+
+inline constexpr std::size_t kCellKindCount = 13;
+
+/// Per-cell electrical parameters.
+struct CellParams {
+  const char* name;
+  double logical_effort;  // g: input cap relative to an inverter of equal drive
+  double parasitic;       // p: intrinsic delay in units of tau
+  double input_cap_ff;    // per-input capacitance (fF)
+  double area_um2;        // layout area (um^2)
+  int max_inputs;         // arity; 0 for pseudo-cells
+};
+
+/// Process calibration for a 45 nm LP library at the worst-case corner.
+struct ProcessParams {
+  double tau_ps = 16.0;    // delay unit: one inverter driving one inverter
+  double vdd = 0.9;        // supply voltage (V)
+  double wire_cap_ff = 0.6;  // average wire load added per fanout connection
+  /// Average node switching activity when all primary inputs toggle with
+  /// activity factor 0.5 (the paper's default); logic attenuates activity.
+  double internal_activity = 0.15;
+  /// Synthesis resource limit: beyond this many netlist nodes the flow is
+  /// reported as failed, modelling Design Compiler running out of memory on
+  /// the largest wavefront and matrix-arbiter configurations (Sec. 4.3.1).
+  std::size_t synthesis_node_limit = 350000;
+};
+
+/// Returns the parameter record for a cell kind.
+const CellParams& cell_params(CellKind kind);
+
+}  // namespace nocalloc::hw

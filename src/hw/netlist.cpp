@@ -1,0 +1,137 @@
+#include "hw/netlist.hpp"
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+
+NodeId Netlist::push(CellKind kind, std::initializer_list<NodeId> fanins) {
+  Node n;
+  n.kind = kind;
+  for (NodeId f : fanins) {
+    NOCALLOC_CHECK(f >= 0 && static_cast<std::size_t>(f) < nodes_.size());
+    NOCALLOC_CHECK(n.fanin_count < 3);
+    n.fanin[n.fanin_count++] = f;
+  }
+  const auto& params = cell_params(kind);
+  if (params.max_inputs > 0) {
+    NOCALLOC_CHECK(n.fanin_count <= params.max_inputs);
+  }
+  nodes_.push_back(n);
+  node_scope_.push_back(scope_stack_.back());
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Netlist::begin_scope(const std::string& name) {
+  const std::string& parent = scope_names_[scope_stack_.back()];
+  std::string path = scope_stack_.back() == 0 ? name : parent + "/" + name;
+  // Intern (scopes are few; linear search is fine).
+  std::uint16_t idx = 0;
+  for (; idx < scope_names_.size(); ++idx) {
+    if (scope_names_[idx] == path) break;
+  }
+  if (idx == scope_names_.size()) {
+    NOCALLOC_CHECK(scope_names_.size() < 0xFFFF);
+    scope_names_.push_back(std::move(path));
+  }
+  scope_stack_.push_back(idx);
+}
+
+void Netlist::end_scope() {
+  NOCALLOC_CHECK(scope_stack_.size() > 1);
+  scope_stack_.pop_back();
+}
+
+const std::string& Netlist::node_scope(NodeId id) const {
+  NOCALLOC_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return scope_names_[node_scope_[static_cast<std::size_t>(id)]];
+}
+
+NodeId Netlist::input() { return push(CellKind::kInput, {}); }
+
+std::vector<NodeId> Netlist::inputs(std::size_t n) {
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(input());
+  return out;
+}
+
+NodeId Netlist::constant(bool value) {
+  const NodeId id = push(CellKind::kConst, {});
+  nodes_[static_cast<std::size_t>(id)].value = value;
+  return id;
+}
+
+NodeId Netlist::add(CellKind kind, NodeId a) { return push(kind, {a}); }
+NodeId Netlist::add(CellKind kind, NodeId a, NodeId b) { return push(kind, {a, b}); }
+NodeId Netlist::add(CellKind kind, NodeId a, NodeId b, NodeId c) {
+  return push(kind, {a, b, c});
+}
+
+NodeId Netlist::dff(NodeId d) { return push(CellKind::kDff, {d}); }
+
+NodeId Netlist::state(bool init) {
+  // A free-standing flop; its D input is declared later via capture().
+  const NodeId id = push(CellKind::kDff, {});
+  nodes_[static_cast<std::size_t>(id)].value = init;
+  states_.push_back(id);
+  return id;
+}
+
+void Netlist::capture(NodeId d) {
+  NOCALLOC_CHECK(d >= 0 && static_cast<std::size_t>(d) < nodes_.size());
+  NOCALLOC_CHECK(captures_.size() < states_.size());
+  captures_.push_back(d);
+}
+
+void Netlist::mark_output(NodeId n) {
+  NOCALLOC_CHECK(n >= 0 && static_cast<std::size_t>(n) < nodes_.size());
+  outputs_.push_back(n);
+}
+
+NodeId Netlist::tree(CellKind kind2, std::span<const NodeId> in) {
+  // Empty reductions yield the operation's neutral element.
+  if (in.empty()) return constant(kind2 == CellKind::kAnd2);
+  std::vector<NodeId> level(in.begin(), in.end());
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add(kind2, level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level.swap(next);
+  }
+  return level[0];
+}
+
+NodeId Netlist::onehot_mux(std::span<const NodeId> data,
+                           std::span<const NodeId> sel) {
+  NOCALLOC_CHECK(data.size() == sel.size() && !data.empty());
+  std::vector<NodeId> terms;
+  terms.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    terms.push_back(and2(data[i], sel[i]));
+  }
+  return or_tree(terms);
+}
+
+std::vector<NodeId> Netlist::prefix_or(std::span<const NodeId> in) {
+  std::vector<NodeId> cur(in.begin(), in.end());
+  const std::size_t n = cur.size();
+  // Sklansky: at step s, combine element i with the block boundary value.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    std::vector<NodeId> next = cur;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Element i picks up the prefix ending at the last index of the
+      // previous block when i's bit at this stride level is set.
+      if ((i / stride) % 2 == 1) {
+        const std::size_t boundary = (i / stride) * stride - 1;
+        next[i] = or2(cur[i], cur[boundary]);
+      }
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+}  // namespace nocalloc::hw

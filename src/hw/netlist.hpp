@@ -1,0 +1,138 @@
+// Gate-level netlist graph plus structural builder helpers.
+//
+// Generators (src/hw/*_gen.*) assemble allocator netlists from these
+// primitives; analysis.hpp then extracts delay, area and power. Nodes are
+// append-only and identified by dense integer ids, so the graph is always
+// topologically ordered by construction (fanins precede their consumers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/cell.hpp"
+
+namespace nocalloc::hw {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+struct Node {
+  CellKind kind;
+  // Fanins; size bounded by cell arity except for kDff (1: the D input).
+  std::int32_t fanin[3] = {kNoNode, kNoNode, kNoNode};
+  std::uint8_t fanin_count = 0;
+  // kConst: the tie value; kDff from state(): the power-on value.
+  bool value = false;
+};
+
+class Netlist {
+ public:
+  /// Adds a primary input.
+  NodeId input();
+  /// Adds `n` primary inputs and returns their ids.
+  std::vector<NodeId> inputs(std::size_t n);
+
+  /// Adds a constant tie-high/tie-low node.
+  NodeId constant(bool value = true);
+
+  /// Adds a gate. Fanin count must match the cell's arity.
+  NodeId add(CellKind kind, NodeId a);
+  NodeId add(CellKind kind, NodeId a, NodeId b);
+  NodeId add(CellKind kind, NodeId a, NodeId b, NodeId c);
+
+  /// Adds a state bit (D flip-flop) fed by `d`. DFF outputs start timing
+  /// paths (clk-to-q) and their D pins end them.
+  NodeId dff(NodeId d);
+
+  /// Declares a state element whose D input is produced *later* in the
+  /// build: returns the flop's Q output immediately, with power-on value
+  /// `init`. Close the loop with capture(): the flop's area/cap are counted
+  /// here, the setup-time check on the eventual D signal is counted there.
+  /// This is how generators express priority-register feedback without
+  /// violating the append-only topological order.
+  ///
+  /// INVARIANT: the k-th capture() call pairs with the k-th state() call --
+  /// the netlist simulator and the Verilog exporter rely on this ordering
+  /// to close the register loops.
+  NodeId state(bool init = false);
+
+  /// Marks `d` as the D input of the next unpaired state() element.
+  /// Adds the setup-time constraint and flop input load, no new cell.
+  void capture(NodeId d);
+
+  /// All state() flops in declaration order (paired with captures()).
+  const std::vector<NodeId>& states() const { return states_; }
+
+  /// Registers `n` as a primary output (adds its load to the timing model).
+  void mark_output(NodeId n);
+
+  // ---- Cost attribution scopes --------------------------------------------
+  // Generators can bracket structural regions ("input arbiters", "request
+  // wiring", ...) so area_breakdown() can attribute cells to them. Scopes
+  // nest; names join with '/'. Nodes created outside any scope belong to
+  // "top".
+
+  void begin_scope(const std::string& name);
+  void end_scope();
+
+  /// Scope path of a node ("top" if created outside any scope).
+  const std::string& node_scope(NodeId id) const;
+
+  /// RAII helper for begin_scope/end_scope.
+  class Scope {
+   public:
+    Scope(Netlist& nl, const std::string& name) : nl_(nl) {
+      nl_.begin_scope(name);
+    }
+    ~Scope() { nl_.end_scope(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Netlist& nl_;
+  };
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<NodeId>& captures() const { return captures_; }
+
+  // ---- Structural helpers -------------------------------------------------
+
+  /// Balanced binary tree of 2-input gates over `in`; returns the root.
+  /// For a single element returns it unchanged; for empty input returns a
+  /// constant node (the neutral element in cost terms).
+  NodeId tree(CellKind kind2, std::span<const NodeId> in);
+
+  NodeId and_tree(std::span<const NodeId> in) { return tree(CellKind::kAnd2, in); }
+  NodeId or_tree(std::span<const NodeId> in) { return tree(CellKind::kOr2, in); }
+
+  NodeId inv(NodeId a) { return add(CellKind::kInv, a); }
+  NodeId and2(NodeId a, NodeId b) { return add(CellKind::kAnd2, a, b); }
+  NodeId or2(NodeId a, NodeId b) { return add(CellKind::kOr2, a, b); }
+  NodeId nand2(NodeId a, NodeId b) { return add(CellKind::kNand2, a, b); }
+  NodeId nor2(NodeId a, NodeId b) { return add(CellKind::kNor2, a, b); }
+
+  /// One-hot mux: OR of (data[i] AND sel[i]). Sizes must match.
+  NodeId onehot_mux(std::span<const NodeId> data, std::span<const NodeId> sel);
+
+  /// Inclusive prefix OR (Sklansky parallel-prefix): out[i] = OR(in[0..i]).
+  /// Log-depth, O(N log N) gates -- what synthesis infers for priority logic.
+  std::vector<NodeId> prefix_or(std::span<const NodeId> in);
+
+ private:
+  NodeId push(CellKind kind, std::initializer_list<NodeId> fanins);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> captures_;
+  std::vector<NodeId> states_;
+  // Scope bookkeeping: interned scope paths plus one index per node.
+  std::vector<std::string> scope_names_{"top"};
+  std::vector<std::uint16_t> scope_stack_{0};
+  std::vector<std::uint16_t> node_scope_;
+};
+
+}  // namespace nocalloc::hw

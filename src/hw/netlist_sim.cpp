@@ -1,0 +1,120 @@
+#include "hw/netlist_sim.hpp"
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+
+NetlistSimulator::NetlistSimulator(const Netlist& netlist)
+    : netlist_(netlist), value_(netlist.size(), 0) {
+  NOCALLOC_CHECK(netlist.states().size() == netlist.captures().size());
+  for (std::size_t i = 0; i < netlist_.size(); ++i) {
+    const Node& node = netlist_.node(static_cast<NodeId>(i));
+    if (node.kind == CellKind::kInput) {
+      inputs_.push_back(static_cast<NodeId>(i));
+    } else if (node.kind == CellKind::kDff) {
+      flops_.push_back(static_cast<NodeId>(i));
+    }
+  }
+  reset();
+}
+
+void NetlistSimulator::reset() {
+  flop_state_.assign(flops_.size(), 0);
+  for (std::size_t f = 0; f < flops_.size(); ++f) {
+    flop_state_[f] =
+        netlist_.node(flops_[f]).value ? 1 : 0;
+  }
+}
+
+bool NetlistSimulator::flop(std::size_t index) const {
+  NOCALLOC_CHECK(index < flop_state_.size());
+  return flop_state_[index] != 0;
+}
+
+void NetlistSimulator::propagate(const std::vector<bool>& inputs) {
+  NOCALLOC_CHECK(inputs.size() == inputs_.size());
+  std::size_t next_input = 0;
+  std::size_t next_flop = 0;
+  for (std::size_t i = 0; i < netlist_.size(); ++i) {
+    const Node& node = netlist_.node(static_cast<NodeId>(i));
+    const auto in = [&](int k) {
+      return value_[static_cast<std::size_t>(node.fanin[k])] != 0;
+    };
+    bool v = false;
+    switch (node.kind) {
+      case CellKind::kInput:
+        v = inputs[next_input++];
+        break;
+      case CellKind::kConst:
+        v = node.value;
+        break;
+      case CellKind::kInv:
+        v = !in(0);
+        break;
+      case CellKind::kBuf:
+        v = in(0);
+        break;
+      case CellKind::kNand2:
+        v = !(in(0) && in(1));
+        break;
+      case CellKind::kNor2:
+        v = !(in(0) || in(1));
+        break;
+      case CellKind::kAnd2:
+        v = in(0) && in(1);
+        break;
+      case CellKind::kOr2:
+        v = in(0) || in(1);
+        break;
+      case CellKind::kXor2:
+        v = in(0) != in(1);
+        break;
+      case CellKind::kMux2:
+        v = in(0) ? in(1) : in(2);
+        break;
+      case CellKind::kAoi21:
+        v = !((in(0) && in(1)) || in(2));
+        break;
+      case CellKind::kInhibit:
+        v = in(2) && !(in(0) && in(1));
+        break;
+      case CellKind::kDff:
+        // Q output: the value latched at the previous clock edge.
+        v = flop_state_[next_flop++] != 0;
+        break;
+    }
+    value_[i] = v ? 1 : 0;
+  }
+}
+
+std::vector<bool> NetlistSimulator::evaluate(const std::vector<bool>& inputs) {
+  propagate(inputs);
+  std::vector<bool> out;
+  out.reserve(netlist_.outputs().size());
+  for (NodeId o : netlist_.outputs()) {
+    out.push_back(value_[static_cast<std::size_t>(o)] != 0);
+  }
+  return out;
+}
+
+std::vector<bool> NetlistSimulator::step(const std::vector<bool>& inputs) {
+  std::vector<bool> out = evaluate(inputs);
+
+  // Clock edge: latch D values. state() flops (no fanin) take the paired
+  // capture signal, dff(d) flops take their inline fanin.
+  std::size_t next_capture = 0;
+  for (std::size_t f = 0; f < flops_.size(); ++f) {
+    const Node& node = netlist_.node(flops_[f]);
+    NodeId d;
+    if (node.fanin_count == 0) {
+      d = netlist_.captures()[next_capture++];
+    } else {
+      d = node.fanin[0];
+    }
+    flop_state_[f] = value_[static_cast<std::size_t>(d)];
+  }
+  NOCALLOC_CHECK(next_capture == netlist_.captures().size());
+  return out;
+}
+
+}  // namespace nocalloc::hw

@@ -1,0 +1,289 @@
+#include "hw/sa_gen.hpp"
+
+#include "common/check.hpp"
+#include "hw/arbiter_gen.hpp"
+#include "hw/wavefront_gen.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+/// Wires of one switch-allocator core (one instance of Fig. 8a/b/c).
+struct SaCore {
+  // P x P crossbar-control grant matrix.
+  std::vector<std::vector<NodeId>> xbar;
+  // Per input port: V-wide winning-VC vector.
+  std::vector<std::vector<NodeId>> vc_gnt;
+};
+
+/// Per-input-VC request wires feeding a core.
+struct SaRequests {
+  // valid[p][v], dest[p][v][o]
+  std::vector<std::vector<NodeId>> valid;
+  std::vector<std::vector<std::vector<NodeId>>> dest;
+};
+
+SaRequests make_request_inputs(Netlist& nl, std::size_t ports,
+                               std::size_t vcs) {
+  SaRequests r;
+  r.valid.resize(ports);
+  r.dest.resize(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    r.valid[p] = nl.inputs(vcs);
+    r.dest[p].resize(vcs);
+    for (std::size_t v = 0; v < vcs; ++v) r.dest[p][v] = nl.inputs(ports);
+  }
+  return r;
+}
+
+// req[p][v][o] gated by validity: valid & dest.
+NodeId vc_port_request(Netlist& nl, const SaRequests& r, std::size_t p,
+                       std::size_t v, std::size_t o) {
+  return nl.and2(r.valid[p][v], r.dest[p][v][o]);
+}
+
+// Combined per-port request: OR over VCs of (valid & dest) -- the "input
+// VCs' requests are combined" wiring of Fig. 8b/8c.
+std::vector<std::vector<NodeId>> port_request_matrix(Netlist& nl,
+                                                     const SaRequests& r,
+                                                     std::size_t ports,
+                                                     std::size_t vcs) {
+  Netlist::Scope scope(nl, "request-combining");
+  std::vector<std::vector<NodeId>> req(ports, std::vector<NodeId>(ports));
+  std::vector<NodeId> terms(vcs);
+  for (std::size_t p = 0; p < ports; ++p) {
+    for (std::size_t o = 0; o < ports; ++o) {
+      for (std::size_t v = 0; v < vcs; ++v) {
+        terms[v] = vc_port_request(nl, r, p, v, o);
+      }
+      req[p][o] = nl.or_tree(terms);
+    }
+  }
+  return req;
+}
+
+SaCore build_sep_if(Netlist& nl, const SaGenConfig& cfg, const SaRequests& r) {
+  const std::size_t P = cfg.ports;
+  const std::size_t V = cfg.vcs;
+  SaCore core;
+  core.xbar.assign(P, std::vector<NodeId>(P, kNoNode));
+  core.vc_gnt.assign(P, std::vector<NodeId>(V, kNoNode));
+
+  // Stage 1: per input port, a V:1 arbiter over request-valid bits.
+  nl.begin_scope("vc-arbiters");
+  std::vector<ArbiterCircuit> sel(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    sel[p] = gen_arbiter(nl, cfg.arb, r.valid[p], nl.input());
+  }
+  nl.end_scope();
+
+  // Forwarded request: input p requests output o iff the selected VC's
+  // destination is o: OR over v of (sel_v & dest_v_o).
+  std::vector<std::vector<NodeId>> fwd(P, std::vector<NodeId>(P));
+  std::vector<NodeId> terms(V);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t o = 0; o < P; ++o) {
+      for (std::size_t v = 0; v < V; ++v) {
+        terms[v] = nl.and2(sel[p].gnt[v], r.dest[p][v][o]);
+      }
+      fwd[p][o] = nl.or_tree(terms);
+    }
+  }
+
+  // Stage 2: per output port, a P:1 arbiter; its grants drive the crossbar
+  // control signals directly (Fig. 8a).
+  nl.begin_scope("output-arbiters");
+  std::vector<NodeId> col(P);
+  for (std::size_t o = 0; o < P; ++o) {
+    for (std::size_t p = 0; p < P; ++p) col[p] = fwd[p][o];
+    ArbiterCircuit arb = gen_arbiter(nl, cfg.arb, col, nl.input());
+    for (std::size_t p = 0; p < P; ++p) core.xbar[p][o] = arb.gnt[p];
+  }
+
+  nl.end_scope();
+
+  // Winning VC per input port: the stage-1 selection gated by port success.
+  Netlist::Scope grant_scope(nl, "grant-logic");
+  for (std::size_t p = 0; p < P; ++p) {
+    const NodeId port_granted = nl.or_tree(core.xbar[p]);
+    for (std::size_t v = 0; v < V; ++v) {
+      core.vc_gnt[p][v] = nl.and2(sel[p].gnt[v], port_granted);
+    }
+  }
+  return core;
+}
+
+SaCore build_sep_of(Netlist& nl, const SaGenConfig& cfg, const SaRequests& r) {
+  const std::size_t P = cfg.ports;
+  const std::size_t V = cfg.vcs;
+  SaCore core;
+  core.xbar.assign(P, std::vector<NodeId>(P, kNoNode));
+  core.vc_gnt.assign(P, std::vector<NodeId>(V, kNoNode));
+
+  const auto req = port_request_matrix(nl, r, P, V);
+
+  // Stage 1: per output port, arbitrate among all requesting input ports.
+  nl.begin_scope("output-arbiters");
+  std::vector<std::vector<NodeId>> out_gnt(P, std::vector<NodeId>(P));
+  std::vector<NodeId> col(P);
+  for (std::size_t o = 0; o < P; ++o) {
+    for (std::size_t p = 0; p < P; ++p) col[p] = req[p][o];
+    ArbiterCircuit arb = gen_arbiter(nl, cfg.arb, col, nl.input());
+    for (std::size_t p = 0; p < P; ++p) out_gnt[o][p] = arb.gnt[p];
+  }
+
+  nl.end_scope();
+
+  // Stage 2: per input port, find candidate VCs (those whose destination
+  // was granted to this port) and arbitrate V:1 among them.
+  Netlist::Scope stage2_scope(nl, "vc-arbiters");
+  std::vector<NodeId> cand(V);
+  std::vector<NodeId> terms(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t v = 0; v < V; ++v) {
+      for (std::size_t o = 0; o < P; ++o) {
+        terms[o] = nl.and2(r.dest[p][v][o], out_gnt[o][p]);
+      }
+      cand[v] = nl.and2(r.valid[p][v], nl.or_tree(terms));
+    }
+    ArbiterCircuit arb = gen_arbiter(nl, cfg.arb, cand, nl.input());
+    for (std::size_t v = 0; v < V; ++v) core.vc_gnt[p][v] = arb.gnt[v];
+
+    // Crossbar control cannot come straight from the output arbiters
+    // (Fig. 8b): it is regenerated from the winning VC's port select.
+    std::vector<NodeId> sel_terms(V);
+    for (std::size_t o = 0; o < P; ++o) {
+      for (std::size_t v = 0; v < V; ++v) {
+        sel_terms[v] = nl.and2(arb.gnt[v], r.dest[p][v][o]);
+      }
+      core.xbar[p][o] = nl.or_tree(sel_terms);
+    }
+  }
+  return core;
+}
+
+SaCore build_wf(Netlist& nl, const SaGenConfig& cfg, const SaRequests& r) {
+  const std::size_t P = cfg.ports;
+  const std::size_t V = cfg.vcs;
+  SaCore core;
+  core.vc_gnt.assign(P, std::vector<NodeId>(V, kNoNode));
+
+  const auto req = port_request_matrix(nl, r, P, V);
+  WavefrontCircuit wf = gen_wavefront(nl, req);
+  core.xbar = wf.gnt;  // at most one output per input: drives crossbar directly
+
+  // VC pre-selection in parallel with the wavefront: per (input port,
+  // output port), a V:1 arbiter over the VCs requesting that output. Its
+  // inputs depend only on primary inputs, keeping it off the critical path.
+  Netlist::Scope presel_scope(nl, "vc-preselect");
+  std::vector<NodeId> cand(V);
+  std::vector<std::vector<NodeId>> used(V);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (auto& u : used) u.clear();
+    for (std::size_t o = 0; o < P; ++o) {
+      for (std::size_t v = 0; v < V; ++v) {
+        cand[v] = vc_port_request(nl, r, p, v, o);
+      }
+      ArbiterCircuit presel = gen_arbiter(nl, cfg.arb, cand, nl.input());
+      for (std::size_t v = 0; v < V; ++v) {
+        used[v].push_back(nl.and2(presel.gnt[v], wf.gnt[p][o]));
+      }
+    }
+    for (std::size_t v = 0; v < V; ++v) {
+      core.vc_gnt[p][v] = nl.or_tree(used[v]);
+    }
+  }
+  return core;
+}
+
+SaCore build_core(Netlist& nl, const SaGenConfig& cfg, const SaRequests& r) {
+  switch (cfg.kind) {
+    case AllocatorKind::kSeparableInputFirst:
+      return build_sep_if(nl, cfg, r);
+    case AllocatorKind::kSeparableOutputFirst:
+      return build_sep_of(nl, cfg, r);
+    case AllocatorKind::kWavefront:
+      return build_wf(nl, cfg, r);
+    case AllocatorKind::kMaximumSize:
+      break;
+  }
+  NOCALLOC_CHECK(false);
+}
+
+void mark_core_outputs(Netlist& nl, const SaCore& core) {
+  for (const auto& row : core.xbar) {
+    for (NodeId g : row) {
+      if (g != kNoNode) nl.mark_output(g);
+    }
+  }
+  for (const auto& row : core.vc_gnt) {
+    for (NodeId g : row) {
+      if (g != kNoNode) nl.mark_output(g);
+    }
+  }
+}
+
+}  // namespace
+
+void gen_switch_allocator(Netlist& nl, const SaGenConfig& cfg) {
+  NOCALLOC_CHECK(cfg.ports > 0 && cfg.vcs > 0);
+  const std::size_t P = cfg.ports;
+
+  if (cfg.spec == SpecMode::kNonSpeculative) {
+    const SaRequests r = make_request_inputs(nl, P, cfg.vcs);
+    mark_core_outputs(nl, build_core(nl, cfg, r));
+    return;
+  }
+
+  // Speculative organizations (Fig. 9): two complete allocators.
+  const SaRequests nonspec_req = make_request_inputs(nl, P, cfg.vcs);
+  const SaRequests spec_req = make_request_inputs(nl, P, cfg.vcs);
+  const SaCore nonspec = build_core(nl, cfg, nonspec_req);
+  const SaCore spec = build_core(nl, cfg, spec_req);
+
+  // Row/column conflict summaries.
+  Netlist::Scope mask_scope(nl, "speculation-mask");
+  std::vector<NodeId> row_busy(P), col_busy(P);
+  std::vector<NodeId> terms;
+  if (cfg.spec == SpecMode::kConservative) {
+    // Reduction-ORs over the non-speculative GRANT matrix: these sit after
+    // the allocator and stretch the critical path (Fig. 9a).
+    for (std::size_t p = 0; p < P; ++p) row_busy[p] = nl.or_tree(nonspec.xbar[p]);
+    for (std::size_t o = 0; o < P; ++o) {
+      terms.clear();
+      for (std::size_t p = 0; p < P; ++p) terms.push_back(nonspec.xbar[p][o]);
+      col_busy[o] = nl.or_tree(terms);
+    }
+  } else {
+    // Pessimistic: summaries over the non-speculative REQUESTS, available
+    // from primary inputs in parallel with allocation (Fig. 9b).
+    for (std::size_t p = 0; p < P; ++p) {
+      row_busy[p] = nl.or_tree(nonspec_req.valid[p]);
+    }
+    for (std::size_t o = 0; o < P; ++o) {
+      terms.clear();
+      for (std::size_t p = 0; p < P; ++p) {
+        for (std::size_t v = 0; v < cfg.vcs; ++v) {
+          terms.push_back(vc_port_request(nl, nonspec_req, p, v, o));
+        }
+      }
+      col_busy[o] = nl.or_tree(terms);
+    }
+  }
+
+  // Mask: spec grant (p, o) survives iff NOR(row_busy[p], col_busy[o]).
+  mark_core_outputs(nl, nonspec);
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t o = 0; o < P; ++o) {
+      if (spec.xbar[p][o] == kNoNode) continue;
+      const NodeId ok = nl.nor2(row_busy[p], col_busy[o]);
+      nl.mark_output(nl.and2(spec.xbar[p][o], ok));
+    }
+  }
+  for (const auto& row : spec.vc_gnt) {
+    for (NodeId g : row) {
+      if (g != kNoNode) nl.mark_output(g);
+    }
+  }
+}
+
+}  // namespace nocalloc::hw

@@ -1,0 +1,34 @@
+// Gate-level generators for the switch allocator architectures of Fig. 8 and
+// the speculative organizations of Fig. 9.
+//
+// Primary inputs per input VC: a request-valid bit and a one-hot destination
+// output port (P bits). Primary outputs: the P x P crossbar control matrix
+// and the per-input-port winning-VC vectors.
+//
+// For the speculative variants the generator instantiates two complete
+// allocators (non-speculative and speculative) plus the masking logic. The
+// delay difference between spec_gnt and spec_req emerges structurally: the
+// conventional mask's reduction-ORs hang off the non-speculative *grant*
+// outputs (extending the critical path), while the pessimistic mask's
+// summaries hang off the primary request inputs (computed in parallel with
+// allocation, leaving only the final AND on the path).
+#pragma once
+
+#include "alloc/allocator.hpp"
+#include "hw/netlist.hpp"
+#include "sa/speculative_switch_allocator.hpp"
+
+namespace nocalloc::hw {
+
+struct SaGenConfig {
+  std::size_t ports = 0;
+  std::size_t vcs = 0;
+  AllocatorKind kind = AllocatorKind::kSeparableInputFirst;  // sep_if/sep_of/wf
+  ArbiterKind arb = ArbiterKind::kRoundRobin;
+  SpecMode spec = SpecMode::kNonSpeculative;
+};
+
+/// Builds the complete switch-allocator netlist for `cfg` into `nl`.
+void gen_switch_allocator(Netlist& nl, const SaGenConfig& cfg);
+
+}  // namespace nocalloc::hw

@@ -1,0 +1,19 @@
+#include "hw/synthesis.hpp"
+
+namespace nocalloc::hw {
+
+SynthesisResult synthesize_vc_allocator(const VcAllocGenConfig& cfg,
+                                        const ProcessParams& process) {
+  Netlist nl;
+  gen_vc_allocator(nl, cfg);
+  return analyze(nl, process);
+}
+
+SynthesisResult synthesize_switch_allocator(const SaGenConfig& cfg,
+                                            const ProcessParams& process) {
+  Netlist nl;
+  gen_switch_allocator(nl, cfg);
+  return analyze(nl, process);
+}
+
+}  // namespace nocalloc::hw

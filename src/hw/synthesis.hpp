@@ -1,0 +1,19 @@
+// Top-level synthesis entry points: build the netlist for a design point and
+// analyze it, mirroring one Design Compiler run of Sec. 3.1.
+#pragma once
+
+#include "hw/analysis.hpp"
+#include "hw/sa_gen.hpp"
+#include "hw/vc_alloc_gen.hpp"
+
+namespace nocalloc::hw {
+
+/// Synthesizes a VC allocator design point.
+SynthesisResult synthesize_vc_allocator(const VcAllocGenConfig& cfg,
+                                        const ProcessParams& process = {});
+
+/// Synthesizes a switch allocator design point.
+SynthesisResult synthesize_switch_allocator(const SaGenConfig& cfg,
+                                            const ProcessParams& process = {});
+
+}  // namespace nocalloc::hw

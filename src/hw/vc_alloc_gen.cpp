@@ -1,0 +1,307 @@
+#include "hw/vc_alloc_gen.hpp"
+
+#include "common/check.hpp"
+#include "hw/arbiter_gen.hpp"
+#include "hw/wavefront_gen.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+// Builder for one VC-allocator netlist. Terminology:
+//   i  -- global input VC index  (port * V + vc)
+//   o  -- global output VC index (port * V + vc)
+// "Legal" pairs are those the sparse scheme supports statically; the dense
+// scheme instantiates logic for every pair and relies on runtime masking.
+class VcGen {
+ public:
+  VcGen(Netlist& nl, const VcAllocGenConfig& cfg)
+      : nl_(nl),
+        cfg_(cfg),
+        p_(cfg.ports),
+        v_(cfg.partition.total_vcs()),
+        n_(p_ * v_) {}
+
+  void build() {
+    build_inputs();
+    build_requests();
+    switch (cfg_.kind) {
+      case AllocatorKind::kSeparableInputFirst:
+        build_sep_if();
+        break;
+      case AllocatorKind::kSeparableOutputFirst:
+        build_sep_of();
+        break;
+      case AllocatorKind::kWavefront:
+        build_wf();
+        break;
+      case AllocatorKind::kMaximumSize:
+        NOCALLOC_CHECK(false);  // not a hardware design point
+    }
+  }
+
+ private:
+  bool legal(std::size_t i, std::size_t o) const {
+    if (!cfg_.sparse) return true;
+    const auto& part = cfg_.partition;
+    const std::size_t iv = i % v_;
+    const std::size_t ov = o % v_;
+    return part.message_class_of(iv) == part.message_class_of(ov) &&
+           part.transition_allowed(part.resource_class_of(iv),
+                                   part.resource_class_of(ov));
+  }
+
+  // Per input VC: destination-port one-hot plus candidate mask inputs. In
+  // sparse mode the mask has one bit per successor resource class
+  // (class-granularity requests); in dense mode one bit per output VC.
+  void build_inputs() {
+    dest_.resize(n_);
+    mask_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      dest_[i] = nl_.inputs(p_);
+      if (cfg_.sparse) {
+        const std::size_t r =
+            cfg_.partition.resource_class_of(i % v_);
+        mask_[i] = nl_.inputs(cfg_.partition.successors(r).size());
+      } else {
+        mask_[i] = nl_.inputs(v_);
+      }
+    }
+  }
+
+  // Candidate-request wire for pair (i, o): mask bit AND dest-port bit.
+  // Sparse mode shares one wire across the C VCs of each class.
+  void build_requests() {
+    Netlist::Scope scope(nl_, "request-wiring");
+    req_.assign(n_, std::vector<NodeId>(n_, kNoNode));
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (cfg_.sparse) {
+        const auto& part = cfg_.partition;
+        const std::size_t m = part.message_class_of(i % v_);
+        const std::size_t r = part.resource_class_of(i % v_);
+        const auto succ = part.successors(r);
+        for (std::size_t p = 0; p < p_; ++p) {
+          for (std::size_t s = 0; s < succ.size(); ++s) {
+            const NodeId wire = nl_.and2(mask_[i][s], dest_[i][p]);
+            const std::size_t base = part.class_base(m, succ[s]);
+            for (std::size_t c = 0; c < part.vcs_per_class(); ++c) {
+              req_[i][p * v_ + base + c] = wire;
+            }
+          }
+        }
+      } else {
+        for (std::size_t p = 0; p < p_; ++p) {
+          for (std::size_t vv = 0; vv < v_; ++vv) {
+            req_[i][p * v_ + vv] = nl_.and2(mask_[i][vv], dest_[i][p]);
+          }
+        }
+      }
+    }
+  }
+
+  // Candidate output VCs of input VC i at its destination port, as local
+  // (per-port) VC indices. Dense: all V; sparse: successor classes x C.
+  std::vector<std::size_t> candidates(std::size_t i) const {
+    std::vector<std::size_t> out;
+    if (cfg_.sparse) {
+      const auto& part = cfg_.partition;
+      const std::size_t m = part.message_class_of(i % v_);
+      for (std::size_t r2 :
+           part.successors(part.resource_class_of(i % v_))) {
+        const std::size_t base = part.class_base(m, r2);
+        for (std::size_t c = 0; c < part.vcs_per_class(); ++c) {
+          out.push_back(base + c);
+        }
+      }
+    } else {
+      for (std::size_t vv = 0; vv < v_; ++vv) out.push_back(vv);
+    }
+    return out;
+  }
+
+  // Output-side arbitration stage shared by sep_if and sep_of: a PxV:1 tree
+  // arbiter per output VC over `bid` wires (kNoNode = no connection).
+  // Returns grant_to[o][i] wires (kNoNode where unconnected).
+  std::vector<std::vector<NodeId>> output_stage(
+      const std::vector<std::vector<NodeId>>& bid) {
+    Netlist::Scope scope(nl_, "output-arbiters");
+    std::vector<std::vector<NodeId>> grant_to(
+        n_, std::vector<NodeId>(n_, kNoNode));
+    for (std::size_t o = 0; o < n_; ++o) {
+      std::vector<NodeId> wires;
+      std::vector<std::size_t> ids;
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (bid[i][o] == kNoNode) continue;
+        wires.push_back(bid[i][o]);
+        ids.push_back(i);
+      }
+      if (wires.empty()) continue;
+      const std::size_t width = ids.size() / p_;
+      const NodeId en = nl_.input();  // success feedback (see header note)
+      ArbiterCircuit arb =
+          (width >= 1 && ids.size() == p_ * width && p_ > 1)
+              ? gen_tree_arbiter(nl_, cfg_.arb, wires, p_, en)
+              : gen_arbiter(nl_, cfg_.arb, wires, en);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        grant_to[o][ids[k]] = arb.gnt[k];
+      }
+    }
+    return grant_to;
+  }
+
+  // Reduces grant_to wires into the per-input-VC granted-candidate vector
+  // and marks it as primary outputs.
+  void reduce_and_output(const std::vector<std::vector<NodeId>>& grant_to) {
+    Netlist::Scope scope(nl_, "grant-reduction");
+    std::vector<NodeId> terms;
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t cand : candidates(i)) {
+        terms.clear();
+        for (std::size_t p = 0; p < p_; ++p) {
+          const NodeId g = grant_to[p * v_ + cand][i];
+          if (g != kNoNode) terms.push_back(g);
+        }
+        if (terms.empty()) continue;
+        nl_.mark_output(nl_.or_tree(terms));
+      }
+    }
+  }
+
+  void build_sep_if() {
+    // Stage 1: per input VC, arbitrate among candidate output VCs.
+    nl_.begin_scope("input-arbiters");
+    std::vector<std::vector<NodeId>> bid(n_, std::vector<NodeId>(n_, kNoNode));
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto cand = candidates(i);
+      std::vector<NodeId> creq;
+      creq.reserve(cand.size());
+      for (std::size_t k = 0; k < cand.size(); ++k) {
+        creq.push_back(cfg_.sparse ? mask_[i][k / cfg_.partition.vcs_per_class()]
+                                   : mask_[i][cand[k]]);
+      }
+      const NodeId en = nl_.input();
+      ArbiterCircuit sel = gen_arbiter(nl_, cfg_.arb, creq, en);
+      // Forward the selected request to the chosen output VC at each port.
+      for (std::size_t k = 0; k < cand.size(); ++k) {
+        for (std::size_t p = 0; p < p_; ++p) {
+          bid[i][p * v_ + cand[k]] = nl_.and2(sel.gnt[k], dest_[i][p]);
+        }
+      }
+    }
+    nl_.end_scope();
+    reduce_and_output(output_stage(bid));
+  }
+
+  void build_sep_of() {
+    // Stage 1: output VCs arbitrate over the eagerly forwarded requests.
+    std::vector<std::vector<NodeId>> bid(n_, std::vector<NodeId>(n_, kNoNode));
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t o = 0; o < n_; ++o) {
+        if (legal(i, o)) bid[i][o] = req_[i][o];
+      }
+    }
+    const auto grant_to = output_stage(bid);
+
+    // Stage 2: per input VC, reduce offers per candidate and arbitrate.
+    Netlist::Scope scope(nl_, "input-arbiters");
+    std::vector<NodeId> terms;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto cand = candidates(i);
+      std::vector<NodeId> offers;
+      offers.reserve(cand.size());
+      for (std::size_t c : cand) {
+        terms.clear();
+        for (std::size_t p = 0; p < p_; ++p) {
+          const NodeId g = grant_to[p * v_ + c][i];
+          if (g != kNoNode) terms.push_back(g);
+        }
+        offers.push_back(nl_.or_tree(terms));
+      }
+      const NodeId en = nl_.input();
+      ArbiterCircuit sel = gen_arbiter(nl_, cfg_.arb, offers, en);
+      for (NodeId g : sel.gnt) nl_.mark_output(g);
+    }
+  }
+
+  void build_wf() {
+    if (cfg_.sparse) {
+      // One wavefront block per message class (Sec. 4.2): block-local index
+      // is port * (R*C) + class-local VC. Reduced grants are collected per
+      // input VC and marked input-VC-major so dense and sparse builds expose
+      // the same output ordering.
+      const auto& part = cfg_.partition;
+      const std::size_t span = part.resource_classes() * part.vcs_per_class();
+      std::vector<std::vector<NodeId>> reduced(n_);
+      for (std::size_t m = 0; m < part.message_classes(); ++m) {
+        const std::size_t bn = p_ * span;
+        std::vector<std::vector<NodeId>> breq(bn,
+                                              std::vector<NodeId>(bn, kNoNode));
+        for (std::size_t p = 0; p < p_; ++p) {
+          for (std::size_t lv = 0; lv < span; ++lv) {
+            const std::size_t i = p * v_ + m * span + lv;
+            for (std::size_t q = 0; q < p_; ++q) {
+              for (std::size_t lw = 0; lw < span; ++lw) {
+                const std::size_t o = q * v_ + m * span + lw;
+                if (legal(i, o)) {
+                  breq[p * span + lv][q * span + lw] = req_[i][o];
+                }
+              }
+            }
+          }
+        }
+        WavefrontCircuit wf = gen_wavefront(nl_, breq);
+        std::vector<NodeId> terms;
+        for (std::size_t p = 0; p < p_; ++p) {
+          for (std::size_t lv = 0; lv < span; ++lv) {
+            const std::size_t i = p * v_ + m * span + lv;
+            for (std::size_t lw = 0; lw < span; ++lw) {
+              terms.clear();
+              for (std::size_t q = 0; q < p_; ++q) {
+                const NodeId g = wf.gnt[p * span + lv][q * span + lw];
+                if (g != kNoNode) terms.push_back(g);
+              }
+              if (!terms.empty()) reduced[i].push_back(nl_.or_tree(terms));
+            }
+          }
+        }
+      }
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (NodeId g : reduced[i]) nl_.mark_output(g);
+      }
+    } else {
+      std::vector<std::vector<NodeId>> full(n_, std::vector<NodeId>(n_));
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t o = 0; o < n_; ++o) full[i][o] = req_[i][o];
+      }
+      WavefrontCircuit wf = gen_wavefront(nl_, full);
+      // Reduce each input VC's PV-wide grant row to V wide (OR across ports).
+      std::vector<NodeId> terms;
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t vv = 0; vv < v_; ++vv) {
+          terms.clear();
+          for (std::size_t p = 0; p < p_; ++p) {
+            const NodeId g = wf.gnt[i][p * v_ + vv];
+            if (g != kNoNode) terms.push_back(g);
+          }
+          if (!terms.empty()) nl_.mark_output(nl_.or_tree(terms));
+        }
+      }
+    }
+  }
+
+  Netlist& nl_;
+  const VcAllocGenConfig& cfg_;
+  std::size_t p_, v_, n_;
+  std::vector<std::vector<NodeId>> dest_;  // [i][p]
+  std::vector<std::vector<NodeId>> mask_;  // [i][v or succ-class]
+  std::vector<std::vector<NodeId>> req_;   // [i][o], kNoNode where illegal
+};
+
+}  // namespace
+
+void gen_vc_allocator(Netlist& nl, const VcAllocGenConfig& cfg) {
+  NOCALLOC_CHECK(cfg.ports > 0);
+  VcGen gen(nl, cfg);
+  gen.build();
+}
+
+}  // namespace nocalloc::hw

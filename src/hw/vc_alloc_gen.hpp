@@ -1,0 +1,34 @@
+// Gate-level generators for the VC allocator architectures of Fig. 3, in
+// both the conventional ("dense") form that treats all V VCs uniformly and
+// the sparse form of Sec. 4.2 that statically restricts requests by message
+// and resource class.
+//
+// Primary inputs per input VC:
+//   - dest[P]: one-hot destination output port (from the routing logic)
+//   - mask[...]: candidate mask -- V-wide over individual output VCs when
+//     dense; one bit per *successor class* when sparse (Sec. 4.2's
+//     class-granularity request optimization).
+//
+// Primary outputs per input VC: the reduced V-wide (dense) or
+// candidates-wide (sparse) granted-VC vector.
+#pragma once
+
+#include "alloc/allocator.hpp"
+#include "hw/netlist.hpp"
+#include "vc/vc_partition.hpp"
+
+namespace nocalloc::hw {
+
+struct VcAllocGenConfig {
+  std::size_t ports = 0;
+  VcPartition partition{1, 1, 1};
+  AllocatorKind kind = AllocatorKind::kSeparableInputFirst;  // sep_if/sep_of/wf
+  ArbiterKind arb = ArbiterKind::kRoundRobin;
+  bool sparse = false;
+};
+
+/// Builds the complete VC-allocator netlist for `cfg` into `nl` and marks
+/// the grant vectors as primary outputs.
+void gen_vc_allocator(Netlist& nl, const VcAllocGenConfig& cfg);
+
+}  // namespace nocalloc::hw

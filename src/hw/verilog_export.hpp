@@ -1,0 +1,25 @@
+// Structural Verilog export for generated netlists.
+//
+// The netlists are functionally exact (see tests/test_netlist_equivalence),
+// so the exported modules are synthesizable RTL equivalent to the paper's
+// allocator implementations: a user with access to a real standard-cell
+// flow can push them through synthesis and compare against the cost model
+// in src/hw/analysis.*.
+//
+// Interface convention: one clock `clk`, a flat `in` bus covering the
+// primary inputs in creation order, and a flat `out` bus covering the
+// marked outputs in mark_output order -- the same ordering contract the
+// NetlistSimulator uses.
+#pragma once
+
+#include <string>
+
+#include "hw/netlist.hpp"
+
+namespace nocalloc::hw {
+
+/// Renders `netlist` as a self-contained Verilog-2001 module.
+std::string export_verilog(const Netlist& netlist,
+                           const std::string& module_name);
+
+}  // namespace nocalloc::hw

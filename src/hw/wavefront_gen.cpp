@@ -1,0 +1,74 @@
+#include "hw/wavefront_gen.hpp"
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+
+WavefrontCircuit gen_wavefront(Netlist& nl,
+                               const std::vector<std::vector<NodeId>>& req) {
+  const std::size_t n = req.size();
+  NOCALLOC_CHECK(n > 0);
+  for (const auto& row : req) NOCALLOC_CHECK(row.size() == n);
+
+  // Rotating one-hot priority-diagonal register (advances every
+  // allocation), starting at diagonal 0 like the behavioural model.
+  std::vector<NodeId> diag(n);
+  {
+    Netlist::Scope scope(nl, "priority-diagonal");
+    for (std::size_t d = 0; d < n; ++d) diag[d] = nl.state(d == 0);
+    for (std::size_t d = 0; d < n; ++d) nl.capture(diag[(d + n - 1) % n]);
+  }
+
+  // One replica per priority diagonal. Within a replica the x (row) and y
+  // (column) availability tokens start hot at the priority diagonal and
+  // sweep through the array; tiles AND the token pair with the request and
+  // kill both tokens on a grant.
+  std::vector<std::vector<std::vector<NodeId>>> replica_gnt(
+      n, std::vector<std::vector<NodeId>>(n, std::vector<NodeId>(n, kNoNode)));
+
+  const NodeId hot = nl.constant();
+  nl.begin_scope("tile-array");
+  for (std::size_t d = 0; d < n; ++d) {
+    std::vector<NodeId> x(n, hot);  // per-row availability token
+    std::vector<NodeId> y(n, hot);  // per-column availability token
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t diag_idx = (d + k) % n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = (diag_idx + n - i) % n;
+        const NodeId r = req[i][j];
+        if (r == kNoNode) continue;  // statically absent request: tile trimmed
+        const NodeId xo = x[i];
+        const NodeId yo = y[j];
+        const NodeId g = nl.and2(nl.and2(r, xo), yo);
+        replica_gnt[d][i][j] = g;
+        // Token kill: x' = x & !(r & y) (equivalent to x & !gnt since a
+        // dead token stays dead), one complex gate per token so the ripple
+        // path costs a single cell per tile as in the full-custom array of
+        // Fig. 2.
+        x[i] = nl.add(CellKind::kInhibit, r, yo, xo);
+        y[j] = nl.add(CellKind::kInhibit, r, xo, yo);
+      }
+    }
+  }
+
+  nl.end_scope();
+
+  // Output selection: one-hot mux over replicas per grant bit.
+  Netlist::Scope mux_scope(nl, "output-mux");
+  WavefrontCircuit out;
+  out.gnt.assign(n, std::vector<NodeId>(n, kNoNode));
+  std::vector<NodeId> terms;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (req[i][j] == kNoNode) continue;
+      terms.clear();
+      for (std::size_t d = 0; d < n; ++d) {
+        terms.push_back(nl.and2(replica_gnt[d][i][j], diag[d]));
+      }
+      out.gnt[i][j] = nl.or_tree(terms);
+    }
+  }
+  return out;
+}
+
+}  // namespace nocalloc::hw

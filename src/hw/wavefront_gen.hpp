@@ -1,0 +1,30 @@
+// Gate-level generator for the loop-free wavefront allocator (Sec. 2.2).
+//
+// The full-custom wavefront array contains combinational loops along its
+// wrapped x/y token paths; the synthesis-friendly variant the paper builds
+// replicates the tile array once per possible priority diagonal (where the
+// loop is naturally cut) and selects the active replica's grant matrix with
+// a one-hot output mux. That replication is the source of the wavefront
+// allocator's cubic area growth and the Design Compiler memory blow-ups the
+// paper reports for its largest configurations.
+#pragma once
+
+#include <vector>
+
+#include "hw/netlist.hpp"
+
+namespace nocalloc::hw {
+
+/// Grant matrix wires produced by a wavefront block.
+struct WavefrontCircuit {
+  std::vector<std::vector<NodeId>> gnt;  // same shape as the request matrix
+};
+
+/// Builds an NxN loop-free wavefront block. `req[i][j]` may be kNoNode for
+/// request pairs that are statically illegal (sparse VC allocation); such
+/// tiles degenerate to wires and cost nothing, which is exactly how logic
+/// trimming would treat them.
+WavefrontCircuit gen_wavefront(Netlist& nl,
+                               const std::vector<std::vector<NodeId>>& req);
+
+}  // namespace nocalloc::hw

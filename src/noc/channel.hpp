@@ -1,0 +1,52 @@
+// Pipelined point-to-point channels.
+//
+// A channel is a fixed-latency delay line: items written at cycle t become
+// readable at cycle t + latency. Mesh links have latency 1; the flattened
+// butterfly's express links have latency 1-3 depending on physical span
+// (Sec. 3.2). Credits travel on mirror channels of the same latency.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "noc/types.hpp"
+
+namespace nocalloc::noc {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t latency = 1) : latency_(latency) {
+    NOCALLOC_CHECK(latency >= 1);
+  }
+
+  std::size_t latency() const { return latency_; }
+
+  /// Writes an item at the current cycle. At most one item per cycle.
+  void send(T item, Cycle now) {
+    NOCALLOC_CHECK(pipe_.empty() || pipe_.back().first < now);
+    pipe_.emplace_back(now, std::move(item));
+  }
+
+  /// Returns the item arriving at `now`, if any.
+  std::optional<T> receive(Cycle now) {
+    if (pipe_.empty()) return std::nullopt;
+    auto& [sent, item] = pipe_.front();
+    if (sent + latency_ > now) return std::nullopt;
+    NOCALLOC_CHECK(sent + latency_ == now);  // consumers must not skip cycles
+    std::optional<T> out(std::move(item));
+    pipe_.pop_front();
+    return out;
+  }
+
+  bool empty() const { return pipe_.empty(); }
+  std::size_t size() const { return pipe_.size(); }
+
+ private:
+  std::size_t latency_;
+  std::deque<std::pair<Cycle, T>> pipe_;
+};
+
+}  // namespace nocalloc::noc

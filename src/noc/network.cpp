@@ -1,0 +1,108 @@
+#include "noc/network.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace nocalloc::noc {
+
+Network::Network(const Topology& topo, const NetworkConfig& cfg,
+                 RoutingFactory routing_factory,
+                 Terminal::EjectCallback on_eject)
+    : topo_(topo) {
+  NOCALLOC_CHECK(cfg.router.ports == topo.ports());
+  routing_ = routing_factory(*this);
+
+  const auto n_routers = static_cast<int>(topo.num_routers());
+  for (int r = 0; r < n_routers; ++r) {
+    routers_.push_back(std::make_unique<Router>(r, cfg.router, *routing_));
+  }
+
+  auto new_flit_channel = [&](std::size_t latency) {
+    flit_channels_.push_back(std::make_unique<Channel<Flit>>(latency));
+    return flit_channels_.back().get();
+  };
+  auto new_credit_channel = [&](std::size_t latency) {
+    credit_channels_.push_back(std::make_unique<Channel<Credit>>(latency));
+    return credit_channels_.back().get();
+  };
+
+  // Inter-router links (flits one way, credits the other).
+  for (const LinkSpec& link : topo.links()) {
+    Channel<Flit>* flits = new_flit_channel(link.latency);
+    Channel<Credit>* credits = new_credit_channel(link.latency);
+    routers_[static_cast<std::size_t>(link.src_router)]->attach_output(
+        link.src_port, flits, credits, link.dst_router);
+    routers_[static_cast<std::size_t>(link.dst_router)]->attach_input(
+        link.dst_port, flits, credits);
+  }
+
+  // Terminals.
+  Rng seeder(cfg.seed);
+  const auto n_terminals = static_cast<int>(topo.num_terminals());
+  for (int t = 0; t < n_terminals; ++t) {
+    const int r = topo.router_of_terminal(t);
+    const int port = topo.port_of_terminal(t);
+
+    std::unique_ptr<TrafficSource> source =
+        cfg.source_factory
+            ? cfg.source_factory(t)
+            : std::make_unique<RequestGenerator>(
+                  t, topo.num_terminals(), cfg.pattern, cfg.request_rate,
+                  seeder.split(static_cast<std::uint64_t>(t)));
+    terminals_.push_back(std::make_unique<Terminal>(
+        t, r, cfg.router.partition, cfg.router.buffer_depth, *routing_,
+        std::move(source), on_eject));
+    Terminal& term = *terminals_.back();
+    term.set_id_counter(&next_packet_id_);
+
+    Channel<Flit>* inj_flits = new_flit_channel(1);
+    Channel<Credit>* inj_credits = new_credit_channel(1);
+    Channel<Flit>* ej_flits = new_flit_channel(1);
+    Channel<Credit>* ej_credits = new_credit_channel(1);
+    routers_[static_cast<std::size_t>(r)]->attach_input(port, inj_flits,
+                                                        inj_credits);
+    routers_[static_cast<std::size_t>(r)]->attach_output(port, ej_flits,
+                                                         ej_credits, -1);
+    term.attach(inj_flits, inj_credits, ej_flits, ej_credits);
+  }
+}
+
+void Network::step() {
+  const Cycle t = now_;
+  for (auto& r : routers_) r->transmit(t);
+  for (auto& r : routers_) r->allocate(t);
+  for (auto& term : terminals_) term->inject(t);
+  for (auto& r : routers_) r->receive(t);
+  for (auto& term : terminals_) term->receive(t);
+  ++now_;
+}
+
+void Network::set_measuring(bool measuring) {
+  for (auto& term : terminals_) term->set_measuring(measuring);
+}
+
+void Network::set_generation_enabled(bool enabled) {
+  for (auto& term : terminals_) term->set_generation_enabled(enabled);
+}
+
+std::uint64_t Network::flits_injected() const {
+  std::uint64_t n = 0;
+  for (const auto& term : terminals_) n += term->flits_injected();
+  return n;
+}
+
+std::size_t Network::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& r : routers_) n += r->buffered_flits();
+  for (const auto& term : terminals_) n += term->queued_packets();
+  for (const auto& ch : flit_channels_) n += ch->size();
+  return n;
+}
+
+std::size_t Network::output_congestion(int router, int out_port) const {
+  return routers_[static_cast<std::size_t>(router)]->output_congestion(
+      out_port);
+}
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,74 @@
+// Network assembly: instantiates routers, terminals and channels for a
+// topology, wires credit loops, and advances the whole system cycle by
+// cycle. Also implements the CongestionOracle UGAL reads at injection.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/router.hpp"
+#include "noc/terminal.hpp"
+#include "noc/topology.hpp"
+
+namespace nocalloc::noc {
+
+struct NetworkConfig {
+  RouterConfig router;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  double request_rate = 0.0;  // request packets per terminal per cycle
+  std::uint64_t seed = 1;
+  /// Optional custom traffic: when set, builds the TrafficSource for each
+  /// terminal (e.g. a TraceSource) and `pattern`/`request_rate` are unused.
+  std::function<std::unique_ptr<TrafficSource>(int terminal)> source_factory;
+};
+
+class Network final : public CongestionOracle {
+ public:
+  /// `routing_factory` builds the routing function once the oracle (this
+  /// network) exists; topology must outlive the network.
+  using RoutingFactory = std::function<std::unique_ptr<RoutingFunction>(
+      const CongestionOracle&)>;
+
+  Network(const Topology& topo, const NetworkConfig& cfg,
+          RoutingFactory routing_factory, Terminal::EjectCallback on_eject);
+
+  /// Advances one cycle (transmit -> allocate/inject -> receive).
+  void step();
+
+  Cycle now() const { return now_; }
+  const Topology& topology() const { return topo_; }
+
+  Router& router(int id) { return *routers_[static_cast<std::size_t>(id)]; }
+  Terminal& terminal(int id) {
+    return *terminals_[static_cast<std::size_t>(id)];
+  }
+  std::size_t num_terminals() const { return terminals_.size(); }
+
+  /// Starts/stops marking newly created packets as measured.
+  void set_measuring(bool measuring);
+
+  /// Enables/disables request generation at every terminal.
+  void set_generation_enabled(bool enabled);
+
+  /// Total flits injected by all terminals so far.
+  std::uint64_t flits_injected() const;
+
+  /// Flits still inside routers or source queues (drain check).
+  std::size_t in_flight() const;
+
+  // CongestionOracle:
+  std::size_t output_congestion(int router, int out_port) const override;
+
+ private:
+  const Topology& topo_;
+  std::unique_ptr<RoutingFunction> routing_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Terminal>> terminals_;
+  // Channel storage; deques keep addresses stable while wiring.
+  std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
+  std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+  std::uint64_t next_packet_id_ = 1;
+  Cycle now_ = 0;
+};
+
+}  // namespace nocalloc::noc

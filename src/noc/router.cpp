@@ -1,0 +1,276 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+
+namespace nocalloc::noc {
+
+Router::Router(int id, const RouterConfig& cfg, RoutingFunction& routing)
+    : id_(id),
+      cfg_(cfg),
+      routing_(routing),
+      vcs_(cfg.partition.total_vcs()),
+      input_vcs_(cfg.ports * vcs_),
+      output_vcs_(cfg.ports * vcs_),
+      flits_in_(cfg.ports, nullptr),
+      credits_out_(cfg.ports, nullptr),
+      flits_out_(cfg.ports, nullptr),
+      credits_in_(cfg.ports, nullptr),
+      downstream_(cfg.ports, -1),
+      xbar_(cfg.ports),
+      credit_out_q_(cfg.ports) {
+  NOCALLOC_CHECK(cfg.ports > 0 && cfg.buffer_depth > 0);
+  for (auto& ovc : output_vcs_) ovc.credits = cfg.buffer_depth;
+
+  VcAllocatorConfig va{cfg.ports, cfg.partition, cfg.vc_alloc_kind, cfg.vc_arb,
+                       /*sparse=*/true};
+  vc_alloc_ = make_vc_allocator(va);
+
+  SwitchAllocatorConfig sa{cfg.ports, vcs_, cfg.sw_alloc_kind, cfg.sw_arb};
+  if (cfg.spec == SpecMode::kNonSpeculative) {
+    sw_alloc_ = make_switch_allocator(sa);
+  } else {
+    spec_alloc_ = std::make_unique<SpeculativeSwitchAllocator>(sa, cfg.spec);
+  }
+}
+
+void Router::attach_input(int port, Channel<Flit>* flits_in,
+                          Channel<Credit>* credits_out) {
+  NOCALLOC_CHECK(port >= 0 && static_cast<std::size_t>(port) < cfg_.ports);
+  flits_in_[static_cast<std::size_t>(port)] = flits_in;
+  credits_out_[static_cast<std::size_t>(port)] = credits_out;
+}
+
+void Router::attach_output(int port, Channel<Flit>* flits_out,
+                           Channel<Credit>* credits_in, int downstream_router) {
+  NOCALLOC_CHECK(port >= 0 && static_cast<std::size_t>(port) < cfg_.ports);
+  flits_out_[static_cast<std::size_t>(port)] = flits_out;
+  credits_in_[static_cast<std::size_t>(port)] = credits_in;
+  downstream_[static_cast<std::size_t>(port)] = downstream_router;
+}
+
+void Router::start_packet(InputVc& ivc, const Flit& head) {
+  NOCALLOC_CHECK(head.head);
+  ivc.state = VcState::kWaitVc;
+  ivc.route = head.route;
+  ivc.out_vc = -1;
+  NOCALLOC_CHECK(ivc.route.out_port >= 0 &&
+                 static_cast<std::size_t>(ivc.route.out_port) < cfg_.ports);
+}
+
+void Router::receive(Cycle now) {
+  for (std::size_t p = 0; p < cfg_.ports; ++p) {
+    if (flits_in_[p] != nullptr) {
+      if (auto flit = flits_in_[p]->receive(now)) {
+        // The flit travels on the VC the upstream router assigned; with
+        // credit-based flow control a free slot is guaranteed.
+        NOCALLOC_CHECK(flit->vc >= 0 &&
+                       static_cast<std::size_t>(flit->vc) < vcs_);
+        InputVc& ivc = input_vc(p, static_cast<std::size_t>(flit->vc));
+        NOCALLOC_CHECK(ivc.buffer.size() < cfg_.buffer_depth);
+        // A head that lands at the front of an idle VC starts a packet now;
+        // otherwise it waits behind the packet(s) already buffered.
+        const bool at_front = ivc.buffer.empty();
+        ivc.buffer.push_back(std::move(*flit));
+        if (at_front && ivc.state == VcState::kIdle) {
+          start_packet(ivc, ivc.buffer.front());
+        }
+      }
+    }
+    if (credits_in_[p] != nullptr) {
+      if (auto credit = credits_in_[p]->receive(now)) {
+        OutputVc& ovc = output_vc(p, static_cast<std::size_t>(credit->vc));
+        NOCALLOC_CHECK(ovc.credits < cfg_.buffer_depth);
+        ++ovc.credits;
+      }
+    }
+  }
+}
+
+void Router::allocate(Cycle now) {
+  const std::size_t total = cfg_.ports * vcs_;
+
+  // Snapshot pre-VA state: VCs that are still waiting for an output VC bid
+  // speculatively; VCs that already hold one bid non-speculatively.
+  std::vector<std::uint8_t> waiting(total, 0);
+
+  // --- VC allocation ------------------------------------------------------
+  std::vector<VcRequest> vreq(total);
+  for (std::size_t p = 0; p < cfg_.ports; ++p) {
+    for (std::size_t v = 0; v < vcs_; ++v) {
+      InputVc& ivc = input_vc(p, v);
+      if (ivc.state != VcState::kWaitVc) continue;
+      NOCALLOC_CHECK(!ivc.buffer.empty() && ivc.buffer.front().head);
+      waiting[p * vcs_ + v] = 1;
+      const Packet& pkt = *ivc.buffer.front().packet;
+      VcRequest& r = vreq[p * vcs_ + v];
+      r.valid = true;
+      r.out_port = ivc.route.out_port;
+      r.vc_mask.assign(vcs_, 0);
+      const std::size_t m = message_class_of(pkt.type);
+      const std::size_t base =
+          cfg_.partition.class_base(m, ivc.route.resource_class);
+      for (std::size_t c = 0; c < cfg_.partition.vcs_per_class(); ++c) {
+        const std::size_t w = base + c;
+        if (!output_vc(static_cast<std::size_t>(r.out_port), w).allocated) {
+          r.vc_mask[w] = 1;
+        }
+      }
+    }
+  }
+
+  std::vector<int> vgrant;
+  vc_alloc_->allocate(vreq, vgrant);
+
+  // --- Switch allocation requests (from pre-VA state) ----------------------
+  std::vector<SwitchRequest> nonspec(total);
+  std::vector<SwitchRequest> spec(total);
+  for (std::size_t p = 0; p < cfg_.ports; ++p) {
+    for (std::size_t v = 0; v < vcs_; ++v) {
+      const std::size_t i = p * vcs_ + v;
+      InputVc& ivc = input_vc(p, v);
+      if (waiting[i]) {
+        if (cfg_.spec != SpecMode::kNonSpeculative) {
+          spec[i] = {true, ivc.route.out_port};
+        }
+        continue;
+      }
+      if (ivc.state != VcState::kActive || ivc.buffer.empty()) continue;
+      const OutputVc& ovc = output_vc(
+          static_cast<std::size_t>(ivc.route.out_port),
+          static_cast<std::size_t>(ivc.out_vc));
+      if (ovc.credits == 0) continue;  // no downstream slot: do not bid
+      nonspec[i] = {true, ivc.route.out_port};
+    }
+  }
+
+  // --- Commit VC grants (heads acquire their output VC this cycle) ---------
+  for (std::size_t i = 0; i < total; ++i) {
+    if (vgrant[i] < 0) continue;
+    InputVc& ivc = input_vcs_[i];
+    NOCALLOC_CHECK(ivc.state == VcState::kWaitVc);
+    const std::size_t out_vc = static_cast<std::size_t>(vgrant[i]) % vcs_;
+    OutputVc& ovc =
+        output_vc(static_cast<std::size_t>(ivc.route.out_port), out_vc);
+    NOCALLOC_CHECK(!ovc.allocated);
+    ovc.allocated = true;
+    ivc.out_vc = static_cast<int>(out_vc);
+    ivc.state = VcState::kActive;
+    ++stats_.vc_allocs;
+  }
+
+  // --- Switch allocation and commit ----------------------------------------
+  if (cfg_.spec == SpecMode::kNonSpeculative) {
+    std::vector<SwitchGrant> grants;
+    sw_alloc_->allocate(nonspec, grants);
+    for (std::size_t p = 0; p < cfg_.ports; ++p) {
+      if (grants[p].granted()) {
+        commit_grant(p, static_cast<std::size_t>(grants[p].vc), now);
+      }
+    }
+    return;
+  }
+
+  std::vector<SpecSwitchGrant> grants;
+  spec_alloc_->allocate(nonspec, spec, grants);
+  for (std::size_t p = 0; p < cfg_.ports; ++p) {
+    const SpecSwitchGrant& g = grants[p];
+    if (g.nonspec.granted()) {
+      commit_grant(p, static_cast<std::size_t>(g.nonspec.vc), now);
+    } else if (g.spec.granted()) {
+      // A speculative grant only holds if the head also won VC allocation
+      // this cycle and the fresh output VC has a credit available.
+      const std::size_t v = static_cast<std::size_t>(g.spec.vc);
+      InputVc& ivc = input_vc(p, v);
+      const bool va_won = ivc.state == VcState::kActive && ivc.out_vc >= 0;
+      if (va_won &&
+          output_vc(static_cast<std::size_t>(ivc.route.out_port),
+                    static_cast<std::size_t>(ivc.out_vc))
+                  .credits > 0) {
+        commit_grant(p, v, now);
+        ++stats_.spec_grants_used;
+      } else {
+        ++stats_.misspeculations;
+      }
+    }
+  }
+}
+
+void Router::commit_grant(std::size_t port, std::size_t vc, Cycle /*now*/) {
+  InputVc& ivc = input_vc(port, vc);
+  NOCALLOC_CHECK(ivc.state == VcState::kActive && !ivc.buffer.empty());
+
+  Flit flit = std::move(ivc.buffer.front());
+  ivc.buffer.pop_front();
+
+  const std::size_t out_port = static_cast<std::size_t>(ivc.route.out_port);
+  const std::size_t out_vc = static_cast<std::size_t>(ivc.out_vc);
+  OutputVc& ovc = output_vc(out_port, out_vc);
+  NOCALLOC_CHECK(ovc.credits > 0);
+  --ovc.credits;
+
+  flit.vc = static_cast<int>(out_vc);
+  if (flit.head) {
+    // Lookahead routing: attach the downstream router's route now, so the
+    // routing logic there stays off the critical path. Terminal ports need
+    // no route.
+    const int peer = downstream_[out_port];
+    if (peer >= 0) {
+      flit.route =
+          routing_.route(peer, *flit.packet, ivc.route.resource_class);
+    } else {
+      flit.route = RouteInfo{};
+    }
+  }
+
+  NOCALLOC_CHECK(xbar_[out_port].empty());  // one flit per output per cycle
+  xbar_[out_port].push_back(std::move(flit));
+  ++stats_.flits_routed;
+
+  // The freed buffer slot is credited upstream at the next transmit.
+  if (credits_out_[port] != nullptr) {
+    credit_out_q_[port].push_back(Credit{static_cast<int>(vc)});
+  }
+
+  if (xbar_[out_port].back().tail) {
+    ovc.allocated = false;
+    ivc.out_vc = -1;
+    if (!ivc.buffer.empty()) {
+      start_packet(ivc, ivc.buffer.front());
+    } else {
+      ivc.state = VcState::kIdle;
+    }
+  }
+}
+
+void Router::transmit(Cycle now) {
+  for (std::size_t p = 0; p < cfg_.ports; ++p) {
+    if (!xbar_[p].empty()) {
+      NOCALLOC_CHECK(flits_out_[p] != nullptr);
+      flits_out_[p]->send(std::move(xbar_[p].front()), now);
+      xbar_[p].clear();
+    }
+    if (!credit_out_q_[p].empty()) {
+      NOCALLOC_CHECK(credits_out_[p] != nullptr);
+      credits_out_[p]->send(credit_out_q_[p].front(), now);
+      credit_out_q_[p].erase(credit_out_q_[p].begin());
+    }
+  }
+}
+
+std::size_t Router::output_congestion(int out_port) const {
+  std::size_t used = 0;
+  const std::size_t p = static_cast<std::size_t>(out_port);
+  for (std::size_t v = 0; v < vcs_; ++v) {
+    used += cfg_.buffer_depth - output_vcs_[p * vcs_ + v].credits;
+  }
+  return used;
+}
+
+std::size_t Router::buffered_flits() const {
+  std::size_t n = 0;
+  for (const auto& ivc : input_vcs_) n += ivc.buffer.size();
+  for (const auto& staged : xbar_) n += staged.size();
+  return n;
+}
+
+}  // namespace nocalloc::noc

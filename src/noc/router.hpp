@@ -1,0 +1,138 @@
+// Input-queued virtual-channel router with the two-stage pipeline of
+// Sec. 3.2: VC allocation and (speculative) switch allocation happen in the
+// first stage, switch traversal in the second. Input buffers are statically
+// partitioned with a fixed number of flit slots per VC; flow control is
+// credit-based; routing is lookahead (the route for the downstream router is
+// computed while a head flit traverses this one).
+//
+// Cycle protocol, driven by the Network in this order for every router:
+//   transmit(t)  -- flits granted at t-1 leave through the crossbar into the
+//                   output channels; lookahead routes are attached to heads;
+//                   freed buffer slots are credited upstream
+//   allocate(t)  -- VA for waiting heads, SA (speculative or not) for ready
+//                   flits; winners move into the crossbar register
+//   receive(t)   -- arriving flits enter input VC buffers, arriving credits
+//                   replenish output VC counters (visible from t+1)
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/channel.hpp"
+#include "noc/routing.hpp"
+#include "noc/types.hpp"
+#include "sa/speculative_switch_allocator.hpp"
+#include "sa/switch_allocator.hpp"
+#include "vc/vc_allocator.hpp"
+#include "vc/vc_partition.hpp"
+
+namespace nocalloc::noc {
+
+struct RouterConfig {
+  std::size_t ports = 0;
+  VcPartition partition{1, 1, 1};
+  std::size_t buffer_depth = 8;  // flit slots per VC (Sec. 3.2)
+  AllocatorKind vc_alloc_kind = AllocatorKind::kSeparableInputFirst;
+  ArbiterKind vc_arb = ArbiterKind::kRoundRobin;
+  AllocatorKind sw_alloc_kind = AllocatorKind::kSeparableInputFirst;
+  ArbiterKind sw_arb = ArbiterKind::kRoundRobin;
+  SpecMode spec = SpecMode::kPessimistic;
+};
+
+/// Counters exposed for benches and tests.
+struct RouterStats {
+  std::uint64_t flits_routed = 0;      // flits that traversed the crossbar
+  std::uint64_t vc_allocs = 0;         // successful VC allocations
+  std::uint64_t spec_grants_used = 0;  // speculative switch grants that held
+  std::uint64_t misspeculations = 0;   // spec grants wasted (VA miss/credit)
+};
+
+class Router {
+ public:
+  Router(int id, const RouterConfig& cfg, RoutingFunction& routing);
+
+  int id() const { return id_; }
+  std::size_t ports() const { return cfg_.ports; }
+  std::size_t vcs() const { return vcs_; }
+  const RouterStats& stats() const { return stats_; }
+
+  /// Wires port `port`'s input side: flits arrive on `flits_in`, credits for
+  /// freed buffer slots are returned on `credits_out`.
+  void attach_input(int port, Channel<Flit>* flits_in,
+                    Channel<Credit>* credits_out);
+
+  /// Wires port `port`'s output side. `downstream_router` is the router id
+  /// the flits will reach (-1 for terminal ports, where no lookahead route
+  /// is needed).
+  void attach_output(int port, Channel<Flit>* flits_out,
+                     Channel<Credit>* credits_in, int downstream_router);
+
+  void transmit(Cycle now);
+  void allocate(Cycle now);
+  void receive(Cycle now);
+
+  /// Buffer slots claimed downstream of `out_port` (sum of consumed credits
+  /// over its VCs) -- the congestion estimate UGAL reads.
+  std::size_t output_congestion(int out_port) const;
+
+  /// Total flits currently buffered (used by drain checks in tests/benches).
+  std::size_t buffered_flits() const;
+
+ private:
+  enum class VcState : std::uint8_t { kIdle, kWaitVc, kActive };
+
+  struct InputVc {
+    std::deque<Flit> buffer;
+    VcState state = VcState::kIdle;
+    RouteInfo route;   // valid in kWaitVc/kActive
+    int out_vc = -1;   // granted output VC (local index), valid in kActive
+  };
+
+  struct OutputVc {
+    bool allocated = false;
+    std::size_t credits = 0;
+  };
+
+  InputVc& input_vc(std::size_t port, std::size_t vc) {
+    return input_vcs_[port * vcs_ + vc];
+  }
+  OutputVc& output_vc(std::size_t port, std::size_t vc) {
+    return output_vcs_[port * vcs_ + vc];
+  }
+
+  /// Activates a waiting head: called when a head flit reaches the front of
+  /// an idle VC's buffer.
+  void start_packet(InputVc& ivc, const Flit& head);
+
+  /// Commits one switch grant: pops the flit, updates credits/VC state and
+  /// stages the flit in the crossbar register.
+  void commit_grant(std::size_t port, std::size_t vc, Cycle now);
+
+  int id_;
+  RouterConfig cfg_;
+  RoutingFunction& routing_;
+  std::size_t vcs_;
+
+  std::vector<InputVc> input_vcs_;    // [port * V + vc]
+  std::vector<OutputVc> output_vcs_;  // [port * V + vc]
+
+  std::vector<Channel<Flit>*> flits_in_;
+  std::vector<Channel<Credit>*> credits_out_;
+  std::vector<Channel<Flit>*> flits_out_;
+  std::vector<Channel<Credit>*> credits_in_;
+  std::vector<int> downstream_;
+
+  // Crossbar register: flits granted in allocate(t), sent in transmit(t+1).
+  std::vector<std::vector<Flit>> xbar_;          // per output port
+  std::vector<std::vector<Credit>> credit_out_q_;  // per input port
+
+  std::unique_ptr<VcAllocator> vc_alloc_;
+  std::unique_ptr<SwitchAllocator> sw_alloc_;               // non-speculative
+  std::unique_ptr<SpeculativeSwitchAllocator> spec_alloc_;  // speculative
+
+  RouterStats stats_;
+};
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,210 @@
+#include "noc/routing.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace nocalloc::noc {
+
+std::size_t DorMeshRouting::at_injection(int /*src_router*/, Packet& /*pkt*/) {
+  return 0;  // DOR is deadlock-free with a single resource class
+}
+
+RouteInfo DorMeshRouting::route(int router, Packet& pkt,
+                                std::size_t arriving_class) {
+  const int dst_router = topo_.router_of_terminal(pkt.dst_terminal);
+  const std::size_t x = topo_.x_of(router);
+  const std::size_t y = topo_.y_of(router);
+  const std::size_t dx = topo_.x_of(dst_router);
+  const std::size_t dy = topo_.y_of(dst_router);
+
+  RouteInfo info;
+  info.resource_class = arriving_class;
+  if (x != dx) {
+    info.out_port = x < dx ? MeshTopology::kPortXPlus : MeshTopology::kPortXMinus;
+  } else if (y != dy) {
+    info.out_port = y < dy ? MeshTopology::kPortYPlus : MeshTopology::kPortYMinus;
+  } else {
+    info.out_port = topo_.port_of_terminal(pkt.dst_terminal);
+  }
+  return info;
+}
+
+std::size_t MinimalFbflyRouting::at_injection(int /*src_router*/,
+                                              Packet& /*pkt*/) {
+  return 0;
+}
+
+RouteInfo MinimalFbflyRouting::minimal_hop(int router, int dst_router,
+                                           int dst_terminal,
+                                           std::size_t klass) const {
+  RouteInfo info;
+  info.resource_class = klass;
+  const std::size_t x = topo_.x_of(router);
+  const std::size_t y = topo_.y_of(router);
+  const std::size_t dx = topo_.x_of(dst_router);
+  const std::size_t dy = topo_.y_of(dst_router);
+  if (x != dx) {
+    info.out_port = topo_.row_port(x, dx);
+  } else if (y != dy) {
+    info.out_port = topo_.col_port(y, dy);
+  } else {
+    info.out_port = topo_.port_of_terminal(dst_terminal);
+  }
+  return info;
+}
+
+RouteInfo MinimalFbflyRouting::route(int router, Packet& pkt,
+                                     std::size_t arriving_class) {
+  return minimal_hop(router, topo_.router_of_terminal(pkt.dst_terminal),
+                     pkt.dst_terminal, arriving_class);
+}
+
+bool DorTorusDatelineRouting::positive_shorter(std::size_t a,
+                                               std::size_t b) const {
+  const std::size_t k = topo_.k();
+  const std::size_t pos = (b + k - a) % k;
+  return pos <= k - pos;
+}
+
+std::size_t DorTorusDatelineRouting::at_injection(int src_router,
+                                                  Packet& pkt) {
+  // Start in the pre-dateline class of the first dimension traversed.
+  const int dst_router = pkt.dst_terminal;  // concentration 1
+  if (topo_.x_of(src_router) != topo_.x_of(dst_router)) return 0;
+  return 2;
+}
+
+RouteInfo DorTorusDatelineRouting::route(int router, Packet& pkt,
+                                         std::size_t arriving_class) {
+  const int dst_router = pkt.dst_terminal;
+  const std::size_t x = topo_.x_of(router);
+  const std::size_t y = topo_.y_of(router);
+  const std::size_t dx = topo_.x_of(dst_router);
+  const std::size_t dy = topo_.y_of(dst_router);
+
+  RouteInfo info;
+  if (x != dx) {
+    const bool positive = positive_shorter(x, dx);
+    info.out_port = positive ? TorusTopology::kPortXPlus
+                             : TorusTopology::kPortXMinus;
+    // Stay in the x classes; advance to x-post on the wrap hop.
+    const std::size_t base = arriving_class <= 1 ? arriving_class : 0;
+    info.resource_class =
+        topo_.crosses_dateline(x, positive) ? 1 : base;
+    return info;
+  }
+  if (y != dy) {
+    const bool positive = positive_shorter(y, dy);
+    info.out_port = positive ? TorusTopology::kPortYPlus
+                             : TorusTopology::kPortYMinus;
+    // Enter (or stay in) the y classes; the wrap hop uses y-post.
+    const std::size_t base = arriving_class >= 2 ? arriving_class : 2;
+    info.resource_class =
+        topo_.crosses_dateline(y, positive) ? 3 : base;
+    return info;
+  }
+  info.out_port = TorusTopology::kPortTerminal;
+  info.resource_class = arriving_class;
+  return info;
+}
+
+std::size_t DatelineRingRouting::at_injection(int /*src_router*/,
+                                              Packet& /*pkt*/) {
+  return 0;  // all packets start on the pre-dateline class
+}
+
+bool DatelineRingRouting::clockwise_shorter(int a, int b) const {
+  const auto k = static_cast<int>(topo_.k());
+  const int cw = (b - a + k) % k;   // hops going clockwise
+  return cw <= k - cw;
+}
+
+RouteInfo DatelineRingRouting::route(int router, Packet& pkt,
+                                     std::size_t arriving_class) {
+  const int dst_router = pkt.dst_terminal;  // concentration 1
+  RouteInfo info;
+  if (router == dst_router) {
+    info.out_port = RingTopology::kPortTerminal;
+    info.resource_class = arriving_class;
+    return info;
+  }
+  // A packet never reverses direction (shortest direction is fixed at the
+  // source and distance only shrinks along it), so evaluating the shortest
+  // direction per hop is equivalent to deciding once.
+  const bool clockwise = clockwise_shorter(router, dst_router);
+  info.out_port = clockwise ? RingTopology::kPortClockwise
+                            : RingTopology::kPortCounterClockwise;
+  // Crossing the dateline advances to the post-dateline class; once there a
+  // packet stays (the 0 -> 1 chain of Sec. 4.2).
+  info.resource_class =
+      topo_.crosses_dateline(router, clockwise) ? 1 : arriving_class;
+  return info;
+}
+
+UgalFbflyRouting::UgalFbflyRouting(const FlattenedButterflyTopology& topo,
+                                   const CongestionOracle& oracle, Rng rng)
+    : topo_(topo), oracle_(oracle), minimal_(topo), rng_(rng) {}
+
+std::size_t UgalFbflyRouting::minimal_hops(int a, int b) const {
+  std::size_t hops = 0;
+  if (topo_.x_of(a) != topo_.x_of(b)) ++hops;
+  if (topo_.y_of(a) != topo_.y_of(b)) ++hops;
+  return hops;
+}
+
+std::size_t UgalFbflyRouting::at_injection(int src_router, Packet& pkt) {
+  const int dst_router = topo_.router_of_terminal(pkt.dst_terminal);
+
+  // Candidate Valiant intermediate, chosen uniformly at random.
+  const auto n = topo_.num_routers();
+  int inter = static_cast<int>(rng_.next_below(n));
+
+  const std::size_t h_min = minimal_hops(src_router, dst_router);
+  const std::size_t h_non =
+      minimal_hops(src_router, inter) + minimal_hops(inter, dst_router);
+
+  if (h_min == 0 || inter == src_router || inter == dst_router ||
+      h_non <= h_min) {
+    // Degenerate non-minimal candidate: route minimally.
+    pkt.intermediate_router = -1;
+    return 1;
+  }
+
+  // Local queue estimates at the first hop of each path.
+  const RouteInfo first_min =
+      minimal_.minimal_hop(src_router, dst_router, pkt.dst_terminal, 1);
+  const RouteInfo first_non =
+      minimal_.minimal_hop(src_router, inter, pkt.dst_terminal, 0);
+  const std::size_t q_min =
+      oracle_.output_congestion(src_router, first_min.out_port);
+  const std::size_t q_non =
+      oracle_.output_congestion(src_router, first_non.out_port);
+
+  // UGAL decision: go non-minimal when the minimal path's expected delay
+  // (queue x hops) exceeds the non-minimal one's by more than the threshold.
+  ++decisions_;
+  if (q_min * h_min > q_non * h_non + threshold_) {
+    ++nonminimal_;
+    pkt.intermediate_router = inter;
+    return 0;  // phase 0 towards the intermediate
+  }
+  pkt.intermediate_router = -1;
+  return 1;
+}
+
+RouteInfo UgalFbflyRouting::route(int router, Packet& pkt,
+                                  std::size_t arriving_class) {
+  const int dst_router = topo_.router_of_terminal(pkt.dst_terminal);
+  if (arriving_class == 0 && pkt.intermediate_router >= 0 &&
+      router != pkt.intermediate_router) {
+    // Phase 0: still heading for the intermediate router.
+    return minimal_.minimal_hop(router, pkt.intermediate_router,
+                                pkt.dst_terminal, 0);
+  }
+  // Phase 1 (or arrival at the intermediate): head minimally for the
+  // destination on class-1 VCs.
+  return minimal_.minimal_hop(router, dst_router, pkt.dst_terminal, 1);
+}
+
+}  // namespace nocalloc::noc

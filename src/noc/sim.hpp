@@ -1,0 +1,74 @@
+// Simulation driver (Sec. 3.2): builds the network for one of the paper's
+// design points, runs warm-up / measurement / drain phases, and reports
+// average packet latency and accepted throughput.
+#pragma once
+
+#include <string>
+
+#include "noc/network.hpp"
+
+namespace nocalloc::noc {
+
+enum class TopologyKind {
+  kMesh8x8,    // P = 5, M=2 x R=1 x C, dimension-order routing
+  kFbfly4x4,   // P = 10 (c = 4), M=2 x R=2 x C, UGAL routing
+  // Extensions beyond the paper's two testbeds, exercising the
+  // resource-class machinery of Sec. 4.2 on its canonical dateline example:
+  kRing16,     // 16-node bidirectional ring, P = 3, M=2 x R=2 x C
+  kTorus8x8,   // 8x8 torus, P = 5, M=2 x R=4 x C (per-dimension datelines)
+};
+
+std::string to_string(TopologyKind kind);
+
+struct SimConfig {
+  TopologyKind topology = TopologyKind::kMesh8x8;
+  std::size_t vcs_per_class = 1;  // C in the paper's M x R x C notation
+
+  AllocatorKind vc_alloc = AllocatorKind::kSeparableInputFirst;
+  ArbiterKind vc_arb = ArbiterKind::kRoundRobin;
+  AllocatorKind sw_alloc = AllocatorKind::kSeparableInputFirst;
+  ArbiterKind sw_arb = ArbiterKind::kRoundRobin;
+  SpecMode spec = SpecMode::kPessimistic;
+  std::size_t buffer_depth = 8;
+
+  /// UGAL bias towards the minimal path (fbfly only); see
+  /// UgalFbflyRouting::set_threshold.
+  std::size_t ugal_threshold = 3;
+
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// Offered load in flits per terminal per cycle (the paper's x-axis).
+  /// Each request transaction eventually injects six flits (request +
+  /// reply), three per side on average, so the per-terminal request rate
+  /// is injection_rate / 6.
+  double injection_rate = 0.1;
+
+  std::size_t warmup_cycles = 10000;
+  std::size_t measure_cycles = 20000;
+  std::size_t drain_cycles = 30000;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  double avg_packet_latency = 0.0;   // creation to tail ejection
+  double avg_network_latency = 0.0;  // head injection to tail ejection
+  double p99_packet_latency = 0.0;
+  std::size_t packets_measured = 0;
+  double offered_flit_rate = 0.0;   // per terminal per cycle
+  double accepted_flit_rate = 0.0;  // measured-phase ejections
+  bool saturated = false;  // fewer than 95% of measured packets drained
+  // Aggregate router counters (summed over all routers).
+  std::uint64_t spec_grants_used = 0;
+  std::uint64_t misspeculations = 0;
+  /// Fraction of UGAL decisions that chose the non-minimal path (fbfly
+  /// only; 0 on the mesh).
+  double ugal_nonminimal_fraction = 0.0;
+};
+
+/// Builds the V partition for a design point: M = 2 message classes, R = 1
+/// (mesh) or 2 (fbfly) resource classes, C VCs per class.
+VcPartition partition_for(TopologyKind kind, std::size_t vcs_per_class);
+
+/// Runs one simulation to completion.
+SimResult run_simulation(const SimConfig& cfg);
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,121 @@
+#include "noc/terminal.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace nocalloc::noc {
+
+Terminal::Terminal(int id, int router, const VcPartition& partition,
+                   std::size_t buffer_depth, RoutingFunction& routing,
+                   std::unique_ptr<TrafficSource> source,
+                   EjectCallback on_eject)
+    : id_(id),
+      router_(router),
+      partition_(partition),
+      buffer_depth_(buffer_depth),
+      routing_(routing),
+      source_(std::move(source)),
+      on_eject_(std::move(on_eject)),
+      credits_(partition.total_vcs(), buffer_depth) {
+  NOCALLOC_CHECK(source_ != nullptr);
+}
+
+void Terminal::attach(Channel<Flit>* to_router,
+                      Channel<Credit>* credits_from_router,
+                      Channel<Flit>* from_router,
+                      Channel<Credit>* credits_to_router) {
+  to_router_ = to_router;
+  credits_from_router_ = credits_from_router;
+  from_router_ = from_router;
+  credits_to_router_ = credits_to_router;
+}
+
+void Terminal::inject(Cycle now) {
+  NOCALLOC_CHECK(next_id_ != nullptr);
+
+  // New request arrivals enter the source queue regardless of backpressure
+  // (the source queue is unbounded; its waiting time is part of packet
+  // latency, as in the paper's latency-vs-injection-rate curves).
+  if (generate_) {
+    if (auto pkt = source_->maybe_generate(now, *next_id_)) {
+      pkt->measured = measuring_;
+      request_queue_.push_back(std::move(pkt));
+    }
+  }
+
+  if (!current_) {
+    // Replies take priority over new requests (Sec. 3.2).
+    std::deque<std::shared_ptr<Packet>>& q =
+        !reply_queue_.empty() ? reply_queue_ : request_queue_;
+    if (q.empty()) return;
+
+    // Pick the injection VC: the freest VC of the packet's starting class.
+    std::shared_ptr<Packet>& head = q.front();
+    const std::size_t klass = routing_.at_injection(router_, *head);
+    const std::size_t m = message_class_of(head->type);
+    const std::size_t base = partition_.class_base(m, klass);
+    int best_vc = -1;
+    std::size_t best_credits = 0;
+    for (std::size_t c = 0; c < partition_.vcs_per_class(); ++c) {
+      const std::size_t vc = base + c;
+      if (credits_[vc] > best_credits) {
+        best_credits = credits_[vc];
+        best_vc = static_cast<int>(vc);
+      }
+    }
+    if (best_vc < 0) return;  // all VCs of the class are backpressured
+
+    current_ = std::move(head);
+    q.pop_front();
+    current_sent_ = 0;
+    current_vc_ = best_vc;
+    current_class_ = klass;
+    current_->injected = now;
+  }
+
+  if (credits_[static_cast<std::size_t>(current_vc_)] == 0) return;
+  stage_flit(now);
+}
+
+void Terminal::stage_flit(Cycle now) {
+  Flit flit;
+  flit.packet = current_;
+  flit.index = current_sent_;
+  flit.head = current_sent_ == 0;
+  flit.tail = current_sent_ + 1 == current_->length;
+  flit.vc = current_vc_;
+  if (flit.head) {
+    // Lookahead route for the first router.
+    flit.route = routing_.route(router_, *current_, current_class_);
+  }
+
+  --credits_[static_cast<std::size_t>(current_vc_)];
+  ++flits_injected_;
+  to_router_->send(std::move(flit), now);
+
+  if (++current_sent_ == current_->length) {
+    current_.reset();
+    current_vc_ = -1;
+    current_sent_ = 0;
+  }
+}
+
+void Terminal::receive(Cycle now) {
+  if (credits_from_router_ != nullptr) {
+    if (auto credit = credits_from_router_->receive(now)) {
+      const auto vc = static_cast<std::size_t>(credit->vc);
+      NOCALLOC_CHECK(credits_[vc] < buffer_depth_);
+      ++credits_[vc];
+    }
+  }
+  if (from_router_ != nullptr) {
+    if (auto flit = from_router_->receive(now)) {
+      // Ejection consumes the flit immediately and frees the slot.
+      credits_to_router_->send(Credit{flit->vc}, now);
+      if (flit->tail) on_eject_(*flit->packet, now);
+    }
+  }
+}
+
+}  // namespace nocalloc::noc

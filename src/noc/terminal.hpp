@@ -1,0 +1,98 @@
+// Network terminal: source-queued injection with credit-based backpressure
+// towards its router's input port, ejection with immediate credit return,
+// and request/reply transaction handling (replies take priority over fresh
+// requests, Sec. 3.2).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "noc/channel.hpp"
+#include "noc/routing.hpp"
+#include "noc/traffic.hpp"
+#include "noc/types.hpp"
+#include "vc/vc_partition.hpp"
+
+namespace nocalloc::noc {
+
+class Terminal {
+ public:
+  /// Invoked when a packet's tail flit is ejected at this terminal.
+  using EjectCallback = std::function<void(const Packet&, Cycle)>;
+
+  Terminal(int id, int router, const VcPartition& partition,
+           std::size_t buffer_depth, RoutingFunction& routing,
+           std::unique_ptr<TrafficSource> source, EjectCallback on_eject);
+
+  int id() const { return id_; }
+
+  /// Wires the four channels between terminal and router.
+  void attach(Channel<Flit>* to_router, Channel<Credit>* credits_from_router,
+              Channel<Flit>* from_router, Channel<Credit>* credits_to_router);
+
+  /// Phases, called by the Network each cycle: inject() during the
+  /// allocation phase, receive() during the receive phase. Flits and
+  /// credits are written straight into the attached channels.
+  void inject(Cycle now);
+  void receive(Cycle now);
+
+  /// Packets waiting (or in flight) in the source queues.
+  std::size_t queued_packets() const {
+    return reply_queue_.size() + request_queue_.size() +
+           (current_ ? 1 : 0);
+  }
+
+  /// Cumulative flits handed to the network.
+  std::uint64_t flits_injected() const { return flits_injected_; }
+
+  /// Supplies globally unique packet ids; set by the Network.
+  void set_id_counter(std::uint64_t* next_id) { next_id_ = next_id; }
+
+  /// Marks subsequently created packets as measured (or not).
+  void set_measuring(bool measuring) { measuring_ = measuring; }
+
+  /// Queues a reply packet (served before new requests, Sec. 3.2). Called
+  /// by the eject handler when a request transaction completes here.
+  void enqueue_reply(std::shared_ptr<Packet> reply) {
+    reply_queue_.push_back(std::move(reply));
+  }
+
+  /// Enables/disables new request generation (replies still flow). Used by
+  /// drain phases and conservation tests.
+  void set_generation_enabled(bool enabled) { generate_ = enabled; }
+
+ private:
+  void stage_flit(Cycle now);
+
+  int id_;
+  int router_;
+  VcPartition partition_;  // by value: must outlive any caller's config
+  std::size_t buffer_depth_;
+  RoutingFunction& routing_;
+  std::unique_ptr<TrafficSource> source_;
+  EjectCallback on_eject_;
+
+  Channel<Flit>* to_router_ = nullptr;
+  Channel<Credit>* credits_from_router_ = nullptr;
+  Channel<Flit>* from_router_ = nullptr;
+  Channel<Credit>* credits_to_router_ = nullptr;
+
+  std::deque<std::shared_ptr<Packet>> request_queue_;
+  std::deque<std::shared_ptr<Packet>> reply_queue_;
+
+  // Packet currently being injected flit by flit.
+  std::shared_ptr<Packet> current_;
+  std::size_t current_sent_ = 0;
+  int current_vc_ = -1;
+  std::size_t current_class_ = 0;
+
+  std::vector<std::size_t> credits_;  // per router-input VC
+
+  std::uint64_t* next_id_ = nullptr;
+  std::uint64_t flits_injected_ = 0;
+  bool measuring_ = false;
+  bool generate_ = true;
+};
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,137 @@
+#include "noc/topology.hpp"
+
+#include "common/check.hpp"
+
+namespace nocalloc::noc {
+
+MeshTopology::MeshTopology(std::size_t k) : k_(k) { NOCALLOC_CHECK(k >= 2); }
+
+std::string MeshTopology::name() const {
+  return std::to_string(k_) + "x" + std::to_string(k_) + " mesh";
+}
+
+std::vector<LinkSpec> MeshTopology::links() const {
+  std::vector<LinkSpec> out;
+  for (std::size_t y = 0; y < k_; ++y) {
+    for (std::size_t x = 0; x < k_; ++x) {
+      const int r = router_at(x, y);
+      if (x + 1 < k_) {
+        const int e = router_at(x + 1, y);
+        out.push_back({r, kPortXPlus, e, kPortXMinus, 1});
+        out.push_back({e, kPortXMinus, r, kPortXPlus, 1});
+      }
+      if (y + 1 < k_) {
+        const int s = router_at(x, y + 1);
+        out.push_back({r, kPortYPlus, s, kPortYMinus, 1});
+        out.push_back({s, kPortYMinus, r, kPortYPlus, 1});
+      }
+    }
+  }
+  return out;
+}
+
+TorusTopology::TorusTopology(std::size_t k) : k_(k) { NOCALLOC_CHECK(k >= 3); }
+
+std::string TorusTopology::name() const {
+  return std::to_string(k_) + "x" + std::to_string(k_) + " torus";
+}
+
+std::vector<LinkSpec> TorusTopology::links() const {
+  std::vector<LinkSpec> out;
+  for (std::size_t y = 0; y < k_; ++y) {
+    for (std::size_t x = 0; x < k_; ++x) {
+      const int r = router_at(x, y);
+      const int xe = router_at((x + 1) % k_, y);
+      out.push_back({r, kPortXPlus, xe, kPortXMinus, 1});
+      out.push_back({xe, kPortXMinus, r, kPortXPlus, 1});
+      const int ys = router_at(x, (y + 1) % k_);
+      out.push_back({r, kPortYPlus, ys, kPortYMinus, 1});
+      out.push_back({ys, kPortYMinus, r, kPortYPlus, 1});
+    }
+  }
+  return out;
+}
+
+bool TorusTopology::crosses_dateline(std::size_t coord, bool positive) const {
+  NOCALLOC_CHECK(coord < k_);
+  return positive ? coord == k_ - 1 : coord == 0;
+}
+
+RingTopology::RingTopology(std::size_t k) : k_(k) { NOCALLOC_CHECK(k >= 3); }
+
+std::string RingTopology::name() const {
+  return std::to_string(k_) + "-node ring";
+}
+
+std::vector<LinkSpec> RingTopology::links() const {
+  std::vector<LinkSpec> out;
+  for (std::size_t r = 0; r < k_; ++r) {
+    const int a = static_cast<int>(r);
+    const int b = static_cast<int>((r + 1) % k_);
+    out.push_back({a, kPortClockwise, b, kPortCounterClockwise, 1});
+    out.push_back({b, kPortCounterClockwise, a, kPortClockwise, 1});
+  }
+  return out;
+}
+
+bool RingTopology::crosses_dateline(int from, bool clockwise) const {
+  // The dateline sits on the wrap link between routers k-1 and 0; both
+  // directions of that physical link cross it.
+  if (clockwise) return from == static_cast<int>(k_) - 1;
+  return from == 0;
+}
+
+FlattenedButterflyTopology::FlattenedButterflyTopology(std::size_t k,
+                                                       std::size_t concentration)
+    : k_(k), c_(concentration) {
+  NOCALLOC_CHECK(k >= 2 && concentration >= 1);
+}
+
+std::string FlattenedButterflyTopology::name() const {
+  return std::to_string(k_) + "x" + std::to_string(k_) + " fbfly (c=" +
+         std::to_string(c_) + ")";
+}
+
+int FlattenedButterflyTopology::row_port(std::size_t x, std::size_t x2) const {
+  NOCALLOC_CHECK(x != x2 && x < k_ && x2 < k_);
+  // Row ports enumerate destination columns in ascending order, skipping x.
+  const std::size_t slot = x2 < x ? x2 : x2 - 1;
+  return static_cast<int>(c_ + slot);
+}
+
+int FlattenedButterflyTopology::col_port(std::size_t y, std::size_t y2) const {
+  NOCALLOC_CHECK(y != y2 && y < k_ && y2 < k_);
+  const std::size_t slot = y2 < y ? y2 : y2 - 1;
+  return static_cast<int>(c_ + (k_ - 1) + slot);
+}
+
+std::size_t FlattenedButterflyTopology::link_latency(std::size_t span) {
+  NOCALLOC_CHECK(span >= 1);
+  return span < 3 ? span : 3;
+}
+
+std::vector<LinkSpec> FlattenedButterflyTopology::links() const {
+  std::vector<LinkSpec> out;
+  for (std::size_t y = 0; y < k_; ++y) {
+    for (std::size_t x = 0; x < k_; ++x) {
+      const int r = router_at(x, y);
+      // Row links (to every other column in this row).
+      for (std::size_t x2 = 0; x2 < k_; ++x2) {
+        if (x2 == x) continue;
+        const std::size_t span = x2 > x ? x2 - x : x - x2;
+        out.push_back({r, row_port(x, x2), router_at(x2, y), row_port(x2, x),
+                       link_latency(span)});
+      }
+      // Column links.
+      for (std::size_t y2 = 0; y2 < k_; ++y2) {
+        if (y2 == y) continue;
+        const std::size_t span = y2 > y ? y2 - y : y - y2;
+        out.push_back({r, col_port(y, y2), router_at(x, y2), col_port(y2, y),
+                       link_latency(span)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,175 @@
+// Network topologies (Sec. 3): an 8x8 mesh with one terminal per router
+// (P = 5) and a 4x4 two-dimensional flattened butterfly with concentration
+// four (P = 10).
+//
+// Port numbering convention: ports [0, concentration) attach terminals;
+// the remaining ports carry inter-router links. Terminal t attaches to
+// router t / concentration at port t % concentration.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nocalloc::noc {
+
+/// One directed inter-router link.
+struct LinkSpec {
+  int src_router = -1;
+  int src_port = -1;
+  int dst_router = -1;
+  int dst_port = -1;
+  std::size_t latency = 1;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t num_routers() const = 0;
+  /// Router radix P (terminal + network ports).
+  virtual std::size_t ports() const = 0;
+  /// Terminals attached to each router.
+  virtual std::size_t concentration() const = 0;
+  /// All directed inter-router links.
+  virtual std::vector<LinkSpec> links() const = 0;
+
+  std::size_t num_terminals() const { return num_routers() * concentration(); }
+  int router_of_terminal(int terminal) const {
+    return terminal / static_cast<int>(concentration());
+  }
+  int port_of_terminal(int terminal) const {
+    return terminal % static_cast<int>(concentration());
+  }
+};
+
+/// k x k mesh, one terminal per router. Ports: 0 terminal, 1 +x, 2 -x,
+/// 3 +y, 4 -y. All links have latency 1.
+class MeshTopology final : public Topology {
+ public:
+  explicit MeshTopology(std::size_t k);
+
+  std::string name() const override;
+  std::size_t num_routers() const override { return k_ * k_; }
+  std::size_t ports() const override { return 5; }
+  std::size_t concentration() const override { return 1; }
+  std::vector<LinkSpec> links() const override;
+
+  std::size_t k() const { return k_; }
+  int router_at(std::size_t x, std::size_t y) const {
+    return static_cast<int>(y * k_ + x);
+  }
+  std::size_t x_of(int router) const { return static_cast<std::size_t>(router) % k_; }
+  std::size_t y_of(int router) const { return static_cast<std::size_t>(router) / k_; }
+
+  static constexpr int kPortTerminal = 0;
+  static constexpr int kPortXPlus = 1;
+  static constexpr int kPortXMinus = 2;
+  static constexpr int kPortYPlus = 3;
+  static constexpr int kPortYMinus = 4;
+
+ private:
+  std::size_t k_;
+};
+
+/// k x k torus (k-ary 2-cube), one terminal per router (P = 5): a mesh with
+/// wraparound links in both dimensions. Same port numbering as the mesh.
+/// Deadlock freedom under dimension-order routing requires dateline VC
+/// classes per dimension (Sec. 4.2); see DorTorusDatelineRouting.
+class TorusTopology final : public Topology {
+ public:
+  explicit TorusTopology(std::size_t k);
+
+  std::string name() const override;
+  std::size_t num_routers() const override { return k_ * k_; }
+  std::size_t ports() const override { return 5; }
+  std::size_t concentration() const override { return 1; }
+  std::vector<LinkSpec> links() const override;
+
+  std::size_t k() const { return k_; }
+  int router_at(std::size_t x, std::size_t y) const {
+    return static_cast<int>(y * k_ + x);
+  }
+  std::size_t x_of(int router) const { return static_cast<std::size_t>(router) % k_; }
+  std::size_t y_of(int router) const { return static_cast<std::size_t>(router) / k_; }
+
+  /// True if the hop leaving `coord` in the given direction wraps around
+  /// (crosses the dimension's dateline between position k-1 and 0).
+  bool crosses_dateline(std::size_t coord, bool positive) const;
+
+  static constexpr int kPortTerminal = 0;
+  static constexpr int kPortXPlus = 1;
+  static constexpr int kPortXMinus = 2;
+  static constexpr int kPortYPlus = 3;
+  static constexpr int kPortYMinus = 4;
+
+ private:
+  std::size_t k_;
+};
+
+/// Bidirectional ring of k routers, one terminal each (P = 3). The smallest
+/// topology with wraparound links, used to exercise dateline resource
+/// classes -- the paper's first example of restricted VC transitions
+/// (Sec. 4.2). Ports: 0 terminal, 1 clockwise (+), 2 counter-clockwise (-).
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(std::size_t k);
+
+  std::string name() const override;
+  std::size_t num_routers() const override { return k_; }
+  std::size_t ports() const override { return 3; }
+  std::size_t concentration() const override { return 1; }
+  std::vector<LinkSpec> links() const override;
+
+  std::size_t k() const { return k_; }
+
+  static constexpr int kPortTerminal = 0;
+  static constexpr int kPortClockwise = 1;         // towards (r + 1) mod k
+  static constexpr int kPortCounterClockwise = 2;  // towards (r - 1) mod k
+
+  /// True if the directed hop from `from` crosses the dateline (the wrap
+  /// between router k-1 and router 0) in the given direction.
+  bool crosses_dateline(int from, bool clockwise) const;
+
+ private:
+  std::size_t k_;
+};
+
+/// k x k two-dimensional flattened butterfly with concentration c: every
+/// router links directly to all others in its row and in its column.
+/// Ports: [0, c) terminals, [c, c+k-1) row links (to the other k-1 columns
+/// in ascending order skipping self), [c+k-1, c+2(k-1)) column links.
+/// Link latency grows with span: 1 + (|dx| - 1) clamped to [1, 3].
+class FlattenedButterflyTopology final : public Topology {
+ public:
+  FlattenedButterflyTopology(std::size_t k, std::size_t concentration);
+
+  std::string name() const override;
+  std::size_t num_routers() const override { return k_ * k_; }
+  std::size_t ports() const override { return c_ + 2 * (k_ - 1); }
+  std::size_t concentration() const override { return c_; }
+  std::vector<LinkSpec> links() const override;
+
+  std::size_t k() const { return k_; }
+  int router_at(std::size_t x, std::size_t y) const {
+    return static_cast<int>(y * k_ + x);
+  }
+  std::size_t x_of(int router) const { return static_cast<std::size_t>(router) % k_; }
+  std::size_t y_of(int router) const { return static_cast<std::size_t>(router) / k_; }
+
+  /// Port used at router (x, y) to reach column x2 != x in the same row.
+  int row_port(std::size_t x, std::size_t x2) const;
+  /// Port used at router (x, y) to reach row y2 != y in the same column.
+  int col_port(std::size_t y, std::size_t y2) const;
+
+  /// Physical latency of a row/col link spanning `span` grid positions.
+  static std::size_t link_latency(std::size_t span);
+
+ private:
+  std::size_t k_;
+  std::size_t c_;
+};
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,101 @@
+#include "noc/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nocalloc::noc {
+
+void TrafficTrace::add(const TraceRecord& record) {
+  NOCALLOC_CHECK(record.src >= 0 && record.dst >= 0 &&
+                 record.src != record.dst);
+  NOCALLOC_CHECK(is_request(record.type));
+  records_.push_back(record);
+}
+
+void TrafficTrace::sort() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.cycle != b.cycle ? a.cycle < b.cycle
+                                               : a.src < b.src;
+                   });
+}
+
+TrafficTrace TrafficTrace::parse(std::istream& in) {
+  TrafficTrace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    TraceRecord rec;
+    std::string type;
+    fields >> rec.cycle >> rec.src >> rec.dst >> type;
+    NOCALLOC_CHECK(!fields.fail());
+    NOCALLOC_CHECK(type == "R" || type == "W");
+    rec.type = type == "R" ? PacketType::kReadRequest
+                           : PacketType::kWriteRequest;
+    trace.add(rec);
+  }
+  trace.sort();
+  return trace;
+}
+
+TrafficTrace TrafficTrace::load(const std::string& path) {
+  std::ifstream file(path);
+  NOCALLOC_CHECK(file.good());
+  return parse(file);
+}
+
+std::string TrafficTrace::to_string() const {
+  std::ostringstream out;
+  out << "# cycle src dst R|W\n";
+  for (const TraceRecord& rec : records_) {
+    out << rec.cycle << ' ' << rec.src << ' ' << rec.dst << ' '
+        << (rec.type == PacketType::kReadRequest ? 'R' : 'W') << '\n';
+  }
+  return out.str();
+}
+
+void TrafficTrace::save(const std::string& path) const {
+  std::ofstream file(path);
+  NOCALLOC_CHECK(file.good());
+  file << to_string();
+}
+
+std::vector<TraceRecord> TrafficTrace::for_terminal(int terminal) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& rec : records_) {
+    if (rec.src == terminal) out.push_back(rec);
+  }
+  return out;
+}
+
+TraceSource::TraceSource(int terminal, std::vector<TraceRecord> records)
+    : terminal_(terminal), records_(std::move(records)) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    NOCALLOC_CHECK(records_[i].src == terminal_);
+    NOCALLOC_CHECK(i == 0 || records_[i - 1].cycle <= records_[i].cycle);
+  }
+}
+
+std::shared_ptr<Packet> TraceSource::maybe_generate(Cycle now,
+                                                    std::uint64_t& next_id) {
+  // At most one packet per poll; same-cycle records drain on consecutive
+  // cycles (their recorded cycle is kept as the creation time, so queueing
+  // delay is attributed to the packet, not silently dropped).
+  if (next_ >= records_.size() || records_[next_].cycle > now) return nullptr;
+  const TraceRecord& rec = records_[next_++];
+  auto pkt = std::make_shared<Packet>();
+  pkt->id = next_id++;
+  pkt->type = rec.type;
+  pkt->src_terminal = rec.src;
+  pkt->dst_terminal = rec.dst;
+  pkt->length = packet_length(rec.type);
+  pkt->created = rec.cycle;
+  return pkt;
+}
+
+}  // namespace nocalloc::noc

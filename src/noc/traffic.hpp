@@ -1,0 +1,73 @@
+// Synthetic traffic (Sec. 3.2): request/reply transactions over a spatial
+// traffic pattern. Terminals inject request packets via a geometric random
+// process; the destination terminal answers each request with the matching
+// reply packet on the next cycle, with priority over new injections.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "noc/types.hpp"
+
+namespace nocalloc::noc {
+
+/// Spatial traffic patterns over terminal ids. Uniform random is the
+/// pattern the paper reports; the others are provided for the robustness
+/// sweeps it mentions ("largely invariant to traffic pattern selection").
+enum class TrafficPattern {
+  kUniform,        // destination uniform over all other terminals
+  kBitComplement,  // dst = ~src
+  kTranspose,      // dst = transpose of src's (x, y) coordinates
+  kShuffle,        // dst = rotate-left(src)
+  kTornado,        // dst = src + ceil(N/2) - 1 (adversarial for rings/tori)
+};
+
+std::string to_string(TrafficPattern pattern);
+
+/// Computes the destination terminal for a new request.
+int traffic_destination(TrafficPattern pattern, int src,
+                        std::size_t num_terminals, Rng& rng);
+
+/// Source of request packets for one terminal. Polled once per cycle by
+/// the terminal; may return at most one new packet per poll.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Returns a request packet created at (or before) `now`, or nullptr.
+  /// `next_id` supplies globally unique packet ids.
+  virtual std::shared_ptr<Packet> maybe_generate(Cycle now,
+                                                 std::uint64_t& next_id) = 0;
+};
+
+/// Per-terminal request generator: Bernoulli injection at the configured
+/// transaction rate with alternating 50/50 read/write types.
+class RequestGenerator final : public TrafficSource {
+ public:
+  RequestGenerator(int terminal, std::size_t num_terminals,
+                   TrafficPattern pattern, double request_rate, Rng rng)
+      : terminal_(terminal),
+        num_terminals_(num_terminals),
+        pattern_(pattern),
+        request_rate_(request_rate),
+        rng_(rng) {}
+
+  std::shared_ptr<Packet> maybe_generate(Cycle now,
+                                         std::uint64_t& next_id) override;
+
+ private:
+  int terminal_;
+  std::size_t num_terminals_;
+  TrafficPattern pattern_;
+  double request_rate_;  // request packets per cycle
+  Rng rng_;
+};
+
+/// Builds the reply packet for a delivered request (read -> 5-flit read
+/// reply, write -> 1-flit write reply), created at `now`.
+std::shared_ptr<Packet> make_reply(const Packet& request, Cycle now,
+                                   std::uint64_t id);
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,91 @@
+// Core data types of the cycle-accurate NoC simulator (Sec. 3.2).
+//
+// Traffic consists of request/reply transactions: read requests and write
+// replies are single-flit packets; read replies and write requests carry a
+// head flit plus four payload flits. Requests and replies travel in disjoint
+// message classes to avoid protocol deadlock at the network boundary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace nocalloc::noc {
+
+using Cycle = std::uint64_t;
+
+enum class PacketType : std::uint8_t {
+  kReadRequest,   // 1 flit
+  kWriteRequest,  // 5 flits
+  kReadReply,     // 5 flits
+  kWriteReply,    // 1 flit
+};
+
+/// Flit count for each packet type (Sec. 3.2).
+constexpr std::size_t packet_length(PacketType type) {
+  switch (type) {
+    case PacketType::kReadRequest:
+    case PacketType::kWriteReply:
+      return 1;
+    case PacketType::kWriteRequest:
+    case PacketType::kReadReply:
+      return 5;
+  }
+  return 0;
+}
+
+/// Message class: requests and replies use disjoint VC sets (M = 2).
+constexpr std::size_t message_class_of(PacketType type) {
+  switch (type) {
+    case PacketType::kReadRequest:
+    case PacketType::kWriteRequest:
+      return 0;
+    case PacketType::kReadReply:
+    case PacketType::kWriteReply:
+      return 1;
+  }
+  return 0;
+}
+
+/// True for the packet types that trigger a reply at the destination.
+constexpr bool is_request(PacketType type) {
+  return type == PacketType::kReadRequest || type == PacketType::kWriteRequest;
+}
+
+/// Per-packet metadata shared by all of its flits.
+struct Packet {
+  std::uint64_t id = 0;
+  PacketType type = PacketType::kReadRequest;
+  int src_terminal = -1;
+  int dst_terminal = -1;
+  std::size_t length = 1;        // flits
+  Cycle created = 0;             // cycle the packet entered its source queue
+  Cycle injected = 0;            // cycle the head flit entered the network
+  /// UGAL state: intermediate router for non-minimal packets, -1 if minimal.
+  int intermediate_router = -1;
+  /// Statistics bookkeeping: true if created during the measurement phase.
+  bool measured = false;
+};
+
+/// Routing decision carried by a head flit for its *current* router; with
+/// lookahead routing (Sec. 3.2) it is produced one hop upstream so that the
+/// routing logic never occupies a pipeline stage.
+struct RouteInfo {
+  int out_port = -1;
+  std::size_t resource_class = 0;  // resource class of the next-hop VCs
+};
+
+struct Flit {
+  std::shared_ptr<Packet> packet;
+  bool head = false;
+  bool tail = false;
+  std::size_t index = 0;  // position within the packet
+  int vc = -1;            // VC the flit travels on (downstream input VC)
+  RouteInfo route;        // valid on head flits only
+};
+
+/// Credit returned upstream when a flit leaves an input buffer.
+struct Credit {
+  int vc = -1;  // input VC (== upstream output VC) being credited
+};
+
+}  // namespace nocalloc::noc

@@ -1,0 +1,114 @@
+#include "sa/sa_separable.hpp"
+
+namespace nocalloc {
+
+SaSeparableInputFirst::SaSeparableInputFirst(std::size_t ports,
+                                             std::size_t vcs, ArbiterKind arb)
+    : SwitchAllocator(ports, vcs) {
+  for (std::size_t p = 0; p < ports; ++p)
+    vc_arb_.push_back(make_arbiter(arb, vcs));
+  for (std::size_t o = 0; o < ports; ++o)
+    out_arb_.push_back(make_arbiter(arb, ports));
+}
+
+void SaSeparableInputFirst::allocate(const std::vector<SwitchRequest>& req,
+                                     std::vector<SwitchGrant>& grant) {
+  prepare(req, grant);
+
+  // Stage 1: per input port, pick one requesting VC.
+  std::vector<int> port_vc(ports(), -1);   // winning VC per input port
+  std::vector<int> port_out(ports(), -1);  // its requested output
+  ReqVector vc_req(vcs(), 0);
+  for (std::size_t p = 0; p < ports(); ++p) {
+    for (std::size_t v = 0; v < vcs(); ++v)
+      vc_req[v] = req[p * vcs() + v].valid ? 1 : 0;
+    const int v = vc_arb_[p]->pick(vc_req);
+    if (v < 0) continue;
+    port_vc[p] = v;
+    port_out[p] = req[p * vcs() + static_cast<std::size_t>(v)].out_port;
+  }
+
+  // Stage 2: per output port, arbitrate among forwarded requests.
+  ReqVector in_req(ports(), 0);
+  for (std::size_t o = 0; o < ports(); ++o) {
+    bool any = false;
+    for (std::size_t p = 0; p < ports(); ++p) {
+      const bool bid = port_out[p] == static_cast<int>(o);
+      in_req[p] = bid ? 1 : 0;
+      any = any || bid;
+    }
+    if (!any) continue;
+    const int p = out_arb_[o]->pick(in_req);
+    NOCALLOC_CHECK(p >= 0);
+    grant[static_cast<std::size_t>(p)] = {port_vc[static_cast<std::size_t>(p)],
+                                          static_cast<int>(o)};
+    out_arb_[o]->update(p);
+    vc_arb_[static_cast<std::size_t>(p)]->update(
+        port_vc[static_cast<std::size_t>(p)]);
+  }
+}
+
+void SaSeparableInputFirst::reset() {
+  for (auto& a : vc_arb_) a->reset();
+  for (auto& a : out_arb_) a->reset();
+}
+
+SaSeparableOutputFirst::SaSeparableOutputFirst(std::size_t ports,
+                                               std::size_t vcs,
+                                               ArbiterKind arb)
+    : SwitchAllocator(ports, vcs) {
+  for (std::size_t o = 0; o < ports; ++o)
+    out_arb_.push_back(make_arbiter(arb, ports));
+  for (std::size_t p = 0; p < ports; ++p)
+    vc_arb_.push_back(make_arbiter(arb, vcs));
+}
+
+void SaSeparableOutputFirst::allocate(const std::vector<SwitchRequest>& req,
+                                      std::vector<SwitchGrant>& grant) {
+  prepare(req, grant);
+
+  BitMatrix ports_req;
+  port_requests(req, ports_req);
+
+  // Stage 1: per output port, pick a winning input port among the combined
+  // per-port requests.
+  std::vector<int> out_choice(ports(), -1);
+  ReqVector in_req(ports(), 0);
+  for (std::size_t o = 0; o < ports(); ++o) {
+    bool any = false;
+    for (std::size_t p = 0; p < ports(); ++p) {
+      in_req[p] = ports_req.get(p, o) ? 1 : 0;
+      any = any || in_req[p];
+    }
+    if (any) out_choice[o] = out_arb_[o]->pick(in_req);
+  }
+
+  // Stage 2: per input port, arbitrate among VCs that can use any output
+  // granted to this port; the winning VC fixes the output actually used.
+  ReqVector vc_cand(vcs(), 0);
+  for (std::size_t p = 0; p < ports(); ++p) {
+    bool any = false;
+    for (std::size_t v = 0; v < vcs(); ++v) {
+      const SwitchRequest& r = req[p * vcs() + v];
+      const bool usable =
+          r.valid && out_choice[static_cast<std::size_t>(r.out_port)] ==
+                         static_cast<int>(p);
+      vc_cand[v] = usable ? 1 : 0;
+      any = any || usable;
+    }
+    if (!any) continue;
+    const int v = vc_arb_[p]->pick(vc_cand);
+    NOCALLOC_CHECK(v >= 0);
+    const int o = req[p * vcs() + static_cast<std::size_t>(v)].out_port;
+    grant[p] = {v, o};
+    vc_arb_[p]->update(v);
+    out_arb_[static_cast<std::size_t>(o)]->update(static_cast<int>(p));
+  }
+}
+
+void SaSeparableOutputFirst::reset() {
+  for (auto& a : out_arb_) a->reset();
+  for (auto& a : vc_arb_) a->reset();
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,44 @@
+// Separable switch allocators (Fig. 8a / 8b).
+//
+// Input-first: a V:1 arbiter per input port first picks one requesting VC;
+// the winner's request is forwarded to a P:1 arbiter at its output port.
+// Only one request per input port ever reaches stage 2 -- the structural
+// limitation behind sep_if's flattening matching quality at load (Sec. 5.3.2).
+//
+// Output-first: all VCs' requests are OR-combined per (input, output) pair
+// and forwarded; each output port's P:1 arbiter picks a winning input port;
+// then each input port arbitrates V:1 among VCs that can use any output it
+// won, discarding surplus output grants.
+#pragma once
+
+#include "sa/switch_allocator.hpp"
+
+namespace nocalloc {
+
+class SaSeparableInputFirst final : public SwitchAllocator {
+ public:
+  SaSeparableInputFirst(std::size_t ports, std::size_t vcs, ArbiterKind arb);
+
+  void allocate(const std::vector<SwitchRequest>& req,
+                std::vector<SwitchGrant>& grant) override;
+  void reset() override;
+
+ private:
+  std::vector<std::unique_ptr<Arbiter>> vc_arb_;   // per input port, width V
+  std::vector<std::unique_ptr<Arbiter>> out_arb_;  // per output port, width P
+};
+
+class SaSeparableOutputFirst final : public SwitchAllocator {
+ public:
+  SaSeparableOutputFirst(std::size_t ports, std::size_t vcs, ArbiterKind arb);
+
+  void allocate(const std::vector<SwitchRequest>& req,
+                std::vector<SwitchGrant>& grant) override;
+  void reset() override;
+
+ private:
+  std::vector<std::unique_ptr<Arbiter>> out_arb_;  // per output port, width P
+  std::vector<std::unique_ptr<Arbiter>> vc_arb_;   // per input port, width V
+};
+
+}  // namespace nocalloc

@@ -1,0 +1,47 @@
+#include "sa/sa_wavefront.hpp"
+
+namespace nocalloc {
+
+SaWavefront::SaWavefront(std::size_t ports, std::size_t vcs,
+                         ArbiterKind presel_arb)
+    : SwitchAllocator(ports, vcs), core_(ports, ports) {
+  for (std::size_t i = 0; i < ports * ports; ++i)
+    presel_.push_back(make_arbiter(presel_arb, vcs));
+}
+
+void SaWavefront::allocate(const std::vector<SwitchRequest>& req,
+                           std::vector<SwitchGrant>& grant) {
+  prepare(req, grant);
+
+  BitMatrix ports_req;
+  port_requests(req, ports_req);
+
+  BitMatrix ports_gnt;
+  core_.allocate(ports_req, ports_gnt);
+
+  ReqVector vc_req(vcs(), 0);
+  for (std::size_t p = 0; p < ports(); ++p) {
+    const int o = ports_gnt.row_single(p);
+    if (o < 0) continue;
+    bool any = false;
+    for (std::size_t v = 0; v < vcs(); ++v) {
+      const SwitchRequest& r = req[p * vcs() + v];
+      const bool cand = r.valid && r.out_port == o;
+      vc_req[v] = cand ? 1 : 0;
+      any = any || cand;
+    }
+    NOCALLOC_CHECK(any);  // the core only grants requested pairs
+    Arbiter& presel = *presel_[p * ports() + static_cast<std::size_t>(o)];
+    const int v = presel.pick(vc_req);
+    NOCALLOC_CHECK(v >= 0);
+    grant[p] = {v, o};
+    presel.update(v);
+  }
+}
+
+void SaWavefront::reset() {
+  core_.reset();
+  for (auto& a : presel_) a->reset();
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,31 @@
+// Wavefront switch allocator (Fig. 8c).
+//
+// Per-VC requests are OR-combined into a P x P matrix and fed to a P x P
+// wavefront core, which directly produces a port matching (at most one output
+// per input, so its grants can drive the crossbar selects). In parallel, a
+// stage of V:1 arbiters per (input port, output port) pair pre-selects which
+// VC will be used if that output is granted; the pre-selection is off the
+// wavefront's critical path.
+#pragma once
+
+#include "alloc/wavefront_allocator.hpp"
+#include "sa/switch_allocator.hpp"
+
+namespace nocalloc {
+
+class SaWavefront final : public SwitchAllocator {
+ public:
+  SaWavefront(std::size_t ports, std::size_t vcs, ArbiterKind presel_arb);
+
+  void allocate(const std::vector<SwitchRequest>& req,
+                std::vector<SwitchGrant>& grant) override;
+  void reset() override;
+
+ private:
+  WavefrontAllocator core_;
+  // presel_[p * P + o]: V:1 arbiter pre-selecting the VC used when input
+  // port p is granted output port o.
+  std::vector<std::unique_ptr<Arbiter>> presel_;
+};
+
+}  // namespace nocalloc

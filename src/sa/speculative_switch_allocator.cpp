@@ -1,0 +1,79 @@
+#include "sa/speculative_switch_allocator.hpp"
+
+namespace nocalloc {
+
+std::string to_string(SpecMode mode) {
+  switch (mode) {
+    case SpecMode::kNonSpeculative:
+      return "nonspec";
+    case SpecMode::kConservative:
+      return "spec_gnt";
+    case SpecMode::kPessimistic:
+      return "spec_req";
+  }
+  NOCALLOC_CHECK(false);
+}
+
+SpeculativeSwitchAllocator::SpeculativeSwitchAllocator(
+    const SwitchAllocatorConfig& cfg, SpecMode mode)
+    : mode_(mode),
+      nonspec_(make_switch_allocator(cfg)),
+      spec_(make_switch_allocator(cfg)) {
+  NOCALLOC_CHECK(mode != SpecMode::kNonSpeculative);
+}
+
+void SpeculativeSwitchAllocator::allocate(
+    const std::vector<SwitchRequest>& nonspec_req,
+    const std::vector<SwitchRequest>& spec_req,
+    std::vector<SpecSwitchGrant>& grant) {
+  const std::size_t p_count = ports();
+  grant.assign(p_count, SpecSwitchGrant{});
+
+  std::vector<SwitchGrant> ns_gnt;
+  nonspec_->allocate(nonspec_req, ns_gnt);
+  std::vector<SwitchGrant> sp_gnt;
+  spec_->allocate(spec_req, sp_gnt);
+
+  // Row/column conflict summaries. For spec_gnt these are reduction-ORs over
+  // the non-speculative grant matrix; for spec_req they are ORs over the
+  // request matrix, available without waiting for allocation.
+  std::vector<std::uint8_t> row_busy(p_count, 0);
+  std::vector<std::uint8_t> col_busy(p_count, 0);
+  if (mode_ == SpecMode::kConservative) {
+    for (std::size_t p = 0; p < p_count; ++p) {
+      if (ns_gnt[p].granted()) {
+        row_busy[p] = 1;
+        col_busy[static_cast<std::size_t>(ns_gnt[p].out_port)] = 1;
+      }
+    }
+  } else {
+    for (std::size_t p = 0; p < p_count; ++p) {
+      for (std::size_t v = 0; v < vcs(); ++v) {
+        const SwitchRequest& r = nonspec_req[p * vcs() + v];
+        if (r.valid) {
+          row_busy[p] = 1;
+          col_busy[static_cast<std::size_t>(r.out_port)] = 1;
+        }
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < p_count; ++p) {
+    grant[p].nonspec = ns_gnt[p];
+    if (!sp_gnt[p].granted()) continue;
+    const std::size_t o = static_cast<std::size_t>(sp_gnt[p].out_port);
+    if (row_busy[p] || col_busy[o]) {
+      ++masked_;
+      continue;
+    }
+    grant[p].spec = sp_gnt[p];
+  }
+}
+
+void SpeculativeSwitchAllocator::reset() {
+  nonspec_->reset();
+  spec_->reset();
+  masked_ = 0;
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,82 @@
+// Speculative switch allocation (Becker & Dally Sec. 5.2, Fig. 9).
+//
+// Speculation lets head flits bid for the crossbar in the same cycle they
+// request an output VC, collapsing the VA and SA pipeline stages at low load
+// (Peh & Dally). Two separate switch allocators handle non-speculative
+// requests (flits that already hold an output VC) and speculative requests
+// (head flits still waiting for VC allocation). Non-speculative traffic has
+// strict priority: a speculative grant is discarded if it conflicts with the
+// non-speculative side on the same input or output port.
+//
+// The two masking policies differ in *what* the conflict check reads:
+//
+//   - Conventional (spec_gnt, Fig. 9a): mask against non-speculative GRANTS.
+//     Exact, but the reduction-OR trees over the grant matrix plus the
+//     NOR/AND masking extend the critical path beyond the allocator itself.
+//
+//   - Pessimistic (spec_req, Fig. 9b): mask against non-speculative REQUESTS.
+//     The request summaries are ready before allocation even starts, so only
+//     the final AND stage remains on the critical path -- at the price of
+//     discarding speculative grants whose conflicting non-speculative request
+//     ultimately lost arbitration (harmless at low load, where requests are
+//     sparse and nearly all of them are granted anyway).
+//
+// Whether a surviving speculative grant is *used* still depends on the head
+// flit winning VC allocation in the same cycle; that check (misspeculation)
+// belongs to the router, not to the allocator.
+#pragma once
+
+#include "sa/switch_allocator.hpp"
+
+namespace nocalloc {
+
+/// Speculation policy for the router's switch-allocation stage.
+enum class SpecMode {
+  kNonSpeculative,  // "nonspec": head flits wait for VC allocation first
+  kConservative,    // "spec_gnt": mask with non-speculative grants
+  kPessimistic,     // "spec_req": mask with non-speculative requests
+};
+
+std::string to_string(SpecMode mode);
+
+/// Per-input-port result of speculative switch allocation.
+struct SpecSwitchGrant {
+  SwitchGrant nonspec;  // grant from the non-speculative allocator
+  SwitchGrant spec;     // surviving grant from the speculative allocator
+  /// At most one of the two is set for a given input port; the combined
+  /// grants across ports form a valid matching.
+  bool granted() const { return nonspec.granted() || spec.granted(); }
+};
+
+class SpeculativeSwitchAllocator {
+ public:
+  /// Both internal allocators use the same architecture and arbiter kind.
+  /// `mode` must be kConservative or kPessimistic (a non-speculative router
+  /// simply uses a bare SwitchAllocator).
+  SpeculativeSwitchAllocator(const SwitchAllocatorConfig& cfg, SpecMode mode);
+
+  std::size_t ports() const { return nonspec_->ports(); }
+  std::size_t vcs() const { return nonspec_->vcs(); }
+  SpecMode mode() const { return mode_; }
+
+  /// One allocation cycle. `nonspec_req` and `spec_req` each have one entry
+  /// per input VC. `grant` receives one entry per input port with speculative
+  /// grants already masked per the configured policy.
+  void allocate(const std::vector<SwitchRequest>& nonspec_req,
+                const std::vector<SwitchRequest>& spec_req,
+                std::vector<SpecSwitchGrant>& grant);
+
+  void reset();
+
+  /// Cumulative count of speculative grants discarded by the conflict mask;
+  /// used by benches to quantify the pessimistic policy's lost opportunities.
+  std::uint64_t masked_spec_grants() const { return masked_; }
+
+ private:
+  SpecMode mode_;
+  std::unique_ptr<SwitchAllocator> nonspec_;
+  std::unique_ptr<SwitchAllocator> spec_;
+  std::uint64_t masked_ = 0;
+};
+
+}  // namespace nocalloc

@@ -1,0 +1,52 @@
+#include "sa/switch_allocator.hpp"
+
+#include "sa/sa_max.hpp"
+#include "sa/sa_separable.hpp"
+#include "sa/sa_wavefront.hpp"
+
+namespace nocalloc {
+
+void SwitchAllocator::prepare(const std::vector<SwitchRequest>& req,
+                              std::vector<SwitchGrant>& grant) const {
+  NOCALLOC_CHECK(req.size() == total());
+  for (const SwitchRequest& r : req) {
+    if (!r.valid) continue;
+    NOCALLOC_CHECK(r.out_port >= 0 &&
+                   static_cast<std::size_t>(r.out_port) < ports_);
+  }
+  grant.assign(ports_, SwitchGrant{});
+}
+
+void SwitchAllocator::port_requests(const std::vector<SwitchRequest>& req,
+                                    BitMatrix& out) const {
+  out.resize(ports_, ports_);
+  for (std::size_t p = 0; p < ports_; ++p) {
+    for (std::size_t v = 0; v < vcs_; ++v) {
+      const SwitchRequest& r = req[p * vcs_ + v];
+      if (r.valid) out.set(p, static_cast<std::size_t>(r.out_port));
+    }
+  }
+}
+
+std::unique_ptr<SwitchAllocator> make_switch_allocator(
+    const SwitchAllocatorConfig& cfg) {
+  NOCALLOC_CHECK(cfg.ports > 0 && cfg.vcs > 0);
+  switch (cfg.kind) {
+    case AllocatorKind::kSeparableInputFirst:
+      return std::make_unique<SaSeparableInputFirst>(cfg.ports, cfg.vcs,
+                                                     cfg.arb);
+    case AllocatorKind::kSeparableOutputFirst:
+      return std::make_unique<SaSeparableOutputFirst>(cfg.ports, cfg.vcs,
+                                                      cfg.arb);
+    case AllocatorKind::kWavefront:
+      // The pre-selection arbiters are off the critical path, so the simpler
+      // round-robin arbiters are always used there (Sec. 4.3.1 rationale).
+      return std::make_unique<SaWavefront>(cfg.ports, cfg.vcs,
+                                           ArbiterKind::kRoundRobin);
+    case AllocatorKind::kMaximumSize:
+      return std::make_unique<SaMaxSize>(cfg.ports, cfg.vcs);
+  }
+  NOCALLOC_CHECK(false);
+}
+
+}  // namespace nocalloc

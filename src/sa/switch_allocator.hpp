@@ -1,0 +1,76 @@
+// Switch allocators (Becker & Dally Sec. 5, Fig. 8).
+//
+// Switch allocation matches the router's P input ports to its P output ports
+// for one crossbar cycle, driven by per-VC requests: each of the V VCs at an
+// input port may request one output port, and at most one VC per input port
+// may be granted (the port has a single crossbar input). The result is both
+// a P x P port matching and, per granted input port, the winning VC.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "arbiter/arbiter.hpp"
+#include "common/bit_matrix.hpp"
+
+namespace nocalloc {
+
+/// One input VC's switch request.
+struct SwitchRequest {
+  bool valid = false;  // VC has a flit ready for switch traversal
+  int out_port = -1;   // output port the flit needs
+};
+
+/// Per-input-port grant.
+struct SwitchGrant {
+  int vc = -1;        // winning VC at this input port, or -1 if none
+  int out_port = -1;  // output port granted to this input port
+  bool granted() const { return vc >= 0; }
+};
+
+class SwitchAllocator {
+ public:
+  SwitchAllocator(std::size_t ports, std::size_t vcs)
+      : ports_(ports), vcs_(vcs) {}
+  virtual ~SwitchAllocator() = default;
+
+  std::size_t ports() const { return ports_; }
+  std::size_t vcs() const { return vcs_; }
+  std::size_t total() const { return ports_ * vcs_; }
+
+  /// Performs one cycle of switch allocation. `req` has one entry per input
+  /// VC (global index port * V + vc); `grant` receives one entry per input
+  /// port. Grants form a valid port matching and each winning VC is one that
+  /// requested the granted output.
+  virtual void allocate(const std::vector<SwitchRequest>& req,
+                        std::vector<SwitchGrant>& grant) = 0;
+
+  virtual void reset() = 0;
+
+ protected:
+  void prepare(const std::vector<SwitchRequest>& req,
+               std::vector<SwitchGrant>& grant) const;
+
+  /// P x P union request matrix: entry (p, o) set iff any VC at input port p
+  /// requests output port o.
+  void port_requests(const std::vector<SwitchRequest>& req,
+                     BitMatrix& out) const;
+
+ private:
+  std::size_t ports_;
+  std::size_t vcs_;
+};
+
+struct SwitchAllocatorConfig {
+  std::size_t ports = 0;
+  std::size_t vcs = 0;
+  AllocatorKind kind = AllocatorKind::kSeparableInputFirst;
+  ArbiterKind arb = ArbiterKind::kRoundRobin;
+};
+
+std::unique_ptr<SwitchAllocator> make_switch_allocator(
+    const SwitchAllocatorConfig& cfg);
+
+}  // namespace nocalloc

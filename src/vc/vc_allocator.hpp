@@ -1,0 +1,82 @@
+// VC allocators (Becker & Dally Sec. 4, Fig. 3).
+//
+// The VC allocator matches the P x V input VCs of a router to the P x V
+// output VCs, subject to the structural constraint that all output VCs a
+// given input VC may request in one cycle live at a single output port (the
+// one chosen by the routing function).
+//
+// The caller (router or quality harness) supplies, per input VC, the
+// destination output port and a V-wide candidate mask over that port's VCs.
+// The mask already encodes message class, allowed resource-class transitions
+// and output-VC availability; the allocator's job is purely the matching.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "arbiter/arbiter.hpp"
+#include "common/bit_matrix.hpp"
+#include "vc/vc_partition.hpp"
+
+namespace nocalloc {
+
+/// One input VC's VC-allocation request.
+struct VcRequest {
+  bool valid = false;   // head flit waiting for an output VC
+  int out_port = -1;    // destination output port (from routing)
+  ReqVector vc_mask;    // V-wide candidate mask over out_port's VCs
+};
+
+class VcAllocator {
+ public:
+  VcAllocator(std::size_t ports, std::size_t vcs)
+      : ports_(ports), vcs_(vcs) {}
+  virtual ~VcAllocator() = default;
+
+  std::size_t ports() const { return ports_; }
+  std::size_t vcs() const { return vcs_; }
+  std::size_t total() const { return ports_ * vcs_; }
+
+  /// Performs one cycle of VC allocation. `req` has one entry per input VC
+  /// (global index port * V + vc). On return, `grant[i]` holds the granted
+  /// global output VC for input VC i, or -1. The result is a matching: no
+  /// output VC is granted twice and each input VC receives at most one VC
+  /// from its candidate mask.
+  virtual void allocate(const std::vector<VcRequest>& req,
+                        std::vector<int>& grant) = 0;
+
+  /// Resets priority state.
+  virtual void reset() = 0;
+
+ protected:
+  /// Validates request shape and clears the grant vector.
+  void prepare(const std::vector<VcRequest>& req, std::vector<int>& grant) const;
+
+  /// Expands per-input-VC requests into a (P*V) x (P*V) request matrix.
+  void expand_requests(const std::vector<VcRequest>& req, BitMatrix& out) const;
+
+ private:
+  std::size_t ports_;
+  std::size_t vcs_;
+};
+
+/// Configuration for a VC allocator instance. The partition is carried along
+/// so the hardware model can derive the sparse structure for the same design.
+struct VcAllocatorConfig {
+  std::size_t ports = 0;
+  VcPartition partition;
+  AllocatorKind kind = AllocatorKind::kSeparableInputFirst;
+  ArbiterKind arb = ArbiterKind::kRoundRobin;
+  /// When true, the wavefront variant is assembled as M independent
+  /// per-message-class blocks (the sparse structure of Sec. 4.2) instead of
+  /// one monolithic PV x PV block. Matching results are equivalent; the flag
+  /// exists so tests can validate that equivalence and so the behavioural
+  /// model mirrors the structure the hardware generators cost out.
+  bool sparse = false;
+};
+
+std::unique_ptr<VcAllocator> make_vc_allocator(const VcAllocatorConfig& cfg);
+
+}  // namespace nocalloc

@@ -1,0 +1,149 @@
+#include "vc/vc_partition.hpp"
+
+namespace nocalloc {
+
+VcPartition::VcPartition(std::size_t message_classes,
+                         std::size_t resource_classes,
+                         std::size_t vcs_per_class)
+    : m_(message_classes),
+      r_(resource_classes),
+      c_(vcs_per_class),
+      allowed_(resource_classes * resource_classes, 0) {
+  NOCALLOC_CHECK(m_ > 0 && r_ > 0 && c_ > 0);
+  // Packets may always continue within their current resource class.
+  for (std::size_t r = 0; r < r_; ++r) allowed_[r * r_ + r] = 1;
+}
+
+void VcPartition::allow_transition(std::size_t from, std::size_t to) {
+  NOCALLOC_CHECK(from < r_ && to < r_);
+  allowed_[from * r_ + to] = 1;
+}
+
+std::size_t VcPartition::message_class_of(std::size_t vc) const {
+  NOCALLOC_CHECK(vc < total_vcs());
+  return vc / (r_ * c_);
+}
+
+std::size_t VcPartition::resource_class_of(std::size_t vc) const {
+  NOCALLOC_CHECK(vc < total_vcs());
+  return (vc / c_) % r_;
+}
+
+std::size_t VcPartition::lane_of(std::size_t vc) const {
+  NOCALLOC_CHECK(vc < total_vcs());
+  return vc % c_;
+}
+
+std::size_t VcPartition::class_base(std::size_t m, std::size_t r) const {
+  NOCALLOC_CHECK(m < m_ && r < r_);
+  return (m * r_ + r) * c_;
+}
+
+bool VcPartition::transition_allowed(std::size_t from_r, std::size_t to_r) const {
+  NOCALLOC_CHECK(from_r < r_ && to_r < r_);
+  return allowed_[from_r * r_ + to_r] != 0;
+}
+
+std::vector<std::size_t> VcPartition::successors(std::size_t from_r) const {
+  std::vector<std::size_t> out;
+  for (std::size_t to = 0; to < r_; ++to) {
+    if (transition_allowed(from_r, to)) out.push_back(to);
+  }
+  return out;
+}
+
+std::vector<std::size_t> VcPartition::predecessors(std::size_t to_r) const {
+  std::vector<std::size_t> out;
+  for (std::size_t from = 0; from < r_; ++from) {
+    if (transition_allowed(from, to_r)) out.push_back(from);
+  }
+  return out;
+}
+
+bool VcPartition::is_chain() const {
+  for (std::size_t r = 0; r < r_; ++r) {
+    std::size_t succ = 0;
+    std::size_t pred = 0;
+    for (std::size_t o = 0; o < r_; ++o) {
+      if (transition_allowed(r, o)) ++succ;
+      if (transition_allowed(o, r)) ++pred;
+    }
+    if (succ > 1 || pred > 1) return false;
+  }
+  return true;
+}
+
+BitMatrix VcPartition::transition_matrix() const {
+  const std::size_t v = total_vcs();
+  BitMatrix t(v, v);
+  for (std::size_t u = 0; u < v; ++u) {
+    for (std::size_t w = 0; w < v; ++w) {
+      if (message_class_of(u) == message_class_of(w) &&
+          transition_allowed(resource_class_of(u), resource_class_of(w))) {
+        t.set(u, w);
+      }
+    }
+  }
+  return t;
+}
+
+std::size_t VcPartition::legal_transition_count() const {
+  return transition_matrix().count();
+}
+
+void VcPartition::validate() const {
+  // The non-self part of the successor relation must be acyclic; since we
+  // only deal with small R, check via the "strictly increasing topological
+  // rank" property: repeated relaxation must converge.
+  std::vector<std::size_t> rank(r_, 0);
+  for (std::size_t pass = 0; pass <= r_; ++pass) {
+    bool changed = false;
+    for (std::size_t from = 0; from < r_; ++from) {
+      for (std::size_t to = 0; to < r_; ++to) {
+        if (from != to && transition_allowed(from, to) &&
+            rank[to] <= rank[from]) {
+          rank[to] = rank[from] + 1;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return;
+    // A cycle would keep ranks growing beyond R passes.
+    NOCALLOC_CHECK(pass < r_);
+  }
+}
+
+VcPartition VcPartition::mesh(std::size_t message_classes,
+                              std::size_t vcs_per_class) {
+  return VcPartition(message_classes, 1, vcs_per_class);
+}
+
+VcPartition VcPartition::fbfly(std::size_t message_classes,
+                               std::size_t vcs_per_class) {
+  VcPartition p(message_classes, 2, vcs_per_class);
+  p.allow_transition(0, 1);  // non-minimal phase may enter the minimal phase
+  return p;
+}
+
+VcPartition VcPartition::dateline(std::size_t message_classes,
+                                  std::size_t vcs_per_class) {
+  VcPartition p(message_classes, 2, vcs_per_class);
+  p.allow_transition(0, 1);  // crossing the dateline is one-way
+  return p;
+}
+
+VcPartition VcPartition::torus(std::size_t message_classes,
+                               std::size_t vcs_per_class) {
+  VcPartition p(message_classes, 4, vcs_per_class);
+  p.allow_transition(0, 1);  // x dateline crossing
+  p.allow_transition(0, 2);  // x done, enter y
+  p.allow_transition(1, 2);  // x done (after x dateline), enter y
+  p.allow_transition(2, 3);  // y dateline crossing
+  // A packet entering the y ring on the wrap link itself acquires the
+  // post-dateline class directly (the wrap link always carries class 3).
+  p.allow_transition(0, 3);
+  p.allow_transition(1, 3);
+  return p;
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,109 @@
+// VC partition specification (Becker & Dally Sec. 4.2).
+//
+// The paper factors the V virtual channels at each port as
+//
+//     V = M x R x C
+//
+// where M is the number of message classes (e.g. request/reply; a packet's
+// message class never changes), R the number of resource classes (e.g. the
+// two phases of UGAL/Valiant routing or dateline classes; a packet's resource
+// class changes only in a fixed partial order), and C the number of
+// functionally equivalent VCs within each class.
+//
+// A VcPartition captures M, R, C plus the allowed resource-class successor
+// relation, and derives the static VC-to-VC transition matrix (Fig. 4) that
+// sparse VC allocation exploits.
+//
+// VC index layout: vc = (m * R + r) * C + c, i.e. message class is the
+// outermost dimension and equivalent VCs within a class are contiguous.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bit_matrix.hpp"
+
+namespace nocalloc {
+
+class VcPartition {
+ public:
+  /// Uniform partition with the identity successor relation restricted to
+  /// r -> {r' : r' >= r} entries passed in `successors`; by default each
+  /// resource class may only continue in itself (R independent classes).
+  VcPartition(std::size_t message_classes, std::size_t resource_classes,
+              std::size_t vcs_per_class);
+
+  /// Trivial single-class partition (V = 1); default for config structs.
+  VcPartition() : VcPartition(1, 1, 1) {}
+
+  /// Declares that packets in resource class `from` may acquire VCs of
+  /// resource class `to` at the next hop. The relation must remain acyclic
+  /// apart from self-loops (that is what makes it deadlock-safe); this is
+  /// validated lazily by validate().
+  void allow_transition(std::size_t from, std::size_t to);
+
+  std::size_t message_classes() const { return m_; }
+  std::size_t resource_classes() const { return r_; }
+  std::size_t vcs_per_class() const { return c_; }
+  std::size_t total_vcs() const { return m_ * r_ * c_; }
+  std::size_t classes() const { return m_ * r_; }
+
+  /// Component accessors for a VC index.
+  std::size_t message_class_of(std::size_t vc) const;
+  std::size_t resource_class_of(std::size_t vc) const;
+  std::size_t lane_of(std::size_t vc) const;  // position within its class
+
+  /// First VC of class (m, r); the class occupies [base, base + C).
+  std::size_t class_base(std::size_t m, std::size_t r) const;
+
+  bool transition_allowed(std::size_t from_r, std::size_t to_r) const;
+
+  /// Resource classes reachable from `from_r` in one hop.
+  std::vector<std::size_t> successors(std::size_t from_r) const;
+  /// Resource classes that can reach `to_r` in one hop.
+  std::vector<std::size_t> predecessors(std::size_t to_r) const;
+
+  /// True if every resource class has at most one successor and at most one
+  /// predecessor (possibly itself). In that special case the resource-class
+  /// optimization also applies to the wavefront implementation (Sec. 4.2).
+  bool is_chain() const;
+
+  /// VxV transition matrix: entry (u, w) is set iff a packet holding input
+  /// VC u may legally request output VC w (same message class, allowed
+  /// resource-class transition). This reproduces Fig. 4.
+  BitMatrix transition_matrix() const;
+
+  /// Number of legal transitions (set entries of transition_matrix()); the
+  /// paper quotes 96 of 256 for the fbfly 2x2x4 configuration.
+  std::size_t legal_transition_count() const;
+
+  /// Checks structural sanity: nonzero dimensions and an acyclic (modulo
+  /// self-loop) successor relation. Aborts via NOCALLOC_CHECK on violation.
+  void validate() const;
+
+  /// Convenience factories for the paper's two design-point families.
+  /// Mesh: M message classes, a single resource class (DOR needs none).
+  static VcPartition mesh(std::size_t message_classes, std::size_t vcs_per_class);
+  /// Flattened butterfly under UGAL/Valiant: two resource classes with the
+  /// two-phase transition 0 -> {0, 1}, 1 -> {1}.
+  static VcPartition fbfly(std::size_t message_classes, std::size_t vcs_per_class);
+  /// Dateline scheme for rings/tori (Sec. 4.2's first resource-class
+  /// example): pre- and post-dateline classes with the same 0 -> {0, 1},
+  /// 1 -> {1} chain as the two-phase scheme.
+  static VcPartition dateline(std::size_t message_classes,
+                              std::size_t vcs_per_class);
+  /// Two-dimensional torus under dimension-order routing: four resource
+  /// classes -- x-pre (0), x-post (1), y-pre (2), y-post (3) datelines --
+  /// with the DAG 0 -> {1, 2}, 1 -> {2}, 2 -> {3} (plus self-loops).
+  /// Dimension order makes x classes strictly precede y classes, and each
+  /// dimension's dateline breaks its ring cycle.
+  static VcPartition torus(std::size_t message_classes,
+                           std::size_t vcs_per_class);
+
+ private:
+  std::size_t m_, r_, c_;
+  // allowed_[from * r_ + to]
+  std::vector<std::uint8_t> allowed_;
+};
+
+}  // namespace nocalloc

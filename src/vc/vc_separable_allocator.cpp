@@ -1,0 +1,113 @@
+#include "vc/vc_separable_allocator.hpp"
+
+#include "arbiter/tree_arbiter.hpp"
+
+namespace nocalloc {
+
+VcSeparableInputFirstAllocator::VcSeparableInputFirstAllocator(
+    std::size_t ports, std::size_t vcs, ArbiterKind arb)
+    : VcAllocator(ports, vcs) {
+  for (std::size_t i = 0; i < total(); ++i)
+    input_arb_.push_back(make_arbiter(arb, vcs));
+  for (std::size_t o = 0; o < total(); ++o)
+    output_arb_.push_back(std::make_unique<TreeArbiter>(arb, ports, vcs));
+}
+
+void VcSeparableInputFirstAllocator::allocate(const std::vector<VcRequest>& req,
+                                              std::vector<int>& grant) {
+  prepare(req, grant);
+
+  // Stage 1: each input VC selects one candidate output VC at its port.
+  // input_bid[i] = global output VC the input bids on, or -1.
+  std::vector<int> input_bid(total(), -1);
+  for (std::size_t i = 0; i < total(); ++i) {
+    const VcRequest& r = req[i];
+    if (!r.valid) continue;
+    const int v = input_arb_[i]->pick(r.vc_mask);
+    if (v < 0) continue;  // empty candidate mask
+    input_bid[i] = r.out_port * static_cast<int>(vcs()) + v;
+  }
+
+  // Stage 2: each output VC arbitrates among input VCs bidding for it.
+  ReqVector bids(total(), 0);
+  for (std::size_t o = 0; o < total(); ++o) {
+    bool any = false;
+    for (std::size_t i = 0; i < total(); ++i) {
+      const bool bid = input_bid[i] == static_cast<int>(o);
+      bids[i] = bid ? 1 : 0;
+      any = any || bid;
+    }
+    if (!any) continue;
+    const int winner = output_arb_[o]->pick(bids);
+    NOCALLOC_CHECK(winner >= 0);
+    grant[static_cast<std::size_t>(winner)] = static_cast<int>(o);
+    output_arb_[o]->update(winner);
+    // The winning input VC's stage-1 choice succeeded: advance its priority.
+    input_arb_[static_cast<std::size_t>(winner)]->update(
+        static_cast<int>(o % vcs()));
+  }
+}
+
+void VcSeparableInputFirstAllocator::reset() {
+  for (auto& a : input_arb_) a->reset();
+  for (auto& a : output_arb_) a->reset();
+}
+
+VcSeparableOutputFirstAllocator::VcSeparableOutputFirstAllocator(
+    std::size_t ports, std::size_t vcs, ArbiterKind arb)
+    : VcAllocator(ports, vcs) {
+  for (std::size_t o = 0; o < total(); ++o)
+    output_arb_.push_back(std::make_unique<TreeArbiter>(arb, ports, vcs));
+  for (std::size_t i = 0; i < total(); ++i)
+    input_arb_.push_back(make_arbiter(arb, vcs));
+}
+
+void VcSeparableOutputFirstAllocator::allocate(
+    const std::vector<VcRequest>& req, std::vector<int>& grant) {
+  prepare(req, grant);
+
+  BitMatrix full;
+  expand_requests(req, full);
+
+  // Stage 1: every output VC picks among all input VCs requesting it.
+  // output_choice[o] = winning input VC, or -1.
+  std::vector<int> output_choice(total(), -1);
+  ReqVector col(total(), 0);
+  for (std::size_t o = 0; o < total(); ++o) {
+    bool any = false;
+    for (std::size_t i = 0; i < total(); ++i) {
+      col[i] = full.get(i, o) ? 1 : 0;
+      any = any || col[i];
+    }
+    if (any) output_choice[o] = output_arb_[o]->pick(col);
+  }
+
+  // Stage 2: each input VC picks among the output VCs (all at its single
+  // destination port) that chose it.
+  ReqVector offered(vcs(), 0);
+  for (std::size_t i = 0; i < total(); ++i) {
+    const VcRequest& r = req[i];
+    if (!r.valid) continue;
+    const std::size_t base = static_cast<std::size_t>(r.out_port) * vcs();
+    bool any = false;
+    for (std::size_t v = 0; v < vcs(); ++v) {
+      const bool off = output_choice[base + v] == static_cast<int>(i);
+      offered[v] = off ? 1 : 0;
+      any = any || off;
+    }
+    if (!any) continue;
+    const int v = input_arb_[i]->pick(offered);
+    NOCALLOC_CHECK(v >= 0);
+    const std::size_t o = base + static_cast<std::size_t>(v);
+    grant[i] = static_cast<int>(o);
+    input_arb_[i]->update(v);
+    output_arb_[o]->update(static_cast<int>(i));
+  }
+}
+
+void VcSeparableOutputFirstAllocator::reset() {
+  for (auto& a : output_arb_) a->reset();
+  for (auto& a : input_arb_) a->reset();
+}
+
+}  // namespace nocalloc

@@ -1,0 +1,47 @@
+// Separable VC allocator assemblies (Fig. 3a / 3b).
+//
+// Input-first: each input VC's V:1 arbiter selects one candidate output VC
+// at its destination port; the selected requests then compete at PxV:1
+// output-VC arbiters (built as tree arbiters -- P V-input arbiters in
+// parallel with a P-input selector -- as Sec. 4.1 prescribes for delay).
+//
+// Output-first: each input VC eagerly forwards its full candidate mask; the
+// PxV:1 output-VC arbiters pick winners; since one input VC can win several
+// output VCs, a final V:1 arbiter per input VC picks the VC actually taken,
+// and the other output-side grants are discarded (those VCs stay unassigned
+// this cycle -- the source of sep_of's lower matching quality).
+#pragma once
+
+#include "vc/vc_allocator.hpp"
+
+namespace nocalloc {
+
+class VcSeparableInputFirstAllocator final : public VcAllocator {
+ public:
+  VcSeparableInputFirstAllocator(std::size_t ports, std::size_t vcs,
+                                 ArbiterKind arb);
+
+  void allocate(const std::vector<VcRequest>& req,
+                std::vector<int>& grant) override;
+  void reset() override;
+
+ private:
+  std::vector<std::unique_ptr<Arbiter>> input_arb_;   // per input VC, width V
+  std::vector<std::unique_ptr<Arbiter>> output_arb_;  // per output VC, width P*V
+};
+
+class VcSeparableOutputFirstAllocator final : public VcAllocator {
+ public:
+  VcSeparableOutputFirstAllocator(std::size_t ports, std::size_t vcs,
+                                  ArbiterKind arb);
+
+  void allocate(const std::vector<VcRequest>& req,
+                std::vector<int>& grant) override;
+  void reset() override;
+
+ private:
+  std::vector<std::unique_ptr<Arbiter>> output_arb_;  // per output VC, width P*V
+  std::vector<std::unique_ptr<Arbiter>> input_arb_;   // per input VC, width V
+};
+
+}  // namespace nocalloc

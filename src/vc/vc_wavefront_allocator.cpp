@@ -1,0 +1,80 @@
+#include "vc/vc_wavefront_allocator.hpp"
+
+namespace nocalloc {
+
+VcWavefrontAllocator::VcWavefrontAllocator(std::size_t ports,
+                                           const VcPartition& partition,
+                                           bool sparse)
+    : VcAllocator(ports, partition.total_vcs()),
+      partition_(partition),
+      sparse_(sparse) {
+  if (sparse_) {
+    const std::size_t block =
+        ports * partition_.resource_classes() * partition_.vcs_per_class();
+    for (std::size_t m = 0; m < partition_.message_classes(); ++m) {
+      cores_.push_back(std::make_unique<WavefrontAllocator>(block, block));
+    }
+  } else {
+    cores_.push_back(std::make_unique<WavefrontAllocator>(total(), total()));
+  }
+}
+
+void VcWavefrontAllocator::allocate_block(const std::vector<VcRequest>& req,
+                                          std::size_t vc_lo, std::size_t vc_hi,
+                                          WavefrontAllocator& core,
+                                          std::vector<int>& grant) {
+  const std::size_t width = vc_hi - vc_lo;  // VCs per port in this block
+  const std::size_t n = ports() * width;
+
+  // Build the block-local request matrix. Block-local index of (port, vc)
+  // is port * width + (vc - vc_lo).
+  BitMatrix block_req(n, n);
+  for (std::size_t p = 0; p < ports(); ++p) {
+    for (std::size_t v = vc_lo; v < vc_hi; ++v) {
+      const VcRequest& r = req[p * vcs() + v];
+      if (!r.valid) continue;
+      const std::size_t row = p * width + (v - vc_lo);
+      const std::size_t out_base =
+          static_cast<std::size_t>(r.out_port) * width;
+      for (std::size_t w = vc_lo; w < vc_hi; ++w) {
+        if (r.vc_mask[w]) block_req.set(row, out_base + (w - vc_lo));
+      }
+    }
+  }
+
+  BitMatrix block_gnt;
+  core.allocate(block_req, block_gnt);
+
+  for (std::size_t p = 0; p < ports(); ++p) {
+    for (std::size_t v = vc_lo; v < vc_hi; ++v) {
+      const std::size_t row = p * width + (v - vc_lo);
+      const int col = block_gnt.row_single(row);
+      if (col < 0) continue;
+      const std::size_t out_port = static_cast<std::size_t>(col) / width;
+      const std::size_t out_vc = vc_lo + static_cast<std::size_t>(col) % width;
+      grant[p * vcs() + v] = static_cast<int>(out_port * vcs() + out_vc);
+    }
+  }
+}
+
+void VcWavefrontAllocator::allocate(const std::vector<VcRequest>& req,
+                                    std::vector<int>& grant) {
+  prepare(req, grant);
+  if (sparse_) {
+    const std::size_t span =
+        partition_.resource_classes() * partition_.vcs_per_class();
+    for (std::size_t m = 0; m < partition_.message_classes(); ++m) {
+      // Requests of message class m only target VCs in [m*span, (m+1)*span);
+      // validated implicitly because out-of-block mask bits are ignored.
+      allocate_block(req, m * span, (m + 1) * span, *cores_[m], grant);
+    }
+  } else {
+    allocate_block(req, 0, vcs(), *cores_[0], grant);
+  }
+}
+
+void VcWavefrontAllocator::reset() {
+  for (auto& c : cores_) c->reset();
+}
+
+}  // namespace nocalloc

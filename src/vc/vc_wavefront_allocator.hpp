@@ -1,0 +1,44 @@
+// Wavefront VC allocator (Fig. 3c).
+//
+// Requests are expanded to a PV x PV matrix as in the output-first case and
+// fed to a wavefront core, whose grants are reduced back to one output VC per
+// input VC. Because the wavefront core produces a matching directly, no
+// post-arbitration is needed (the pre-selection arbiters Fig. 3c shows are
+// off the critical path and carry no matching semantics).
+//
+// In sparse mode (Sec. 4.2) the monolithic PV x PV block is replaced by M
+// independent (P*R*C) x (P*R*C) blocks, one per message class -- legal
+// requests never cross message classes, so the achievable matchings are
+// identical; only the hardware structure (and hence cost) differs.
+#pragma once
+
+#include "alloc/wavefront_allocator.hpp"
+#include "vc/vc_allocator.hpp"
+
+namespace nocalloc {
+
+class VcWavefrontAllocator final : public VcAllocator {
+ public:
+  VcWavefrontAllocator(std::size_t ports, const VcPartition& partition,
+                       bool sparse);
+
+  void allocate(const std::vector<VcRequest>& req,
+                std::vector<int>& grant) override;
+  void reset() override;
+
+  bool sparse() const { return sparse_; }
+
+ private:
+  /// Runs one wavefront block over the subset of VCs belonging to message
+  /// class m (all of them when sparse_ is false and m == 0).
+  void allocate_block(const std::vector<VcRequest>& req, std::size_t vc_lo,
+                      std::size_t vc_hi, WavefrontAllocator& core,
+                      std::vector<int>& grant);
+
+  VcPartition partition_;
+  bool sparse_;
+  // One core when dense; one per message class when sparse.
+  std::vector<std::unique_ptr<WavefrontAllocator>> cores_;
+};
+
+}  // namespace nocalloc

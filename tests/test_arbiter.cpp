@@ -1,0 +1,241 @@
+#include "arbiter/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "arbiter/matrix_arbiter.hpp"
+#include "arbiter/round_robin_arbiter.hpp"
+#include "arbiter/tree_arbiter.hpp"
+#include "common/rng.hpp"
+
+namespace nocalloc {
+namespace {
+
+ReqVector make_req(std::size_t size, std::initializer_list<std::size_t> set) {
+  ReqVector req(size, 0);
+  for (std::size_t i : set) req[i] = 1;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Round-robin specifics.
+
+TEST(RoundRobinArbiter, GrantsFirstRequestAtOrAfterPointer) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.pick(make_req(4, {2, 3})), 2);
+  EXPECT_EQ(arb.pick(make_req(4, {0})), 0);
+}
+
+TEST(RoundRobinArbiter, PointerAdvancesPastWinner) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.pick(make_req(4, {1, 2})), 1);
+  arb.update(1);
+  EXPECT_EQ(arb.pointer(), 2u);
+  // Same requests again: 1 now has lowest priority, so 2 wins.
+  EXPECT_EQ(arb.pick(make_req(4, {1, 2})), 2);
+}
+
+TEST(RoundRobinArbiter, WrapsAround) {
+  RoundRobinArbiter arb(3);
+  arb.update(2);  // pointer -> 0
+  EXPECT_EQ(arb.pointer(), 0u);
+  arb.update(1);
+  EXPECT_EQ(arb.pointer(), 2u);
+  EXPECT_EQ(arb.pick(make_req(3, {0, 1})), 0);  // wraps past empty slot 2
+}
+
+TEST(RoundRobinArbiter, NoRequestNoGrant) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.pick(ReqVector(4, 0)), -1);
+}
+
+TEST(RoundRobinArbiter, PickIsPure) {
+  RoundRobinArbiter arb(4);
+  const ReqVector req = make_req(4, {1, 3});
+  EXPECT_EQ(arb.pick(req), arb.pick(req));
+  EXPECT_EQ(arb.pointer(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix specifics.
+
+TEST(MatrixArbiter, InitialPriorityIsIndexOrder) {
+  MatrixArbiter arb(4);
+  EXPECT_EQ(arb.pick(make_req(4, {1, 2, 3})), 1);
+}
+
+TEST(MatrixArbiter, WinnerBecomesLeastRecentlyServed) {
+  MatrixArbiter arb(3);
+  EXPECT_EQ(arb.pick(make_req(3, {0, 1, 2})), 0);
+  arb.update(0);
+  EXPECT_EQ(arb.pick(make_req(3, {0, 1, 2})), 1);
+  arb.update(1);
+  EXPECT_EQ(arb.pick(make_req(3, {0, 1, 2})), 2);
+  arb.update(2);
+  EXPECT_EQ(arb.pick(make_req(3, {0, 1, 2})), 0);
+}
+
+TEST(MatrixArbiter, ProvidesLrsFairnessForPairs) {
+  MatrixArbiter arb(4);
+  arb.update(0);  // 0 just served
+  // 0 vs 3: 3 has not been served since, so 3 should beat 0.
+  EXPECT_EQ(arb.pick(make_req(4, {0, 3})), 3);
+}
+
+TEST(MatrixArbiter, PriorityRelationStaysTotalOrder) {
+  // The winner-loses-all update must preserve the total order, which in
+  // turn guarantees a winner exists for every non-empty request set.
+  MatrixArbiter arb(5);
+  Rng rng(9);
+  for (int step = 0; step < 200; ++step) {
+    ReqVector req(5, 0);
+    bool any = false;
+    for (auto& r : req) {
+      r = rng.next_bool(0.5) ? 1 : 0;
+      any = any || r;
+    }
+    const int winner = arb.pick(req);
+    if (any) {
+      ASSERT_GE(winner, 0);
+      ASSERT_TRUE(req[static_cast<std::size_t>(winner)]);
+      arb.update(winner);
+    } else {
+      ASSERT_EQ(winner, -1);
+    }
+  }
+}
+
+TEST(MatrixArbiter, ResetRestoresInitialOrder) {
+  MatrixArbiter arb(3);
+  arb.update(0);
+  arb.reset();
+  EXPECT_EQ(arb.pick(make_req(3, {0, 1})), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tree arbiter.
+
+TEST(TreeArbiter, CombinesGroupAndLocalDecision) {
+  TreeArbiter arb(ArbiterKind::kRoundRobin, 2, 3);  // 2 groups of 3
+  EXPECT_EQ(arb.size(), 6u);
+  // Requests only in group 1.
+  EXPECT_EQ(arb.pick(make_req(6, {4, 5})), 4);
+}
+
+TEST(TreeArbiter, UpdateOnlyTouchesWinningGroup) {
+  TreeArbiter arb(ArbiterKind::kRoundRobin, 2, 2);
+  EXPECT_EQ(arb.pick(make_req(4, {0, 1, 2, 3})), 0);
+  arb.update(0);
+  // Group 0's local arbiter advanced (and the top arbiter moved to group 1),
+  // but group 1's local arbiter still prefers its index 0 (global 2).
+  EXPECT_EQ(arb.pick(make_req(4, {2, 3})), 2);
+  // Within group 0, input 1 now has priority over input 0.
+  arb.update(2);
+  EXPECT_EQ(arb.pick(make_req(4, {0, 1})), 1);
+}
+
+TEST(TreeArbiter, RejectsMismatchedWidth) {
+  TreeArbiter arb(ArbiterKind::kMatrix, 2, 2);
+  EXPECT_DEATH(arb.pick(ReqVector(3, 1)), "check failed");
+}
+
+// ---------------------------------------------------------------------------
+// Properties common to all arbiter architectures.
+
+struct ArbiterParam {
+  ArbiterKind kind;
+  std::size_t size;
+};
+
+class ArbiterPropertyTest : public ::testing::TestWithParam<ArbiterParam> {
+ protected:
+  std::unique_ptr<Arbiter> make() const {
+    return make_arbiter(GetParam().kind, GetParam().size);
+  }
+};
+
+TEST_P(ArbiterPropertyTest, GrantImpliesRequest) {
+  auto arb = make();
+  Rng rng(1);
+  const std::size_t n = arb->size();
+  for (int step = 0; step < 300; ++step) {
+    ReqVector req(n, 0);
+    for (auto& r : req) r = rng.next_bool(0.4) ? 1 : 0;
+    const int g = arb->pick(req);
+    bool any = false;
+    for (auto r : req) any = any || r;
+    if (any) {
+      ASSERT_GE(g, 0);
+      ASSERT_LT(static_cast<std::size_t>(g), n);
+      ASSERT_TRUE(req[static_cast<std::size_t>(g)]);
+      arb->update(g);
+    } else {
+      ASSERT_EQ(g, -1);
+    }
+  }
+}
+
+TEST_P(ArbiterPropertyTest, SingleRequesterAlwaysWins) {
+  auto arb = make();
+  const std::size_t n = arb->size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ReqVector req(n, 0);
+    req[i] = 1;
+    EXPECT_EQ(arb->pick(req), static_cast<int>(i));
+    arb->update(static_cast<int>(i));
+  }
+}
+
+TEST_P(ArbiterPropertyTest, PersistentRequesterServedWithinNRounds) {
+  // Weak fairness: with all inputs requesting continuously and updates
+  // applied, every input must win at least once in any window of N rounds.
+  auto arb = make();
+  const std::size_t n = arb->size();
+  ReqVector req(n, 1);
+  std::map<int, int> wins;
+  for (std::size_t round = 0; round < 3 * n; ++round) {
+    const int g = arb->pick(req);
+    ASSERT_GE(g, 0);
+    ++wins[g];
+    arb->update(g);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(wins[static_cast<int>(i)], 1) << "input " << i << " starved";
+  }
+}
+
+TEST_P(ArbiterPropertyTest, ResetIsIdempotent) {
+  auto arb = make();
+  ReqVector req(arb->size(), 1);
+  const int first = arb->pick(req);
+  arb->update(first);
+  arb->reset();
+  EXPECT_EQ(arb->pick(req), first);
+  arb->reset();
+  EXPECT_EQ(arb->pick(req), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, ArbiterPropertyTest,
+    ::testing::Values(ArbiterParam{ArbiterKind::kRoundRobin, 1},
+                      ArbiterParam{ArbiterKind::kRoundRobin, 2},
+                      ArbiterParam{ArbiterKind::kRoundRobin, 5},
+                      ArbiterParam{ArbiterKind::kRoundRobin, 16},
+                      ArbiterParam{ArbiterKind::kMatrix, 1},
+                      ArbiterParam{ArbiterKind::kMatrix, 2},
+                      ArbiterParam{ArbiterKind::kMatrix, 5},
+                      ArbiterParam{ArbiterKind::kMatrix, 16}),
+    [](const ::testing::TestParamInfo<ArbiterParam>& info) {
+      return to_string(info.param.kind) + "_" +
+             std::to_string(info.param.size);
+    });
+
+TEST(ArbiterFactory, NamesMatchPaperLabels) {
+  EXPECT_EQ(to_string(ArbiterKind::kRoundRobin), "rr");
+  EXPECT_EQ(to_string(ArbiterKind::kMatrix), "m");
+}
+
+}  // namespace
+}  // namespace nocalloc

@@ -1,0 +1,129 @@
+#include "common/bit_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalloc {
+namespace {
+
+TEST(BitMatrix, StartsEmpty) {
+  BitMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.count(), 0u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_FALSE(m.get(r, c));
+  }
+}
+
+TEST(BitMatrix, SetAndClearEntries) {
+  BitMatrix m(2, 2);
+  m.set(0, 1);
+  EXPECT_TRUE(m.get(0, 1));
+  EXPECT_EQ(m.count(), 1u);
+  m.set(0, 1, false);
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BitMatrix, RowAndColumnCounts) {
+  BitMatrix m(3, 3);
+  m.set(0, 0);
+  m.set(0, 2);
+  m.set(2, 2);
+  EXPECT_EQ(m.row_count(0), 2u);
+  EXPECT_EQ(m.row_count(1), 0u);
+  EXPECT_EQ(m.col_count(2), 2u);
+  EXPECT_TRUE(m.row_any(0));
+  EXPECT_FALSE(m.row_any(1));
+  EXPECT_TRUE(m.col_any(0));
+  EXPECT_FALSE(m.col_any(1));
+}
+
+TEST(BitMatrix, RowSingleFindsUniqueEntry) {
+  BitMatrix m(2, 5);
+  EXPECT_EQ(m.row_single(0), -1);
+  m.set(0, 3);
+  EXPECT_EQ(m.row_single(0), 3);
+}
+
+TEST(BitMatrix, RowSingleAbortsOnMultipleEntries) {
+  BitMatrix m(1, 3);
+  m.set(0, 0);
+  m.set(0, 2);
+  EXPECT_DEATH(m.row_single(0), "check failed");
+}
+
+TEST(BitMatrix, IsMatchingAcceptsValidMatching) {
+  BitMatrix m(3, 3);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(2, 0);
+  EXPECT_TRUE(m.is_matching());
+}
+
+TEST(BitMatrix, IsMatchingRejectsRowConflict) {
+  BitMatrix m(2, 3);
+  m.set(0, 0);
+  m.set(0, 1);
+  EXPECT_FALSE(m.is_matching());
+}
+
+TEST(BitMatrix, IsMatchingRejectsColumnConflict) {
+  BitMatrix m(3, 2);
+  m.set(0, 1);
+  m.set(2, 1);
+  EXPECT_FALSE(m.is_matching());
+}
+
+TEST(BitMatrix, SubsetRelation) {
+  BitMatrix req(2, 2), gnt(2, 2);
+  req.set(0, 0);
+  req.set(1, 1);
+  gnt.set(0, 0);
+  EXPECT_TRUE(gnt.is_subset_of(req));
+  gnt.set(1, 0);
+  EXPECT_FALSE(gnt.is_subset_of(req));
+}
+
+TEST(BitMatrix, ResizeResetsContents) {
+  BitMatrix m(2, 2);
+  m.set(1, 1);
+  m.resize(4, 3);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BitMatrix, ClearKeepsShape) {
+  BitMatrix m(2, 3);
+  m.set(0, 0);
+  m.clear();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BitMatrix, EqualityComparesContents) {
+  BitMatrix a(2, 2), b(2, 2);
+  EXPECT_EQ(a, b);
+  a.set(0, 1);
+  EXPECT_NE(a, b);
+  b.set(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitMatrix, ToStringRendersGrid) {
+  BitMatrix m(2, 2);
+  m.set(0, 0);
+  m.set(1, 1);
+  EXPECT_EQ(m.to_string(), "X.\n.X\n");
+}
+
+TEST(BitMatrix, OutOfRangeAccessAborts) {
+  BitMatrix m(2, 2);
+  EXPECT_DEATH(m.get(2, 0), "check failed");
+  EXPECT_DEATH(m.set(0, 2), "check failed");
+}
+
+}  // namespace
+}  // namespace nocalloc

@@ -1,0 +1,57 @@
+#include "noc/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalloc::noc {
+namespace {
+
+TEST(Channel, DeliversAfterLatency) {
+  Channel<int> ch(3);
+  ch.send(42, 10);
+  EXPECT_FALSE(ch.receive(11).has_value());
+  EXPECT_FALSE(ch.receive(12).has_value());
+  auto v = ch.receive(13);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Channel, EmptyChannelReturnsNothing) {
+  Channel<int> ch(1);
+  EXPECT_FALSE(ch.receive(0).has_value());
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, PipelinesBackToBackItems) {
+  Channel<int> ch(2);
+  ch.send(1, 0);
+  ch.send(2, 1);
+  ch.send(3, 2);
+  EXPECT_EQ(*ch.receive(2), 1);
+  EXPECT_EQ(*ch.receive(3), 2);
+  EXPECT_EQ(*ch.receive(4), 3);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, RejectsTwoSendsInOneCycle) {
+  Channel<int> ch(1);
+  ch.send(1, 5);
+  EXPECT_DEATH(ch.send(2, 5), "check failed");
+}
+
+TEST(Channel, RejectsSkippedDelivery) {
+  // Consumers must poll every cycle; missing an arrival is a protocol bug.
+  Channel<int> ch(1);
+  ch.send(1, 0);
+  EXPECT_DEATH(ch.receive(5), "check failed");
+}
+
+TEST(Channel, MinimumLatencyIsOne) {
+  EXPECT_DEATH(Channel<int>(0), "check failed");
+}
+
+TEST(Channel, LatencyAccessor) {
+  EXPECT_EQ(Channel<int>(2).latency(), 2u);
+}
+
+}  // namespace
+}  // namespace nocalloc::noc

@@ -1,0 +1,284 @@
+#include "hw/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/analysis.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+TEST(CellLibrary, AllCellsHaveParams) {
+  for (std::size_t i = 0; i < kCellKindCount; ++i) {
+    const CellParams& p = cell_params(static_cast<CellKind>(i));
+    EXPECT_NE(p.name, nullptr);
+    EXPECT_GE(p.area_um2, 0.0);
+    EXPECT_GE(p.input_cap_ff, 0.0);
+  }
+}
+
+TEST(CellLibrary, InverterIsReference) {
+  const CellParams& inv = cell_params(CellKind::kInv);
+  EXPECT_DOUBLE_EQ(inv.logical_effort, 1.0);
+  EXPECT_DOUBLE_EQ(inv.parasitic, 1.0);
+}
+
+TEST(Netlist, BuildsTopologicallyOrderedGraph) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  const NodeId b = nl.input();
+  const NodeId g = nl.and2(a, b);
+  EXPECT_EQ(nl.size(), 3u);
+  EXPECT_GT(g, a);
+  EXPECT_GT(g, b);
+  EXPECT_EQ(nl.node(g).kind, CellKind::kAnd2);
+  EXPECT_EQ(nl.node(g).fanin_count, 2);
+}
+
+TEST(Netlist, RejectsForwardReferences) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  EXPECT_DEATH(nl.and2(a, a + 5), "check failed");
+}
+
+TEST(Netlist, TreeOfOneIsPassThrough) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  std::vector<NodeId> in{a};
+  EXPECT_EQ(nl.tree(CellKind::kOr2, in), a);
+  EXPECT_EQ(nl.size(), 1u);  // no gate added
+}
+
+TEST(Netlist, TreeIsBalanced) {
+  Netlist nl;
+  auto in = nl.inputs(8);
+  nl.or_tree(in);
+  // 8 -> 4 -> 2 -> 1: exactly 7 OR2 gates.
+  EXPECT_EQ(nl.size(), 8u + 7u);
+}
+
+TEST(Netlist, TreeOfEmptyIsConstant) {
+  Netlist nl;
+  std::vector<NodeId> empty;
+  const NodeId c = nl.tree(CellKind::kAnd2, empty);
+  EXPECT_EQ(nl.node(c).kind, CellKind::kConst);
+}
+
+TEST(Netlist, PrefixOrComputesInclusivePrefixStructure) {
+  // Structural check: element i's cone must include inputs 0..i. We verify
+  // by simulating the OR network.
+  Netlist nl;
+  auto in = nl.inputs(7);
+  auto prefix = nl.prefix_or(in);
+  ASSERT_EQ(prefix.size(), 7u);
+
+  // Evaluate the netlist for each single-hot input pattern.
+  for (std::size_t hot = 0; hot < 7; ++hot) {
+    std::vector<int> value(nl.size(), 0);
+    value[static_cast<std::size_t>(in[hot])] = 1;
+    for (std::size_t n = 0; n < nl.size(); ++n) {
+      const Node& node = nl.node(static_cast<NodeId>(n));
+      if (node.kind == CellKind::kOr2) {
+        value[n] = value[static_cast<std::size_t>(node.fanin[0])] |
+                   value[static_cast<std::size_t>(node.fanin[1])];
+      }
+    }
+    for (std::size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(value[static_cast<std::size_t>(prefix[i])], i >= hot ? 1 : 0)
+          << "hot=" << hot << " i=" << i;
+    }
+  }
+}
+
+TEST(Netlist, OnehotMuxSizes) {
+  Netlist nl;
+  auto data = nl.inputs(4);
+  auto sel = nl.inputs(4);
+  nl.onehot_mux(data, sel);
+  // 4 AND + 3 OR on top of the 8 inputs.
+  EXPECT_EQ(nl.size(), 8u + 4u + 3u);
+}
+
+TEST(Netlist, StateAndCaptureRoundTrip) {
+  Netlist nl;
+  const NodeId q = nl.state();
+  const NodeId d = nl.inv(q);
+  nl.capture(d);
+  EXPECT_EQ(nl.captures().size(), 1u);
+  EXPECT_EQ(nl.captures()[0], d);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-attribution scopes.
+
+TEST(NetlistScopes, NodesDefaultToTop) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  EXPECT_EQ(nl.node_scope(a), "top");
+}
+
+TEST(NetlistScopes, NestedScopesJoinWithSlash) {
+  Netlist nl;
+  nl.begin_scope("alpha");
+  const NodeId a = nl.input();
+  nl.begin_scope("beta");
+  const NodeId b = nl.input();
+  nl.end_scope();
+  const NodeId c = nl.input();
+  nl.end_scope();
+  const NodeId d = nl.input();
+  EXPECT_EQ(nl.node_scope(a), "alpha");
+  EXPECT_EQ(nl.node_scope(b), "alpha/beta");
+  EXPECT_EQ(nl.node_scope(c), "alpha");
+  EXPECT_EQ(nl.node_scope(d), "top");
+}
+
+TEST(NetlistScopes, RaiiScopeRestores) {
+  Netlist nl;
+  {
+    Netlist::Scope scope(nl, "inner");
+    EXPECT_EQ(nl.node_scope(nl.input()), "inner");
+  }
+  EXPECT_EQ(nl.node_scope(nl.input()), "top");
+}
+
+TEST(NetlistScopes, UnbalancedEndScopeAborts) {
+  Netlist nl;
+  EXPECT_DEATH(nl.end_scope(), "check failed");
+}
+
+TEST(AreaBreakdown, AttributesCellsToScopes) {
+  Netlist nl;
+  auto in = nl.inputs(4);
+  nl.begin_scope("left");
+  nl.mark_output(nl.and2(in[0], in[1]));
+  nl.end_scope();
+  nl.begin_scope("right");
+  nl.mark_output(nl.or2(in[2], in[3]));
+  nl.mark_output(nl.inv(in[0]));
+  nl.end_scope();
+
+  const auto breakdown = area_breakdown(nl);
+  ASSERT_EQ(breakdown.size(), 2u);
+  // "right" (OR2 + INV) outweighs "left" (AND2) in area.
+  EXPECT_EQ(breakdown[0].scope, "right");
+  EXPECT_EQ(breakdown[0].cells, 2u);
+  EXPECT_EQ(breakdown[1].scope, "left");
+  EXPECT_EQ(breakdown[1].cells, 1u);
+  // Inputs carry no area and appear in no scope bucket.
+  double total = 0;
+  for (const auto& s : breakdown) total += s.area_um2;
+  EXPECT_DOUBLE_EQ(total, analyze(nl, ProcessParams{}).area_um2);
+}
+
+// ---------------------------------------------------------------------------
+// Analysis.
+
+TEST(Analysis, EmptyChainHasZeroDelay) {
+  Netlist nl;
+  nl.input();
+  const SynthesisResult r = analyze(nl, ProcessParams{});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.delay_ns, 0.0);
+}
+
+TEST(Analysis, DelayGrowsWithLogicDepth) {
+  ProcessParams process;
+  double prev = 0.0;
+  for (int depth : {1, 4, 16}) {
+    Netlist nl;
+    NodeId n = nl.input();
+    for (int i = 0; i < depth; ++i) n = nl.inv(n);
+    nl.mark_output(n);
+    const SynthesisResult r = analyze(nl, process);
+    EXPECT_GT(r.delay_ns, prev);
+    prev = r.delay_ns;
+  }
+}
+
+TEST(Analysis, TreeDelayIsLogarithmic) {
+  ProcessParams process;
+  auto delay_of = [&](std::size_t width) {
+    Netlist nl;
+    auto in = nl.inputs(width);
+    nl.mark_output(nl.or_tree(in));
+    return analyze(nl, process).delay_ns;
+  };
+  const double d4 = delay_of(4);
+  const double d16 = delay_of(16);
+  const double d64 = delay_of(64);
+  // Each 4x width step adds about the same delay increment (2 OR levels).
+  EXPECT_NEAR(d64 - d16, d16 - d4, 0.35 * (d16 - d4));
+}
+
+TEST(Analysis, HighFanoutTriggersBuffering) {
+  ProcessParams process;
+  // One inverter driving 64 loads must cost more delay and area than one
+  // driving a single load, but far less than 64x (buffer tree, not linear).
+  Netlist small, big;
+  {
+    const NodeId a = small.input();
+    const NodeId x = small.inv(a);
+    small.mark_output(small.inv(x));
+  }
+  {
+    const NodeId a = big.input();
+    const NodeId x = big.inv(a);
+    for (int i = 0; i < 64; ++i) big.mark_output(big.inv(x));
+  }
+  const SynthesisResult rs = analyze(small, process);
+  const SynthesisResult rb = analyze(big, process);
+  EXPECT_GT(rb.delay_ns, rs.delay_ns);
+  EXPECT_LT(rb.delay_ns, 8.0 * rs.delay_ns);
+  EXPECT_GT(rb.area_um2, rs.area_um2);
+}
+
+TEST(Analysis, DffBoundsThePath) {
+  ProcessParams process;
+  Netlist nl;
+  NodeId n = nl.input();
+  for (int i = 0; i < 10; ++i) n = nl.inv(n);
+  const NodeId q = nl.dff(n);
+  nl.mark_output(nl.inv(q));
+  const SynthesisResult r = analyze(nl, process);
+  // The path is cut at the flop: total delay is max(input->D, clk->q->out),
+  // well below the sum of both segments.
+  Netlist uncut;
+  NodeId m = uncut.input();
+  for (int i = 0; i < 12; ++i) m = uncut.inv(m);
+  uncut.mark_output(m);
+  const SynthesisResult ru = analyze(uncut, process);
+  EXPECT_LT(r.delay_ns, ru.delay_ns);
+}
+
+TEST(Analysis, NodeLimitModelsSynthesisFailure) {
+  ProcessParams process;
+  process.synthesis_node_limit = 10;
+  Netlist nl;
+  auto in = nl.inputs(16);
+  nl.mark_output(nl.or_tree(in));
+  const SynthesisResult r = analyze(nl, process);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.delay_ns, 0.0);
+  EXPECT_EQ(r.area_um2, 0.0);
+  EXPECT_GT(r.node_count, 10u);
+}
+
+TEST(Analysis, PowerScalesWithSizeAtFixedDelay) {
+  ProcessParams process;
+  auto result_of = [&](std::size_t copies) {
+    Netlist nl;
+    for (std::size_t c = 0; c < copies; ++c) {
+      auto in = nl.inputs(8);
+      nl.mark_output(nl.or_tree(in));
+    }
+    return analyze(nl, process);
+  };
+  const SynthesisResult one = result_of(1);
+  const SynthesisResult four = result_of(4);
+  EXPECT_NEAR(four.delay_ns, one.delay_ns, 1e-9);  // parallel copies
+  EXPECT_GT(four.power_mw, 3.0 * one.power_mw);
+  EXPECT_NEAR(four.area_um2, 4.0 * one.area_um2, 1e-6);
+}
+
+}  // namespace
+}  // namespace nocalloc::hw

@@ -1,0 +1,530 @@
+// Functional equivalence between the generated gate-level netlists and the
+// behavioural allocator models -- the reproduction's substitute for RTL
+// simulation of the paper's Verilog. Every test drives identical stimulus
+// through a generated circuit (via NetlistSimulator) and the corresponding
+// behavioural object, and requires bit-identical grants.
+#include <gtest/gtest.h>
+
+#include "alloc/wavefront_allocator.hpp"
+#include "arbiter/matrix_arbiter.hpp"
+#include "arbiter/round_robin_arbiter.hpp"
+#include "arbiter/tree_arbiter.hpp"
+#include "common/rng.hpp"
+#include "hw/arbiter_gen.hpp"
+#include "hw/netlist_sim.hpp"
+#include "hw/sa_gen.hpp"
+#include "hw/vc_alloc_gen.hpp"
+#include "hw/wavefront_gen.hpp"
+#include "sa/sa_separable.hpp"
+#include "sa/speculative_switch_allocator.hpp"
+#include "vc/vc_allocator.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arbiters: multi-cycle equivalence including priority updates.
+
+struct ArbiterHarness {
+  Netlist nl;
+  std::vector<NodeId> req;
+  std::unique_ptr<NetlistSimulator> sim;
+  std::size_t n;
+
+  ArbiterHarness(ArbiterKind kind, std::size_t width, std::size_t groups = 1)
+      : n(width) {
+    req = nl.inputs(width);
+    const NodeId enable = nl.input();
+    ArbiterCircuit circuit =
+        groups == 1 ? gen_arbiter(nl, kind, req, enable)
+                    : gen_tree_arbiter(nl, kind, req, groups, enable);
+    for (NodeId g : circuit.gnt) nl.mark_output(g);
+    sim = std::make_unique<NetlistSimulator>(nl);
+  }
+
+  /// One clocked round: returns the granted index or -1. The enable is
+  /// asserted exactly when a grant exists (the on-success rule; in these
+  /// single-arbiter tests every grant is "successful").
+  int round(const ReqVector& requests) {
+    std::vector<bool> in(n + 1, false);
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = requests[i] != 0;
+      any = any || in[i];
+    }
+    in[n] = any;  // update enable
+    const std::vector<bool> gnt = sim->step(in);
+    int winner = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (gnt[i]) {
+        EXPECT_EQ(winner, -1) << "multiple grants";
+        winner = static_cast<int>(i);
+      }
+    }
+    return winner;
+  }
+};
+
+struct ArbiterEquivParam {
+  ArbiterKind kind;
+  std::size_t width;
+  std::size_t groups;
+};
+
+class ArbiterEquivalenceTest
+    : public ::testing::TestWithParam<ArbiterEquivParam> {};
+
+TEST_P(ArbiterEquivalenceTest, MatchesBehaviouralModelOverManyCycles) {
+  const ArbiterEquivParam& p = GetParam();
+  ArbiterHarness hw(p.kind, p.width, p.groups);
+  std::unique_ptr<Arbiter> sw =
+      p.groups == 1
+          ? make_arbiter(p.kind, p.width)
+          : std::make_unique<TreeArbiter>(p.kind, p.groups,
+                                          p.width / p.groups);
+  Rng rng(0xE0 + p.width);
+  ReqVector req(p.width, 0);
+  for (int cycle = 0; cycle < 500; ++cycle) {
+    for (auto& r : req) r = rng.next_bool(0.45) ? 1 : 0;
+    const int expected = sw->pick(req);
+    const int actual = hw.round(req);
+    ASSERT_EQ(actual, expected) << "cycle " << cycle;
+    if (expected >= 0) sw->update(expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, ArbiterEquivalenceTest,
+    ::testing::Values(ArbiterEquivParam{ArbiterKind::kRoundRobin, 2, 1},
+                      ArbiterEquivParam{ArbiterKind::kRoundRobin, 5, 1},
+                      ArbiterEquivParam{ArbiterKind::kRoundRobin, 8, 1},
+                      ArbiterEquivParam{ArbiterKind::kRoundRobin, 13, 1},
+                      ArbiterEquivParam{ArbiterKind::kMatrix, 2, 1},
+                      ArbiterEquivParam{ArbiterKind::kMatrix, 5, 1},
+                      ArbiterEquivParam{ArbiterKind::kMatrix, 8, 1},
+                      ArbiterEquivParam{ArbiterKind::kRoundRobin, 10, 5},
+                      ArbiterEquivParam{ArbiterKind::kMatrix, 12, 4}),
+    [](const ::testing::TestParamInfo<ArbiterEquivParam>& info) {
+      return to_string(info.param.kind) + "_w" +
+             std::to_string(info.param.width) + "_g" +
+             std::to_string(info.param.groups);
+    });
+
+// ---------------------------------------------------------------------------
+// Wavefront block: multi-cycle equivalence including diagonal rotation.
+
+TEST(WavefrontEquivalence, MatchesBehaviouralModelOverManyCycles) {
+  constexpr std::size_t kN = 6;
+  Netlist nl;
+  std::vector<std::vector<NodeId>> req(kN, std::vector<NodeId>(kN));
+  for (auto& row : req) {
+    for (auto& r : row) r = nl.input();
+  }
+  WavefrontCircuit circuit = gen_wavefront(nl, req);
+  for (const auto& row : circuit.gnt) {
+    for (NodeId g : row) nl.mark_output(g);
+  }
+  NetlistSimulator sim(nl);
+
+  WavefrontAllocator sw(kN, kN);
+  Rng rng(77);
+  BitMatrix reqs(kN, kN), expected;
+  std::vector<bool> in(kN * kN);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      for (std::size_t j = 0; j < kN; ++j) {
+        const bool bit = rng.next_bool(0.4);
+        reqs.set(i, j, bit);
+        in[i * kN + j] = bit;
+      }
+    }
+    sw.allocate(reqs, expected);
+    const std::vector<bool> gnt = sim.step(in);
+    for (std::size_t i = 0; i < kN; ++i) {
+      for (std::size_t j = 0; j < kN; ++j) {
+        ASSERT_EQ(gnt[i * kN + j], expected.get(i, j))
+            << "cycle " << cycle << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(WavefrontEquivalence, SparseBlockMatchesWithTrimmedTiles) {
+  // Requests outside a checkerboard are statically absent on the netlist
+  // side and zero on the behavioural side; grants must still agree.
+  constexpr std::size_t kN = 5;
+  Netlist nl;
+  std::vector<std::vector<NodeId>> req(kN, std::vector<NodeId>(kN, kNoNode));
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      if ((i + j) % 2 == 0) req[i][j] = nl.input();
+    }
+  }
+  WavefrontCircuit circuit = gen_wavefront(nl, req);
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      if (circuit.gnt[i][j] != kNoNode) nl.mark_output(circuit.gnt[i][j]);
+    }
+  }
+  NetlistSimulator sim(nl);
+
+  WavefrontAllocator sw(kN, kN);
+  Rng rng(78);
+  BitMatrix reqs(kN, kN), expected;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    std::vector<bool> in;
+    reqs.clear();
+    for (std::size_t i = 0; i < kN; ++i) {
+      for (std::size_t j = 0; j < kN; ++j) {
+        if ((i + j) % 2 != 0) continue;
+        const bool bit = rng.next_bool(0.5);
+        reqs.set(i, j, bit);
+        in.push_back(bit);
+      }
+    }
+    sw.allocate(reqs, expected);
+    const std::vector<bool> gnt = sim.step(in);
+    std::size_t out_idx = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      for (std::size_t j = 0; j < kN; ++j) {
+        if ((i + j) % 2 != 0) continue;
+        ASSERT_EQ(gnt[out_idx++], expected.get(i, j))
+            << "cycle " << cycle << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Switch allocators: single-cycle (fresh-state) equivalence. Enables are
+// free inputs on the netlist side and stay 0, so the circuit's priority
+// state never advances; each vector is compared against a fresh behavioural
+// instance.
+
+struct SaHarness {
+  Netlist nl;
+  std::unique_ptr<NetlistSimulator> sim;
+  std::size_t ports, vcs;
+  std::size_t request_inputs;  // inputs belonging to one request block
+
+  explicit SaHarness(const SaGenConfig& cfg)
+      : ports(cfg.ports), vcs(cfg.vcs) {
+    gen_switch_allocator(nl, cfg);
+    sim = std::make_unique<NetlistSimulator>(nl);
+    request_inputs = ports * vcs + ports * vcs * ports;
+  }
+
+  /// Packs one request block in make_request_inputs order: per port, V
+  /// valid bits, then per VC a P-wide destination one-hot.
+  static void pack(std::vector<bool>& in, std::size_t base,
+                   const std::vector<SwitchRequest>& req, std::size_t ports,
+                   std::size_t vcs) {
+    std::size_t k = base;
+    for (std::size_t p = 0; p < ports; ++p) {
+      for (std::size_t v = 0; v < vcs; ++v) in[k++] = req[p * vcs + v].valid;
+      for (std::size_t v = 0; v < vcs; ++v) {
+        for (std::size_t o = 0; o < ports; ++o) {
+          in[k++] = req[p * vcs + v].valid &&
+                    req[p * vcs + v].out_port == static_cast<int>(o);
+        }
+      }
+    }
+  }
+
+  /// Evaluates one non-speculative request vector; returns the P x P
+  /// crossbar matrix and the per-port winning VC.
+  void run(const std::vector<SwitchRequest>& req, BitMatrix& xbar,
+           std::vector<int>& win_vc) {
+    std::vector<bool> in(sim->num_inputs(), false);
+    pack(in, 0, req, ports, vcs);
+    const std::vector<bool> out = sim->evaluate(in);
+    xbar.resize(ports, ports);
+    std::size_t k = 0;
+    for (std::size_t p = 0; p < ports; ++p) {
+      for (std::size_t o = 0; o < ports; ++o) {
+        xbar.set(p, o, out[k++]);
+      }
+    }
+    win_vc.assign(ports, -1);
+    for (std::size_t p = 0; p < ports; ++p) {
+      for (std::size_t v = 0; v < vcs; ++v) {
+        if (out[k++]) {
+          EXPECT_EQ(win_vc[p], -1);
+          win_vc[p] = static_cast<int>(v);
+        }
+      }
+    }
+  }
+};
+
+std::vector<SwitchRequest> random_sa_requests(std::size_t ports,
+                                              std::size_t vcs, double rate,
+                                              Rng& rng) {
+  std::vector<SwitchRequest> req(ports * vcs);
+  for (auto& r : req) {
+    r.valid = rng.next_bool(rate);
+    r.out_port = r.valid ? static_cast<int>(rng.next_below(ports)) : -1;
+  }
+  return req;
+}
+
+struct SaEquivParam {
+  AllocatorKind kind;
+  std::size_t ports, vcs;
+};
+
+class SaEquivalenceTest : public ::testing::TestWithParam<SaEquivParam> {};
+
+TEST_P(SaEquivalenceTest, NetlistMatchesBehaviouralAllocator) {
+  const SaEquivParam& p = GetParam();
+  SaGenConfig cfg;
+  cfg.ports = p.ports;
+  cfg.vcs = p.vcs;
+  cfg.kind = p.kind;
+  cfg.arb = ArbiterKind::kRoundRobin;
+  cfg.spec = SpecMode::kNonSpeculative;
+  SaHarness hw(cfg);
+
+  Rng rng(0xAB);
+  BitMatrix xbar;
+  std::vector<int> win_vc;
+  std::vector<SwitchGrant> expected;
+  for (int vec = 0; vec < 200; ++vec) {
+    const auto req = random_sa_requests(p.ports, p.vcs, 0.45, rng);
+    // Fresh behavioural instance: initial priority state, like the
+    // netlist whose enables are held low.
+    auto sw = make_switch_allocator(
+        {p.ports, p.vcs, p.kind, ArbiterKind::kRoundRobin});
+    sw->allocate(req, expected);
+    hw.run(req, xbar, win_vc);
+    for (std::size_t port = 0; port < p.ports; ++port) {
+      const SwitchGrant& g = expected[port];
+      ASSERT_EQ(win_vc[port], g.vc) << "vector " << vec << " port " << port;
+      for (std::size_t o = 0; o < p.ports; ++o) {
+        const bool expect_bit =
+            g.granted() && g.out_port == static_cast<int>(o);
+        ASSERT_EQ(xbar.get(port, o), expect_bit)
+            << "vector " << vec << " xbar (" << port << "," << o << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, SaEquivalenceTest,
+    ::testing::Values(
+        SaEquivParam{AllocatorKind::kSeparableInputFirst, 5, 2},
+        SaEquivParam{AllocatorKind::kSeparableInputFirst, 10, 4},
+        SaEquivParam{AllocatorKind::kSeparableOutputFirst, 5, 2},
+        SaEquivParam{AllocatorKind::kSeparableOutputFirst, 10, 4},
+        SaEquivParam{AllocatorKind::kWavefront, 5, 2},
+        SaEquivParam{AllocatorKind::kWavefront, 10, 4}),
+    [](const ::testing::TestParamInfo<SaEquivParam>& info) {
+      return to_string(info.param.kind) + "_P" +
+             std::to_string(info.param.ports) + "V" +
+             std::to_string(info.param.vcs);
+    });
+
+// ---------------------------------------------------------------------------
+// Speculative switch allocator netlist vs behavioural wrapper.
+
+TEST(SpecSaEquivalence, MaskedSpecGrantsMatchBehaviouralWrapper) {
+  constexpr std::size_t kP = 5, kV = 2;
+  for (SpecMode mode : {SpecMode::kPessimistic, SpecMode::kConservative}) {
+    SaGenConfig cfg;
+    cfg.ports = kP;
+    cfg.vcs = kV;
+    cfg.kind = AllocatorKind::kSeparableInputFirst;
+    cfg.arb = ArbiterKind::kRoundRobin;
+    cfg.spec = mode;
+    Netlist nl;
+    gen_switch_allocator(nl, cfg);
+    NetlistSimulator sim(nl);
+    const std::size_t block = kP * kV + kP * kV * kP;
+
+    Rng rng(0xCD + static_cast<std::uint64_t>(mode));
+    for (int vec = 0; vec < 200; ++vec) {
+      std::vector<SwitchRequest> nonspec =
+          random_sa_requests(kP, kV, 0.3, rng);
+      std::vector<SwitchRequest> spec = random_sa_requests(kP, kV, 0.3, rng);
+
+      SwitchAllocatorConfig base{kP, kV, cfg.kind, cfg.arb};
+      SpeculativeSwitchAllocator sw(base, mode);
+      std::vector<SpecSwitchGrant> expected;
+      sw.allocate(nonspec, spec, expected);
+
+      std::vector<bool> in(sim.num_inputs(), false);
+      SaHarness::pack(in, 0, nonspec, kP, kV);
+      SaHarness::pack(in, block, spec, kP, kV);
+      const std::vector<bool> out = sim.evaluate(in);
+
+      // Output order: nonspec xbar (PxP), nonspec vc_gnt (PxV), masked
+      // spec xbar (PxP), spec vc_gnt (PxV).
+      std::size_t k = 0;
+      for (std::size_t p = 0; p < kP; ++p) {
+        for (std::size_t o = 0; o < kP; ++o) {
+          const bool expect_bit =
+              expected[p].nonspec.granted() &&
+              expected[p].nonspec.out_port == static_cast<int>(o);
+          ASSERT_EQ(out[k++], expect_bit) << "nonspec xbar " << p << "," << o;
+        }
+      }
+      k += kP * kV;  // nonspec winning-VC vector checked via xbar already
+      for (std::size_t p = 0; p < kP; ++p) {
+        for (std::size_t o = 0; o < kP; ++o) {
+          const bool expect_bit =
+              expected[p].spec.granted() &&
+              expected[p].spec.out_port == static_cast<int>(o);
+          ASSERT_EQ(out[k++], expect_bit)
+              << to_string(mode) << " spec xbar " << p << "," << o;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VC allocators: single-cycle equivalence, dense and sparse.
+
+struct VcEquivParam {
+  AllocatorKind kind;
+  std::size_t ports;
+  std::size_t m, r, c;
+  bool sparse;
+};
+
+VcPartition vc_partition(const VcEquivParam& p) {
+  if (p.r == 1) return VcPartition::mesh(p.m, p.c);
+  return VcPartition::fbfly(p.m, p.c);
+}
+
+class VcEquivalenceTest : public ::testing::TestWithParam<VcEquivParam> {};
+
+TEST_P(VcEquivalenceTest, NetlistMatchesBehaviouralAllocator) {
+  const VcEquivParam& p = GetParam();
+  const VcPartition part = vc_partition(p);
+  const std::size_t V = part.total_vcs();
+  const std::size_t total = p.ports * V;
+
+  VcAllocGenConfig cfg;
+  cfg.ports = p.ports;
+  cfg.partition = part;
+  cfg.kind = p.kind;
+  cfg.arb = ArbiterKind::kRoundRobin;
+  cfg.sparse = p.sparse;
+  Netlist nl;
+  gen_vc_allocator(nl, cfg);
+  NetlistSimulator sim(nl);
+
+  // Per input VC: candidate classes in the order the generator enumerates
+  // them (ascending successor classes x C). Dense candidates are all V VCs.
+  auto candidates = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    if (p.sparse) {
+      const std::size_t m = part.message_class_of(i % V);
+      for (std::size_t r2 : part.successors(part.resource_class_of(i % V))) {
+        const std::size_t base = part.class_base(m, r2);
+        for (std::size_t c = 0; c < part.vcs_per_class(); ++c) {
+          out.push_back(base + c);
+        }
+      }
+    } else {
+      for (std::size_t w = 0; w < V; ++w) out.push_back(w);
+    }
+    return out;
+  };
+
+  Rng rng(0xEF);
+  for (int vec = 0; vec < 120; ++vec) {
+    // Random legal request set (class-granular, like the router produces).
+    std::vector<VcRequest> req(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      if (!rng.next_bool(0.5)) continue;
+      VcRequest& r = req[i];
+      r.valid = true;
+      r.out_port = static_cast<int>(rng.next_below(p.ports));
+      const std::size_t m = part.message_class_of(i % V);
+      const auto succ = part.successors(part.resource_class_of(i % V));
+      const std::size_t r2 = succ[rng.next_below(succ.size())];
+      r.vc_mask.assign(V, 0);
+      const std::size_t base = part.class_base(m, r2);
+      for (std::size_t c = 0; c < part.vcs_per_class(); ++c) {
+        r.vc_mask[base + c] = 1;
+      }
+    }
+
+    // Behavioural reference on fresh state.
+    VcAllocatorConfig sw_cfg;
+    sw_cfg.ports = p.ports;
+    sw_cfg.partition = part;
+    sw_cfg.kind = p.kind;
+    sw_cfg.sparse = p.sparse;
+    auto sw = make_vc_allocator(sw_cfg);
+    std::vector<int> expected;
+    sw->allocate(req, expected);
+
+    // Pack netlist inputs: per input VC, dest one-hot then the candidate
+    // mask (class-granular when sparse). Remaining inputs are enables (0).
+    std::vector<bool> in(sim.num_inputs(), false);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      const VcRequest& r = req[i];
+      for (std::size_t port = 0; port < p.ports; ++port) {
+        in[k++] = r.valid && r.out_port == static_cast<int>(port);
+      }
+      if (p.sparse) {
+        const auto succ = part.successors(part.resource_class_of(i % V));
+        const std::size_t m = part.message_class_of(i % V);
+        for (std::size_t s = 0; s < succ.size(); ++s) {
+          in[k++] = r.valid && r.vc_mask[part.class_base(m, succ[s])];
+        }
+      } else {
+        for (std::size_t w = 0; w < V; ++w) {
+          in[k++] = r.valid && r.vc_mask[w];
+        }
+      }
+    }
+
+    const std::vector<bool> out = sim.evaluate(in);
+
+    // Decode: per input VC, one output bit per candidate.
+    std::size_t o = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      int granted = -1;
+      for (std::size_t cand : candidates(i)) {
+        if (out[o++]) {
+          ASSERT_EQ(granted, -1) << "double grant at input VC " << i;
+          granted = static_cast<int>(cand);
+        }
+      }
+      const int expect_vc =
+          expected[i] < 0 ? -1
+                          : expected[i] % static_cast<int>(V);
+      ASSERT_EQ(granted, expect_vc) << "vector " << vec << " input VC " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignPoints, VcEquivalenceTest,
+    ::testing::Values(
+        VcEquivParam{AllocatorKind::kSeparableInputFirst, 5, 2, 1, 1, false},
+        VcEquivParam{AllocatorKind::kSeparableInputFirst, 5, 2, 1, 2, false},
+        VcEquivParam{AllocatorKind::kSeparableInputFirst, 5, 2, 1, 2, true},
+        VcEquivParam{AllocatorKind::kSeparableInputFirst, 4, 2, 2, 1, true},
+        VcEquivParam{AllocatorKind::kSeparableOutputFirst, 5, 2, 1, 2, false},
+        VcEquivParam{AllocatorKind::kSeparableOutputFirst, 5, 2, 1, 2, true},
+        VcEquivParam{AllocatorKind::kSeparableOutputFirst, 4, 2, 2, 1, true},
+        VcEquivParam{AllocatorKind::kWavefront, 5, 2, 1, 1, false},
+        VcEquivParam{AllocatorKind::kWavefront, 5, 2, 1, 2, true},
+        VcEquivParam{AllocatorKind::kWavefront, 4, 2, 2, 1, true}),
+    [](const ::testing::TestParamInfo<VcEquivParam>& info) {
+      return to_string(info.param.kind) + "_P" +
+             std::to_string(info.param.ports) + "_" +
+             std::to_string(info.param.m) + "x" + std::to_string(info.param.r) +
+             "x" + std::to_string(info.param.c) +
+             (info.param.sparse ? "_sparse" : "_dense");
+    });
+
+}  // namespace
+}  // namespace nocalloc::hw

@@ -1,0 +1,155 @@
+// Direct unit tests of the netlist simulator (the equivalence suite covers
+// it end to end; these pin down each cell's truth table and the register
+// semantics in isolation).
+#include "hw/netlist_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalloc::hw {
+namespace {
+
+// Evaluates a single two/three-input cell over its full truth table.
+std::vector<bool> truth_table(CellKind kind, int arity) {
+  Netlist nl;
+  auto in = nl.inputs(static_cast<std::size_t>(arity));
+  NodeId g = kNoNode;
+  if (arity == 1) {
+    g = nl.add(kind, in[0]);
+  } else if (arity == 2) {
+    g = nl.add(kind, in[0], in[1]);
+  } else {
+    g = nl.add(kind, in[0], in[1], in[2]);
+  }
+  nl.mark_output(g);
+  NetlistSimulator sim(nl);
+  std::vector<bool> out;
+  for (int bits = 0; bits < (1 << arity); ++bits) {
+    std::vector<bool> inputs;
+    for (int k = 0; k < arity; ++k) inputs.push_back((bits >> k) & 1);
+    out.push_back(sim.evaluate(inputs)[0]);
+  }
+  return out;
+}
+
+TEST(NetlistSim, TwoInputTruthTables) {
+  // Index = in1*2 + in0.
+  EXPECT_EQ(truth_table(CellKind::kAnd2, 2),
+            (std::vector<bool>{false, false, false, true}));
+  EXPECT_EQ(truth_table(CellKind::kOr2, 2),
+            (std::vector<bool>{false, true, true, true}));
+  EXPECT_EQ(truth_table(CellKind::kNand2, 2),
+            (std::vector<bool>{true, true, true, false}));
+  EXPECT_EQ(truth_table(CellKind::kNor2, 2),
+            (std::vector<bool>{true, false, false, false}));
+  EXPECT_EQ(truth_table(CellKind::kXor2, 2),
+            (std::vector<bool>{false, true, true, false}));
+}
+
+TEST(NetlistSim, SingleInputCells) {
+  EXPECT_EQ(truth_table(CellKind::kInv, 1), (std::vector<bool>{true, false}));
+  EXPECT_EQ(truth_table(CellKind::kBuf, 1), (std::vector<bool>{false, true}));
+}
+
+TEST(NetlistSim, ThreeInputCells) {
+  // Index = in2*4 + in1*2 + in0.
+  // mux2: sel=in0, a=in1, b=in2 -> sel ? a : b.
+  EXPECT_EQ(truth_table(CellKind::kMux2, 3),
+            (std::vector<bool>{false, false, false, true,
+                               true, false, true, true}));
+  // aoi21: !((a & b) | c).
+  EXPECT_EQ(truth_table(CellKind::kAoi21, 3),
+            (std::vector<bool>{true, true, true, false,
+                               false, false, false, false}));
+  // inhibit: c & !(a & b).
+  EXPECT_EQ(truth_table(CellKind::kInhibit, 3),
+            (std::vector<bool>{false, false, false, false,
+                               true, true, true, false}));
+}
+
+TEST(NetlistSim, ConstantsHoldTheirValue) {
+  Netlist nl;
+  nl.mark_output(nl.constant(true));
+  nl.mark_output(nl.constant(false));
+  NetlistSimulator sim(nl);
+  const auto out = sim.evaluate({});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(NetlistSim, InlineDffDelaysByOneCycle) {
+  Netlist nl;
+  const NodeId d = nl.input();
+  nl.mark_output(nl.dff(d));
+  NetlistSimulator sim(nl);
+  EXPECT_FALSE(sim.step({true})[0]);  // Q still holds the power-on value
+  EXPECT_TRUE(sim.step({false})[0]);  // last cycle's D appears now
+  EXPECT_FALSE(sim.step({false})[0]);
+}
+
+TEST(NetlistSim, StateCapturePairingClosesTheLoop) {
+  // A one-bit toggle: state Q feeds an inverter captured back into it.
+  Netlist nl;
+  const NodeId q = nl.state(false);
+  const NodeId next = nl.inv(q);
+  nl.capture(next);
+  nl.mark_output(q);
+  NetlistSimulator sim(nl);
+  EXPECT_FALSE(sim.step({})[0]);
+  EXPECT_TRUE(sim.step({})[0]);
+  EXPECT_FALSE(sim.step({})[0]);
+}
+
+TEST(NetlistSim, InitialValuesRespected) {
+  Netlist nl;
+  const NodeId q1 = nl.state(true);
+  const NodeId q0 = nl.state(false);
+  nl.capture(q1);  // holds
+  nl.capture(q0);  // holds
+  nl.mark_output(q1);
+  nl.mark_output(q0);
+  NetlistSimulator sim(nl);
+  EXPECT_TRUE(sim.flop(0));
+  EXPECT_FALSE(sim.flop(1));
+  const auto out = sim.evaluate({});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(NetlistSim, ResetRestoresPowerOnState) {
+  Netlist nl;
+  const NodeId q = nl.state(false);
+  nl.capture(nl.inv(q));
+  nl.mark_output(q);
+  NetlistSimulator sim(nl);
+  sim.step({});
+  EXPECT_TRUE(sim.flop(0));
+  sim.reset();
+  EXPECT_FALSE(sim.flop(0));
+}
+
+TEST(NetlistSim, EvaluateDoesNotAdvanceState) {
+  Netlist nl;
+  const NodeId q = nl.state(false);
+  nl.capture(nl.inv(q));
+  nl.mark_output(q);
+  NetlistSimulator sim(nl);
+  sim.evaluate({});
+  sim.evaluate({});
+  EXPECT_FALSE(sim.flop(0));
+}
+
+TEST(NetlistSim, RejectsWrongInputCount) {
+  Netlist nl;
+  nl.inputs(3);
+  NetlistSimulator sim(nl);
+  EXPECT_DEATH(sim.evaluate({true}), "check failed");
+}
+
+TEST(NetlistSim, RejectsUnpairedState) {
+  Netlist nl;
+  nl.state(false);  // no capture
+  EXPECT_DEATH(NetlistSimulator{nl}, "check failed");
+}
+
+}  // namespace
+}  // namespace nocalloc::hw

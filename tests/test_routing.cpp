@@ -1,0 +1,250 @@
+#include "noc/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace nocalloc::noc {
+namespace {
+
+Packet make_packet(int src, int dst) {
+  Packet pkt;
+  pkt.src_terminal = src;
+  pkt.dst_terminal = dst;
+  pkt.type = PacketType::kReadRequest;
+  pkt.length = 1;
+  return pkt;
+}
+
+/// Congestion oracle with settable per-(router, port) values.
+class FakeOracle final : public CongestionOracle {
+ public:
+  std::size_t output_congestion(int router, int out_port) const override {
+    auto it = values_.find({router, out_port});
+    return it == values_.end() ? 0 : it->second;
+  }
+  void set(int router, int port, std::size_t v) { values_[{router, port}] = v; }
+
+ private:
+  std::map<std::pair<int, int>, std::size_t> values_;
+};
+
+// ---------------------------------------------------------------------------
+// Dimension-order routing on the mesh.
+
+TEST(DorMeshRouting, RoutesXFirst) {
+  MeshTopology mesh(8);
+  DorMeshRouting dor(mesh);
+  Packet pkt = make_packet(0, mesh.router_at(3, 2));
+  // From (0,0): x mismatch -> +x port.
+  RouteInfo info = dor.route(mesh.router_at(0, 0), pkt, 0);
+  EXPECT_EQ(info.out_port, MeshTopology::kPortXPlus);
+  // From (3,0): x matches -> +y port.
+  info = dor.route(mesh.router_at(3, 0), pkt, 0);
+  EXPECT_EQ(info.out_port, MeshTopology::kPortYPlus);
+  // At destination -> terminal port.
+  info = dor.route(mesh.router_at(3, 2), pkt, 0);
+  EXPECT_EQ(info.out_port, MeshTopology::kPortTerminal);
+}
+
+TEST(DorMeshRouting, RoutesNegativeDirections) {
+  MeshTopology mesh(8);
+  DorMeshRouting dor(mesh);
+  Packet pkt = make_packet(0, mesh.router_at(1, 1));
+  RouteInfo info = dor.route(mesh.router_at(5, 1), pkt, 0);
+  EXPECT_EQ(info.out_port, MeshTopology::kPortXMinus);
+  info = dor.route(mesh.router_at(1, 6), pkt, 0);
+  EXPECT_EQ(info.out_port, MeshTopology::kPortYMinus);
+}
+
+TEST(DorMeshRouting, EveryPathTerminates) {
+  MeshTopology mesh(8);
+  DorMeshRouting dor(mesh);
+  for (int src = 0; src < 64; ++src) {
+    for (int dst = 0; dst < 64; ++dst) {
+      Packet pkt = make_packet(src, dst);
+      int router = src;
+      int hops = 0;
+      for (;;) {
+        RouteInfo info = dor.route(router, pkt, 0);
+        ASSERT_EQ(info.resource_class, 0u);
+        if (info.out_port == MeshTopology::kPortTerminal) break;
+        // Follow the link.
+        const std::size_t x = mesh.x_of(router);
+        const std::size_t y = mesh.y_of(router);
+        switch (info.out_port) {
+          case MeshTopology::kPortXPlus: router = mesh.router_at(x + 1, y); break;
+          case MeshTopology::kPortXMinus: router = mesh.router_at(x - 1, y); break;
+          case MeshTopology::kPortYPlus: router = mesh.router_at(x, y + 1); break;
+          case MeshTopology::kPortYMinus: router = mesh.router_at(x, y - 1); break;
+          default: FAIL();
+        }
+        ASSERT_LE(++hops, 14) << "path too long";
+      }
+      // DOR path length equals Manhattan distance.
+      const int expect_hops =
+          std::abs(static_cast<int>(mesh.x_of(src)) - static_cast<int>(mesh.x_of(dst))) +
+          std::abs(static_cast<int>(mesh.y_of(src)) - static_cast<int>(mesh.y_of(dst)));
+      EXPECT_EQ(hops, expect_hops);
+    }
+  }
+}
+
+TEST(DorMeshRouting, SingleResourceClassAtInjection) {
+  MeshTopology mesh(8);
+  DorMeshRouting dor(mesh);
+  Packet pkt = make_packet(0, 5);
+  EXPECT_EQ(dor.at_injection(0, pkt), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal fbfly routing.
+
+TEST(MinimalFbflyRouting, AtMostTwoNetworkHops) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  MinimalFbflyRouting minimal(fbfly);
+  for (int src = 0; src < 64; src += 7) {
+    for (int dst = 0; dst < 64; ++dst) {
+      Packet pkt = make_packet(src, dst);
+      int router = fbfly.router_of_terminal(src);
+      const int dst_router = fbfly.router_of_terminal(dst);
+      int hops = 0;
+      for (;;) {
+        RouteInfo info = minimal.route(router, pkt, 0);
+        if (info.out_port < 4) {  // terminal port
+          EXPECT_EQ(router, dst_router);
+          EXPECT_EQ(info.out_port, fbfly.port_of_terminal(dst));
+          break;
+        }
+        // Row then column: find the peer router via the topology's links.
+        bool moved = false;
+        for (const LinkSpec& l : fbfly.links()) {
+          if (l.src_router == router && l.src_port == info.out_port) {
+            router = l.dst_router;
+            moved = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(moved);
+        ASSERT_LE(++hops, 2) << "minimal path exceeds two hops";
+      }
+    }
+  }
+}
+
+TEST(MinimalFbflyRouting, RowBeforeColumn) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  MinimalFbflyRouting minimal(fbfly);
+  // src router (0,0), dst router (2,3): first hop must be a row port.
+  Packet pkt = make_packet(0, fbfly.router_at(2, 3) * 4);
+  RouteInfo info = minimal.route(fbfly.router_at(0, 0), pkt, 0);
+  EXPECT_EQ(info.out_port, fbfly.row_port(0, 2));
+}
+
+// ---------------------------------------------------------------------------
+// UGAL.
+
+TEST(UgalFbflyRouting, MinimalWhenUncongested) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  FakeOracle oracle;
+  UgalFbflyRouting ugal(fbfly, oracle, Rng(1));
+  for (int trial = 0; trial < 100; ++trial) {
+    Packet pkt = make_packet(0, 60);
+    const std::size_t klass = ugal.at_injection(0, pkt);
+    EXPECT_EQ(klass, 1u) << "uncongested packets must start minimal";
+    EXPECT_EQ(pkt.intermediate_router, -1);
+  }
+  EXPECT_EQ(ugal.nonminimal_decisions(), 0u);
+}
+
+TEST(UgalFbflyRouting, MisroutesWhenMinimalPathCongested) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  FakeOracle oracle;
+  // Destination router (3, 0): the minimal first hop from router 0 is the
+  // row port towards column 3. Make it look heavily congested.
+  oracle.set(0, fbfly.row_port(0, 3), 60);
+  UgalFbflyRouting ugal(fbfly, oracle, Rng(2));
+  std::size_t nonminimal = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Packet pkt = make_packet(0, fbfly.router_at(3, 0) * 4);
+    const std::size_t klass = ugal.at_injection(0, pkt);
+    if (klass == 0) {
+      ++nonminimal;
+      EXPECT_GE(pkt.intermediate_router, 0);
+      EXPECT_NE(pkt.intermediate_router, 0);
+      EXPECT_NE(pkt.intermediate_router, fbfly.router_at(3, 0));
+    }
+  }
+  EXPECT_GT(nonminimal, 100u) << "congestion should trigger misrouting";
+}
+
+TEST(UgalFbflyRouting, NonminimalPacketsTransitionAtIntermediate) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  FakeOracle oracle;
+  UgalFbflyRouting ugal(fbfly, oracle, Rng(3));
+  Packet pkt = make_packet(0, 63);
+  pkt.intermediate_router = fbfly.router_at(1, 2);
+
+  // In phase 0, not yet at the intermediate: continue in class 0.
+  RouteInfo info = ugal.route(0, pkt, 0);
+  EXPECT_EQ(info.resource_class, 0u);
+  // Arriving at the intermediate in phase 0: switch to class 1.
+  info = ugal.route(pkt.intermediate_router, pkt, 0);
+  EXPECT_EQ(info.resource_class, 1u);
+  // Phase 1 packets stay in class 1.
+  info = ugal.route(fbfly.router_at(3, 2), pkt, 1);
+  EXPECT_EQ(info.resource_class, 1u);
+}
+
+TEST(UgalFbflyRouting, ClassTransitionsRespectPartialOrder) {
+  // Whatever the decision, resource classes never go from 1 back to 0.
+  FlattenedButterflyTopology fbfly(4, 4);
+  FakeOracle oracle;
+  oracle.set(0, fbfly.row_port(0, 2), 40);
+  UgalFbflyRouting ugal(fbfly, oracle, Rng(4));
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int dst = static_cast<int>(rng.next_below(64));
+    Packet pkt = make_packet(0, dst);
+    std::size_t klass = ugal.at_injection(0, pkt);
+    int router = 0;
+    for (int hop = 0; hop < 8; ++hop) {
+      RouteInfo info = ugal.route(router, pkt, klass);
+      ASSERT_GE(info.resource_class, klass) << "class went backwards";
+      klass = info.resource_class;
+      if (info.out_port < 4) break;
+      for (const LinkSpec& l : fbfly.links()) {
+        if (l.src_router == router && l.src_port == info.out_port) {
+          router = l.dst_router;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(UgalFbflyRouting, LocalDeliveryIsMinimal) {
+  // Source and destination share a router: zero network hops, class 1.
+  FlattenedButterflyTopology fbfly(4, 4);
+  FakeOracle oracle;
+  UgalFbflyRouting ugal(fbfly, oracle, Rng(6));
+  Packet pkt = make_packet(0, 2);  // both at router 0
+  EXPECT_EQ(ugal.at_injection(0, pkt), 1u);
+  RouteInfo info = ugal.route(0, pkt, 1);
+  EXPECT_EQ(info.out_port, 2);
+}
+
+TEST(UgalFbflyRouting, DecisionCountersAccumulate) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  FakeOracle oracle;
+  UgalFbflyRouting ugal(fbfly, oracle, Rng(7));
+  Packet pkt = make_packet(0, 60);
+  ugal.at_injection(0, pkt);
+  ugal.at_injection(0, pkt);
+  EXPECT_EQ(ugal.decisions(), 2u);
+}
+
+}  // namespace
+}  // namespace nocalloc::noc

@@ -1,0 +1,94 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalloc {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatAccumulator, SingleSample) {
+  StatAccumulator s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatAccumulator, KnownMoments) {
+  StatAccumulator s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(StatAccumulator, ResetClearsState) {
+  StatAccumulator s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(StatAccumulator, NumericallyStableForLargeOffsets) {
+  StatAccumulator s;
+  // Welford should keep variance exact despite the large common offset.
+  for (double x : {1e9 + 1, 1e9 + 2, 1e9 + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-6);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h(10);
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 2u);
+  EXPECT_EQ(h.bin_count(5), 0u);
+}
+
+TEST(Histogram, SaturatesAtLastBin) {
+  Histogram h(4);
+  h.add(100);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(100);
+  for (std::size_t i = 0; i < 100; ++i) h.add(i);
+  EXPECT_EQ(h.quantile(0.5), 49u);
+  EXPECT_EQ(h.quantile(0.99), 98u);
+  EXPECT_EQ(h.quantile(1.0), 99u);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h(8);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(4);
+  h.add(1);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+}
+
+}  // namespace
+}  // namespace nocalloc

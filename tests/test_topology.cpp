@@ -1,0 +1,171 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace nocalloc::noc {
+namespace {
+
+TEST(MeshTopology, BasicShape) {
+  MeshTopology mesh(8);
+  EXPECT_EQ(mesh.num_routers(), 64u);
+  EXPECT_EQ(mesh.ports(), 5u);
+  EXPECT_EQ(mesh.concentration(), 1u);
+  EXPECT_EQ(mesh.num_terminals(), 64u);
+}
+
+TEST(MeshTopology, CoordinateRoundTrip) {
+  MeshTopology mesh(8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      const int r = mesh.router_at(x, y);
+      EXPECT_EQ(mesh.x_of(r), x);
+      EXPECT_EQ(mesh.y_of(r), y);
+    }
+  }
+}
+
+TEST(MeshTopology, LinkCountMatchesFormula) {
+  MeshTopology mesh(8);
+  // 2 directed links per adjacent pair: 2 * 2 * k * (k-1) = 224 for k=8.
+  EXPECT_EQ(mesh.links().size(), 224u);
+}
+
+TEST(MeshTopology, AllLinksHaveLatencyOne) {
+  for (const LinkSpec& l : MeshTopology(8).links()) {
+    EXPECT_EQ(l.latency, 1u);
+  }
+}
+
+TEST(MeshTopology, LinksComeInSymmetricPairs) {
+  MeshTopology mesh(4);
+  std::set<std::tuple<int, int, int, int>> links;
+  for (const LinkSpec& l : mesh.links()) {
+    links.insert({l.src_router, l.src_port, l.dst_router, l.dst_port});
+  }
+  for (const LinkSpec& l : mesh.links()) {
+    EXPECT_TRUE(links.contains(
+        std::tuple<int, int, int, int>{l.dst_router, l.dst_port, l.src_router,
+                                       l.src_port}))
+        << "missing reverse of " << l.src_router << "->" << l.dst_router;
+  }
+}
+
+TEST(MeshTopology, NoDuplicateSourcePorts) {
+  // Each (router, port) drives at most one link.
+  MeshTopology mesh(8);
+  std::set<std::pair<int, int>> sources;
+  for (const LinkSpec& l : mesh.links()) {
+    EXPECT_TRUE(sources.insert({l.src_router, l.src_port}).second);
+  }
+}
+
+TEST(MeshTopology, EdgeRoutersHaveFewerLinks) {
+  MeshTopology mesh(4);
+  std::map<int, int> out_degree;
+  for (const LinkSpec& l : mesh.links()) ++out_degree[l.src_router];
+  EXPECT_EQ(out_degree[mesh.router_at(0, 0)], 2);   // corner
+  EXPECT_EQ(out_degree[mesh.router_at(1, 0)], 3);   // edge
+  EXPECT_EQ(out_degree[mesh.router_at(1, 1)], 4);   // interior
+}
+
+TEST(FbflyTopology, BasicShape) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  EXPECT_EQ(fbfly.num_routers(), 16u);
+  EXPECT_EQ(fbfly.ports(), 10u);  // 4 terminals + 3 row + 3 column
+  EXPECT_EQ(fbfly.concentration(), 4u);
+  EXPECT_EQ(fbfly.num_terminals(), 64u);
+}
+
+TEST(FbflyTopology, TerminalMapping) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  EXPECT_EQ(fbfly.router_of_terminal(0), 0);
+  EXPECT_EQ(fbfly.router_of_terminal(3), 0);
+  EXPECT_EQ(fbfly.router_of_terminal(4), 1);
+  EXPECT_EQ(fbfly.port_of_terminal(5), 1);
+  EXPECT_EQ(fbfly.router_of_terminal(63), 15);
+}
+
+TEST(FbflyTopology, FullyConnectedRowsAndColumns) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  // 16 routers x 6 links each, all directed: 96 links.
+  const auto links = fbfly.links();
+  EXPECT_EQ(links.size(), 96u);
+  std::set<std::pair<int, int>> pairs;
+  for (const LinkSpec& l : links) pairs.insert({l.src_router, l.dst_router});
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 4; ++x) {
+      const int r = fbfly.router_at(x, y);
+      for (std::size_t x2 = 0; x2 < 4; ++x2) {
+        if (x2 != x) {
+          EXPECT_TRUE(pairs.contains({r, fbfly.router_at(x2, y)}));
+        }
+      }
+      for (std::size_t y2 = 0; y2 < 4; ++y2) {
+        if (y2 != y) {
+          EXPECT_TRUE(pairs.contains({r, fbfly.router_at(x, y2)}));
+        }
+      }
+    }
+  }
+}
+
+TEST(FbflyTopology, LinkLatencyGrowsWithSpan) {
+  EXPECT_EQ(FlattenedButterflyTopology::link_latency(1), 1u);
+  EXPECT_EQ(FlattenedButterflyTopology::link_latency(2), 2u);
+  EXPECT_EQ(FlattenedButterflyTopology::link_latency(3), 3u);
+  EXPECT_EQ(FlattenedButterflyTopology::link_latency(7), 3u);  // clamped
+}
+
+TEST(FbflyTopology, LinkLatenciesRangeOneToThree) {
+  // Sec. 3.2: fbfly links have latency one to three cycles.
+  std::set<std::size_t> seen;
+  for (const LinkSpec& l : FlattenedButterflyTopology(4, 4).links()) {
+    seen.insert(l.latency);
+  }
+  EXPECT_EQ(seen, (std::set<std::size_t>{1, 2, 3}));
+}
+
+TEST(FbflyTopology, RowAndColumnPortsAreDistinct) {
+  FlattenedButterflyTopology fbfly(4, 4);
+  std::set<int> ports;
+  for (std::size_t x2 = 0; x2 < 4; ++x2) {
+    if (x2 != 1) ports.insert(fbfly.row_port(1, x2));
+  }
+  for (std::size_t y2 = 0; y2 < 4; ++y2) {
+    if (y2 != 2) ports.insert(fbfly.col_port(2, y2));
+  }
+  EXPECT_EQ(ports.size(), 6u);
+  for (int p : ports) {
+    EXPECT_GE(p, 4);   // terminal ports are 0..3
+    EXPECT_LT(p, 10);
+  }
+}
+
+TEST(FbflyTopology, PortsPairUpAcrossLinks) {
+  // The destination port of a row link A->B must be the row port B uses to
+  // reach A (so the reverse link lands on the same wire pair).
+  FlattenedButterflyTopology fbfly(4, 4);
+  for (const LinkSpec& l : fbfly.links()) {
+    const std::size_t sx = fbfly.x_of(l.src_router);
+    const std::size_t sy = fbfly.y_of(l.src_router);
+    const std::size_t dx = fbfly.x_of(l.dst_router);
+    const std::size_t dy = fbfly.y_of(l.dst_router);
+    if (sy == dy) {
+      EXPECT_EQ(l.dst_port, fbfly.row_port(dx, sx));
+    } else {
+      EXPECT_EQ(l.src_port, fbfly.col_port(sy, dy));
+      EXPECT_EQ(l.dst_port, fbfly.col_port(dy, sy));
+    }
+  }
+}
+
+TEST(TopologyNames, AreDescriptive) {
+  EXPECT_EQ(MeshTopology(8).name(), "8x8 mesh");
+  EXPECT_EQ(FlattenedButterflyTopology(4, 4).name(), "4x4 fbfly (c=4)");
+}
+
+}  // namespace
+}  // namespace nocalloc::noc

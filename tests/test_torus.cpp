@@ -1,0 +1,241 @@
+// Tests for the 2D torus with per-dimension dateline VC classes -- the full
+// version of Sec. 4.2's dateline example.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/routing.hpp"
+#include "noc/sim.hpp"
+#include "noc/topology.hpp"
+
+namespace nocalloc::noc {
+namespace {
+
+TEST(TorusTopology, BasicShape) {
+  TorusTopology torus(8);
+  EXPECT_EQ(torus.num_routers(), 64u);
+  EXPECT_EQ(torus.ports(), 5u);
+  // Every router has all four ring links: 64 * 4 directed links.
+  EXPECT_EQ(torus.links().size(), 256u);
+}
+
+TEST(TorusTopology, EveryRouterFullyConnected) {
+  TorusTopology torus(4);
+  std::set<std::pair<int, int>> sources;
+  for (const LinkSpec& l : torus.links()) {
+    // No duplicate (router, port) drivers.
+    EXPECT_TRUE(sources.insert({l.src_router, l.src_port}).second);
+  }
+  EXPECT_EQ(sources.size(), 4u * 16u);
+}
+
+TEST(TorusTopology, WrapLinksExist) {
+  TorusTopology torus(4);
+  bool found_x_wrap = false, found_y_wrap = false;
+  for (const LinkSpec& l : torus.links()) {
+    if (l.src_router == torus.router_at(3, 0) &&
+        l.dst_router == torus.router_at(0, 0) &&
+        l.src_port == TorusTopology::kPortXPlus) {
+      found_x_wrap = true;
+    }
+    if (l.src_router == torus.router_at(0, 3) &&
+        l.dst_router == torus.router_at(0, 0) &&
+        l.src_port == TorusTopology::kPortYPlus) {
+      found_y_wrap = true;
+    }
+  }
+  EXPECT_TRUE(found_x_wrap);
+  EXPECT_TRUE(found_y_wrap);
+}
+
+TEST(TorusTopology, DatelineOnWrapHop) {
+  TorusTopology torus(8);
+  EXPECT_TRUE(torus.crosses_dateline(7, true));
+  EXPECT_TRUE(torus.crosses_dateline(0, false));
+  EXPECT_FALSE(torus.crosses_dateline(3, true));
+  EXPECT_FALSE(torus.crosses_dateline(3, false));
+}
+
+TEST(TorusPartition, FourClassDagValidates) {
+  const VcPartition p = VcPartition::torus(2, 2);
+  EXPECT_EQ(p.resource_classes(), 4u);
+  EXPECT_EQ(p.total_vcs(), 16u);
+  p.validate();
+  // x classes feed y classes, never the reverse.
+  EXPECT_TRUE(p.transition_allowed(0, 1));
+  EXPECT_TRUE(p.transition_allowed(0, 2));
+  EXPECT_TRUE(p.transition_allowed(0, 3));
+  EXPECT_TRUE(p.transition_allowed(1, 2));
+  EXPECT_TRUE(p.transition_allowed(1, 3));
+  EXPECT_TRUE(p.transition_allowed(2, 3));
+  EXPECT_FALSE(p.transition_allowed(1, 0));
+  EXPECT_FALSE(p.transition_allowed(2, 0));
+  EXPECT_FALSE(p.transition_allowed(2, 1));
+  EXPECT_FALSE(p.transition_allowed(3, 2));
+}
+
+TEST(TorusPartition, SparserThanFbfly) {
+  // R = 4 with a DAG makes legal transitions rarer than fbfly's R = 2:
+  // more static structure for sparse VC allocation to exploit.
+  const VcPartition torus = VcPartition::torus(2, 2);
+  const VcPartition fbfly = VcPartition::fbfly(2, 4);  // same V = 16
+  EXPECT_LT(torus.legal_transition_count(), fbfly.legal_transition_count());
+}
+
+TEST(DorTorusDatelineRouting, ShortestDirectionPerDimension) {
+  TorusTopology torus(8);
+  DorTorusDatelineRouting routing(torus);
+  Packet pkt;
+  pkt.dst_terminal = torus.router_at(6, 0);
+  RouteInfo info = routing.route(torus.router_at(0, 0), pkt, 0);
+  // 0 -> 6 is shorter going -x (2 hops) than +x (6 hops).
+  EXPECT_EQ(info.out_port, TorusTopology::kPortXMinus);
+
+  pkt.dst_terminal = torus.router_at(2, 0);
+  info = routing.route(torus.router_at(0, 0), pkt, 0);
+  EXPECT_EQ(info.out_port, TorusTopology::kPortXPlus);
+}
+
+TEST(DorTorusDatelineRouting, XBeforeY) {
+  TorusTopology torus(8);
+  DorTorusDatelineRouting routing(torus);
+  Packet pkt;
+  pkt.dst_terminal = torus.router_at(3, 5);
+  RouteInfo info = routing.route(torus.router_at(1, 1), pkt, 0);
+  EXPECT_TRUE(info.out_port == TorusTopology::kPortXPlus ||
+              info.out_port == TorusTopology::kPortXMinus);
+}
+
+TEST(DorTorusDatelineRouting, ClassAdvancesOnWrapHops) {
+  TorusTopology torus(8);
+  DorTorusDatelineRouting routing(torus);
+  // From (7, 0) to (1, 0): +x crosses the wrap at x=7.
+  Packet pkt;
+  pkt.dst_terminal = torus.router_at(1, 0);
+  RouteInfo info = routing.route(torus.router_at(7, 0), pkt, 0);
+  EXPECT_EQ(info.out_port, TorusTopology::kPortXPlus);
+  EXPECT_EQ(info.resource_class, 1u);
+  // Continuing at (0, 0): stays in x-post.
+  info = routing.route(torus.router_at(0, 0), pkt, 1);
+  EXPECT_EQ(info.resource_class, 1u);
+}
+
+TEST(DorTorusDatelineRouting, EnteringYFromXPostUsesYPre) {
+  TorusTopology torus(8);
+  DorTorusDatelineRouting routing(torus);
+  Packet pkt;
+  pkt.dst_terminal = torus.router_at(4, 2);
+  // At (4, 0), x done, heading +y without wrapping: class 2.
+  RouteInfo info = routing.route(torus.router_at(4, 0), pkt, 1);
+  EXPECT_EQ(info.out_port, TorusTopology::kPortYPlus);
+  EXPECT_EQ(info.resource_class, 2u);
+}
+
+TEST(DorTorusDatelineRouting, FirstYHopOnWrapUsesYPost) {
+  TorusTopology torus(8);
+  DorTorusDatelineRouting routing(torus);
+  Packet pkt;
+  pkt.dst_terminal = torus.router_at(4, 2);
+  // At (4, 7), +y is shortest (3 hops vs 5) and its very first hop crosses
+  // the wrap between y = 7 and y = 0.
+  RouteInfo info = routing.route(torus.router_at(4, 7), pkt, 0);
+  EXPECT_EQ(info.out_port, TorusTopology::kPortYPlus);
+  EXPECT_EQ(info.resource_class, 3u);
+}
+
+TEST(DorTorusDatelineRouting, AllPathsReachDestinationWithMonotoneClasses) {
+  TorusTopology torus(8);
+  DorTorusDatelineRouting routing(torus);
+  const VcPartition part = VcPartition::torus(1, 1);
+  for (int src = 0; src < 64; src += 5) {
+    for (int dst = 0; dst < 64; ++dst) {
+      if (src == dst) continue;
+      Packet pkt;
+      pkt.dst_terminal = dst;
+      std::size_t klass = routing.at_injection(src, pkt);
+      int router = src;
+      int hops = 0;
+      for (;;) {
+        RouteInfo info = routing.route(router, pkt, klass);
+        // Every transition the route makes must be legal in the partition.
+        ASSERT_TRUE(part.transition_allowed(klass, info.resource_class))
+            << klass << " -> " << info.resource_class;
+        klass = info.resource_class;
+        if (info.out_port == TorusTopology::kPortTerminal) break;
+        const std::size_t x = torus.x_of(router);
+        const std::size_t y = torus.y_of(router);
+        switch (info.out_port) {
+          case TorusTopology::kPortXPlus:
+            router = torus.router_at((x + 1) % 8, y);
+            break;
+          case TorusTopology::kPortXMinus:
+            router = torus.router_at((x + 7) % 8, y);
+            break;
+          case TorusTopology::kPortYPlus:
+            router = torus.router_at(x, (y + 1) % 8);
+            break;
+          case TorusTopology::kPortYMinus:
+            router = torus.router_at(x, (y + 7) % 8);
+            break;
+          default:
+            FAIL();
+        }
+        ASSERT_LE(++hops, 8) << "torus path exceeds diameter";
+      }
+      EXPECT_EQ(router, dst);
+    }
+  }
+}
+
+TEST(TorusSimulation, LowerLatencyThanMeshAtZeroLoad) {
+  // Wraparound halves the average hop count (4 vs 5.25 for k=8), so the
+  // torus should beat the mesh on zero-load latency.
+  SimConfig cfg;
+  cfg.vcs_per_class = 1;
+  cfg.injection_rate = 0.05;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 2500;
+  cfg.drain_cycles = 2500;
+
+  cfg.topology = TopologyKind::kTorus8x8;
+  const SimResult torus = run_simulation(cfg);
+  cfg.topology = TopologyKind::kMesh8x8;
+  const SimResult mesh = run_simulation(cfg);
+  EXPECT_LT(torus.avg_packet_latency, mesh.avg_packet_latency);
+  EXPECT_GT(torus.packets_measured, 200u);
+}
+
+TEST(TorusSimulation, SurvivesDeepSaturationWithoutDeadlock) {
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kTorus8x8;
+  cfg.vcs_per_class = 1;
+  cfg.injection_rate = 0.9;
+  cfg.warmup_cycles = 1500;
+  cfg.measure_cycles = 1500;
+  cfg.drain_cycles = 1500;
+  const SimResult r = run_simulation(cfg);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_GT(r.packets_measured, 1000u) << "forward progress stalled";
+}
+
+TEST(TorusSimulation, TornadoRunsOnTorus) {
+  // Tornado is the classic adversary for minimal torus routing; DOR still
+  // delivers it (at reduced throughput) and must not deadlock.
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kTorus8x8;
+  cfg.vcs_per_class = 2;
+  cfg.pattern = TrafficPattern::kTornado;
+  cfg.injection_rate = 0.3;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 2000;
+  const SimResult r = run_simulation(cfg);
+  EXPECT_GT(r.packets_measured, 200u);
+}
+
+TEST(TopologyKindNames, TorusIsNamed) {
+  EXPECT_EQ(to_string(TopologyKind::kTorus8x8), "torus");
+}
+
+}  // namespace
+}  // namespace nocalloc::noc

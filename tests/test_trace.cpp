@@ -1,0 +1,188 @@
+#include "noc/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+
+namespace nocalloc::noc {
+namespace {
+
+TEST(TrafficTrace, ParseAndSerializeRoundTrip) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "10 0 5 R\n"
+      "3 2 7 W\n"
+      "  # indented comment\n"
+      "10 1 6 R\n");
+  TrafficTrace trace = TrafficTrace::parse(in);
+  ASSERT_EQ(trace.size(), 3u);
+  // parse() sorts by (cycle, src).
+  EXPECT_EQ(trace.records()[0], (TraceRecord{3, 2, 7, PacketType::kWriteRequest}));
+  EXPECT_EQ(trace.records()[1], (TraceRecord{10, 0, 5, PacketType::kReadRequest}));
+  EXPECT_EQ(trace.records()[2], (TraceRecord{10, 1, 6, PacketType::kReadRequest}));
+
+  std::istringstream again(trace.to_string());
+  EXPECT_EQ(TrafficTrace::parse(again).records(), trace.records());
+}
+
+TEST(TrafficTrace, RejectsMalformedLines) {
+  std::istringstream bad_type("5 0 1 X\n");
+  EXPECT_DEATH(TrafficTrace::parse(bad_type), "check failed");
+  std::istringstream missing_fields("5 0\n");
+  EXPECT_DEATH(TrafficTrace::parse(missing_fields), "check failed");
+}
+
+TEST(TrafficTrace, RejectsSelfTraffic) {
+  TrafficTrace trace;
+  EXPECT_DEATH(trace.add({0, 3, 3, PacketType::kReadRequest}), "check failed");
+}
+
+TEST(TrafficTrace, RejectsReplyRecords) {
+  TrafficTrace trace;
+  EXPECT_DEATH(trace.add({0, 0, 1, PacketType::kReadReply}), "check failed");
+}
+
+TEST(TrafficTrace, ForTerminalFiltersAndPreservesOrder) {
+  TrafficTrace trace;
+  trace.add({5, 1, 2, PacketType::kReadRequest});
+  trace.add({1, 0, 3, PacketType::kWriteRequest});
+  trace.add({9, 1, 4, PacketType::kReadRequest});
+  trace.sort();
+  const auto slice = trace.for_terminal(1);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].cycle, 5u);
+  EXPECT_EQ(slice[1].cycle, 9u);
+}
+
+TEST(TraceSource, EmitsAtRecordedCycles) {
+  TraceSource source(0, {{4, 0, 1, PacketType::kReadRequest},
+                         {8, 0, 2, PacketType::kWriteRequest}});
+  std::uint64_t id = 1;
+  for (Cycle t = 0; t < 4; ++t) {
+    EXPECT_EQ(source.maybe_generate(t, id), nullptr) << t;
+  }
+  auto first = source.maybe_generate(4, id);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->dst_terminal, 1);
+  EXPECT_EQ(first->created, 4u);
+  EXPECT_EQ(source.maybe_generate(5, id), nullptr);
+  auto second = source.maybe_generate(8, id);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->type, PacketType::kWriteRequest);
+  EXPECT_EQ(source.remaining(), 0u);
+}
+
+TEST(TraceSource, SameCycleRecordsDrainOnConsecutivePolls) {
+  TraceSource source(0, {{4, 0, 1, PacketType::kReadRequest},
+                         {4, 0, 2, PacketType::kReadRequest}});
+  std::uint64_t id = 1;
+  auto a = source.maybe_generate(4, id);
+  auto b = source.maybe_generate(5, id);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // The delayed one keeps its recorded creation time (queueing counts).
+  EXPECT_EQ(b->created, 4u);
+}
+
+TEST(TraceSource, RejectsForeignRecords) {
+  EXPECT_DEATH(TraceSource(0, {{1, 2, 3, PacketType::kReadRequest}}),
+               "check failed");
+}
+
+TEST(TraceReplay, DeliversEveryTracedTransaction) {
+  // Replay a hand-built trace on a 4x4 mesh and require every request and
+  // its reply to arrive, deterministically.
+  MeshTopology topo(4);
+  TrafficTrace trace;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const int src = static_cast<int>(rng.next_below(16));
+    int dst = static_cast<int>(rng.next_below(15));
+    if (dst >= src) ++dst;
+    trace.add({rng.next_below(500), src, dst,
+               rng.next_bool(0.5) ? PacketType::kReadRequest
+                                  : PacketType::kWriteRequest});
+  }
+  trace.sort();
+
+  NetworkConfig cfg;
+  cfg.router.ports = 5;
+  cfg.router.partition = VcPartition::mesh(2, 1);
+  cfg.source_factory = [&](int terminal) {
+    return std::make_unique<TraceSource>(terminal,
+                                         trace.for_terminal(terminal));
+  };
+
+  std::uint64_t requests_delivered = 0, replies_delivered = 0;
+  std::uint64_t reply_id = 1ull << 60;
+  Network* net_ptr = nullptr;
+  Network net(
+      topo, cfg,
+      [&](const CongestionOracle&) {
+        return std::make_unique<DorMeshRouting>(topo);
+      },
+      [&](const Packet& pkt, Cycle now) {
+        if (is_request(pkt.type)) {
+          ++requests_delivered;
+          net_ptr->terminal(pkt.dst_terminal)
+              .enqueue_reply(make_reply(pkt, now, reply_id++));
+        } else {
+          ++replies_delivered;
+        }
+      });
+  net_ptr = &net;
+
+  std::size_t guard = 0;
+  while ((requests_delivered < 200 || replies_delivered < 200) &&
+         guard++ < 5000) {
+    net.step();
+  }
+  EXPECT_EQ(requests_delivered, 200u);
+  EXPECT_EQ(replies_delivered, 200u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(TraceReplay, DeterministicAcrossRuns) {
+  MeshTopology topo(4);
+  TrafficTrace trace;
+  trace.add({0, 0, 15, PacketType::kReadRequest});
+  trace.add({2, 5, 10, PacketType::kWriteRequest});
+  trace.add({4, 12, 3, PacketType::kReadRequest});
+
+  auto run_once = [&]() {
+    NetworkConfig cfg;
+    cfg.router.ports = 5;
+    cfg.router.partition = VcPartition::mesh(2, 1);
+    cfg.source_factory = [&](int terminal) {
+      return std::make_unique<TraceSource>(terminal,
+                                           trace.for_terminal(terminal));
+    };
+    std::vector<Cycle> ejects;
+    std::uint64_t reply_id = 1ull << 60;
+    Network* net_ptr = nullptr;
+    Network net(
+        topo, cfg,
+        [&](const CongestionOracle&) {
+          return std::make_unique<DorMeshRouting>(topo);
+        },
+        [&](const Packet& pkt, Cycle now) {
+          ejects.push_back(now);
+          if (is_request(pkt.type)) {
+            net_ptr->terminal(pkt.dst_terminal)
+                .enqueue_reply(make_reply(pkt, now, reply_id++));
+          }
+        });
+    net_ptr = &net;
+    for (int i = 0; i < 300; ++i) net.step();
+    return ejects;
+  };
+
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace nocalloc::noc

@@ -1,0 +1,181 @@
+#include "noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nocalloc::noc {
+namespace {
+
+TEST(PacketTypes, LengthsMatchPaper) {
+  EXPECT_EQ(packet_length(PacketType::kReadRequest), 1u);
+  EXPECT_EQ(packet_length(PacketType::kWriteRequest), 5u);
+  EXPECT_EQ(packet_length(PacketType::kReadReply), 5u);
+  EXPECT_EQ(packet_length(PacketType::kWriteReply), 1u);
+}
+
+TEST(PacketTypes, MessageClassesSeparateRequestsAndReplies) {
+  EXPECT_EQ(message_class_of(PacketType::kReadRequest), 0u);
+  EXPECT_EQ(message_class_of(PacketType::kWriteRequest), 0u);
+  EXPECT_EQ(message_class_of(PacketType::kReadReply), 1u);
+  EXPECT_EQ(message_class_of(PacketType::kWriteReply), 1u);
+}
+
+TEST(PacketTypes, RequestPredicate) {
+  EXPECT_TRUE(is_request(PacketType::kReadRequest));
+  EXPECT_TRUE(is_request(PacketType::kWriteRequest));
+  EXPECT_FALSE(is_request(PacketType::kReadReply));
+  EXPECT_FALSE(is_request(PacketType::kWriteReply));
+}
+
+TEST(TrafficDestination, UniformNeverSelectsSource) {
+  Rng rng(1);
+  for (int src : {0, 17, 63}) {
+    for (int i = 0; i < 2000; ++i) {
+      const int dst = traffic_destination(TrafficPattern::kUniform, src, 64, rng);
+      ASSERT_NE(dst, src);
+      ASSERT_GE(dst, 0);
+      ASSERT_LT(dst, 64);
+    }
+  }
+}
+
+TEST(TrafficDestination, UniformCoversAllDestinations) {
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 5000; ++i) {
+    seen.insert(traffic_destination(TrafficPattern::kUniform, 5, 64, rng));
+  }
+  EXPECT_EQ(seen.size(), 63u);
+}
+
+TEST(TrafficDestination, BitComplementIsInvolution) {
+  Rng rng(3);
+  for (int src = 0; src < 64; ++src) {
+    const int dst = traffic_destination(TrafficPattern::kBitComplement, src, 64, rng);
+    EXPECT_EQ(traffic_destination(TrafficPattern::kBitComplement, dst, 64, rng), src);
+  }
+}
+
+TEST(TrafficDestination, TransposeIsInvolution) {
+  Rng rng(4);
+  for (int src = 0; src < 64; ++src) {
+    const int dst = traffic_destination(TrafficPattern::kTranspose, src, 64, rng);
+    EXPECT_EQ(traffic_destination(TrafficPattern::kTranspose, dst, 64, rng), src);
+  }
+}
+
+TEST(TrafficDestination, ShuffleIsBijective) {
+  Rng rng(5);
+  std::set<int> image;
+  for (int src = 0; src < 64; ++src) {
+    image.insert(traffic_destination(TrafficPattern::kShuffle, src, 64, rng));
+  }
+  EXPECT_EQ(image.size(), 64u);
+}
+
+TEST(TrafficDestination, TornadoIsFixedOffsetPermutation) {
+  Rng rng(6);
+  std::set<int> image;
+  for (int src = 0; src < 64; ++src) {
+    const int dst = traffic_destination(TrafficPattern::kTornado, src, 64, rng);
+    EXPECT_EQ(dst, (src + 31) % 64);
+    image.insert(dst);
+  }
+  EXPECT_EQ(image.size(), 64u);
+}
+
+TEST(TrafficDestination, TornadoOnRingIsJustUnderHalfway) {
+  Rng rng(7);
+  EXPECT_EQ(traffic_destination(TrafficPattern::kTornado, 0, 16, rng), 7);
+  EXPECT_EQ(traffic_destination(TrafficPattern::kTornado, 10, 16, rng), 1);
+}
+
+TEST(TrafficDestination, PatternNames) {
+  EXPECT_EQ(to_string(TrafficPattern::kUniform), "uniform");
+  EXPECT_EQ(to_string(TrafficPattern::kBitComplement), "bitcomp");
+  EXPECT_EQ(to_string(TrafficPattern::kTranspose), "transpose");
+  EXPECT_EQ(to_string(TrafficPattern::kShuffle), "shuffle");
+  EXPECT_EQ(to_string(TrafficPattern::kTornado), "tornado");
+}
+
+TEST(RequestGenerator, RateMatchesConfiguration) {
+  RequestGenerator gen(3, 64, TrafficPattern::kUniform, 0.25, Rng(6));
+  std::uint64_t id = 1;
+  int generated = 0;
+  constexpr int kCycles = 40000;
+  for (int t = 0; t < kCycles; ++t) {
+    if (gen.maybe_generate(static_cast<Cycle>(t), id)) ++generated;
+  }
+  EXPECT_NEAR(static_cast<double>(generated) / kCycles, 0.25, 0.01);
+}
+
+TEST(RequestGenerator, ZeroRateGeneratesNothing) {
+  RequestGenerator gen(0, 64, TrafficPattern::kUniform, 0.0, Rng(7));
+  std::uint64_t id = 1;
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_EQ(gen.maybe_generate(static_cast<Cycle>(t), id), nullptr);
+  }
+}
+
+TEST(RequestGenerator, PacketsAreWellFormed) {
+  RequestGenerator gen(9, 64, TrafficPattern::kUniform, 1.0, Rng(8));
+  std::uint64_t id = 1;
+  int reads = 0, writes = 0;
+  for (int t = 0; t < 2000; ++t) {
+    auto pkt = gen.maybe_generate(static_cast<Cycle>(t), id);
+    ASSERT_NE(pkt, nullptr);
+    EXPECT_EQ(pkt->src_terminal, 9);
+    EXPECT_NE(pkt->dst_terminal, 9);
+    EXPECT_EQ(pkt->created, static_cast<Cycle>(t));
+    EXPECT_EQ(pkt->length, packet_length(pkt->type));
+    EXPECT_TRUE(is_request(pkt->type));
+    (pkt->type == PacketType::kReadRequest ? reads : writes) += 1;
+  }
+  // 50/50 read/write mix.
+  EXPECT_NEAR(static_cast<double>(reads) / (reads + writes), 0.5, 0.05);
+  // Unique, monotonically assigned ids.
+  EXPECT_EQ(id, 2001u);
+}
+
+TEST(MakeReply, SwapsEndpointsAndMapsTypes) {
+  Packet req;
+  req.id = 77;
+  req.type = PacketType::kReadRequest;
+  req.src_terminal = 3;
+  req.dst_terminal = 11;
+  req.length = 1;
+  auto reply = make_reply(req, 500, 1234);
+  EXPECT_EQ(reply->type, PacketType::kReadReply);
+  EXPECT_EQ(reply->src_terminal, 11);
+  EXPECT_EQ(reply->dst_terminal, 3);
+  EXPECT_EQ(reply->length, 5u);
+  EXPECT_EQ(reply->created, 500u);
+  EXPECT_EQ(reply->id, 1234u);
+
+  req.type = PacketType::kWriteRequest;
+  reply = make_reply(req, 501, 1235);
+  EXPECT_EQ(reply->type, PacketType::kWriteReply);
+  EXPECT_EQ(reply->length, 1u);
+}
+
+TEST(MakeReply, RejectsReplyInput) {
+  Packet reply_pkt;
+  reply_pkt.type = PacketType::kReadReply;
+  EXPECT_DEATH(make_reply(reply_pkt, 0, 1), "check failed");
+}
+
+TEST(TransactionFlitBudget, SixFlitsPerTransaction) {
+  // Read: 1-flit request + 5-flit reply; write: 5-flit request + 1-flit
+  // reply. Both transactions move six flits -- the basis for converting
+  // offered flit rate to request rate in the simulator.
+  EXPECT_EQ(packet_length(PacketType::kReadRequest) +
+                packet_length(PacketType::kReadReply),
+            6u);
+  EXPECT_EQ(packet_length(PacketType::kWriteRequest) +
+                packet_length(PacketType::kWriteReply),
+            6u);
+}
+
+}  // namespace
+}  // namespace nocalloc::noc

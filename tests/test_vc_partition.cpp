@@ -1,0 +1,157 @@
+#include "vc/vc_partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalloc {
+namespace {
+
+TEST(VcPartition, IndexLayoutRoundTrips) {
+  VcPartition p(2, 2, 4);  // fbfly-style: V = 16
+  EXPECT_EQ(p.total_vcs(), 16u);
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const std::size_t base = p.class_base(m, r);
+      for (std::size_t c = 0; c < 4; ++c) {
+        const std::size_t vc = base + c;
+        EXPECT_EQ(p.message_class_of(vc), m);
+        EXPECT_EQ(p.resource_class_of(vc), r);
+        EXPECT_EQ(p.lane_of(vc), c);
+      }
+    }
+  }
+}
+
+TEST(VcPartition, SelfTransitionsAllowedByDefault) {
+  VcPartition p(1, 3, 1);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(p.transition_allowed(r, r));
+    for (std::size_t o = 0; o < 3; ++o) {
+      if (o != r) {
+        EXPECT_FALSE(p.transition_allowed(r, o));
+      }
+    }
+  }
+}
+
+TEST(VcPartition, MeshFactoryHasSingleResourceClass) {
+  const VcPartition p = VcPartition::mesh(2, 4);
+  EXPECT_EQ(p.message_classes(), 2u);
+  EXPECT_EQ(p.resource_classes(), 1u);
+  EXPECT_EQ(p.vcs_per_class(), 4u);
+  EXPECT_EQ(p.total_vcs(), 8u);
+  EXPECT_TRUE(p.is_chain());
+  p.validate();
+}
+
+TEST(VcPartition, FbflyFactoryHasTwoPhaseTransition) {
+  const VcPartition p = VcPartition::fbfly(2, 4);
+  EXPECT_EQ(p.resource_classes(), 2u);
+  EXPECT_TRUE(p.transition_allowed(0, 0));
+  EXPECT_TRUE(p.transition_allowed(0, 1));
+  EXPECT_FALSE(p.transition_allowed(1, 0));
+  EXPECT_TRUE(p.transition_allowed(1, 1));
+  p.validate();
+}
+
+TEST(VcPartition, Fig4TransitionCountIs96Of256) {
+  // The paper's concrete example: fbfly with 2x2x4 VCs has exactly 96 legal
+  // VC-to-VC transitions out of 256 (Sec. 4.2, Fig. 4).
+  const VcPartition p = VcPartition::fbfly(2, 4);
+  const BitMatrix t = p.transition_matrix();
+  EXPECT_EQ(t.rows(), 16u);
+  EXPECT_EQ(t.cols(), 16u);
+  EXPECT_EQ(p.legal_transition_count(), 96u);
+  EXPECT_EQ(t.count(), 96u);
+}
+
+TEST(VcPartition, Fig4SuccessorBoundIsEight) {
+  // "any given VC is restricted to at most eight possible successor and
+  //  predecessor VCs" (Sec. 4.2).
+  const VcPartition p = VcPartition::fbfly(2, 4);
+  const BitMatrix t = p.transition_matrix();
+  for (std::size_t vc = 0; vc < 16; ++vc) {
+    EXPECT_LE(t.row_count(vc), 8u);
+    EXPECT_LE(t.col_count(vc), 8u);
+  }
+}
+
+TEST(VcPartition, TransitionsStayWithinMessageClass) {
+  const VcPartition p = VcPartition::fbfly(2, 2);
+  const BitMatrix t = p.transition_matrix();
+  for (std::size_t u = 0; u < p.total_vcs(); ++u) {
+    for (std::size_t w = 0; w < p.total_vcs(); ++w) {
+      if (t.get(u, w)) {
+        EXPECT_EQ(p.message_class_of(u), p.message_class_of(w));
+      }
+    }
+  }
+}
+
+TEST(VcPartition, SuccessorsAndPredecessors) {
+  const VcPartition p = VcPartition::fbfly(2, 1);
+  EXPECT_EQ(p.successors(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(p.successors(1), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(p.predecessors(0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(p.predecessors(1), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(VcPartition, FbflyIsNotAChain) {
+  // Class 0 has two successors (0 and 1), so the wavefront resource-class
+  // optimization of Sec. 4.2 does not apply.
+  EXPECT_FALSE(VcPartition::fbfly(2, 2).is_chain());
+}
+
+TEST(VcPartition, DatelineStyleChainIsAChain) {
+  // Torus dateline: 0 -> 1 only, each class one successor/predecessor.
+  VcPartition p(1, 2, 2);
+  p.allow_transition(0, 1);
+  // 0 -> {0, 1} has two successors; remove self-continuation semantics is
+  // not possible, so a strict chain needs transition only via self loops
+  // plus at most one forward edge -- which 0 -> {0,1} violates.
+  EXPECT_FALSE(p.is_chain());
+
+  VcPartition q(1, 2, 2);  // only self transitions: trivially a chain
+  EXPECT_TRUE(q.is_chain());
+}
+
+TEST(VcPartition, ValidateRejectsCycles) {
+  VcPartition p(1, 3, 1);
+  p.allow_transition(0, 1);
+  p.allow_transition(1, 2);
+  p.allow_transition(2, 0);  // cycle
+  EXPECT_DEATH(p.validate(), "check failed");
+}
+
+TEST(VcPartition, ValidateAcceptsDag) {
+  VcPartition p(1, 3, 1);
+  p.allow_transition(0, 1);
+  p.allow_transition(0, 2);
+  p.allow_transition(1, 2);
+  p.validate();
+}
+
+TEST(VcPartition, MeshTransitionMatrixIsBlockDiagonal) {
+  const VcPartition p = VcPartition::mesh(2, 2);
+  const BitMatrix t = p.transition_matrix();
+  // Each message class forms a complete 2x2 block; 8 legal transitions.
+  EXPECT_EQ(t.count(), 8u);
+  EXPECT_TRUE(t.get(0, 1));
+  EXPECT_FALSE(t.get(0, 2));
+  EXPECT_TRUE(t.get(2, 3));
+}
+
+TEST(VcPartition, SparsenessGrowsWithResourceClasses) {
+  // Share of legal transitions: mesh (R=1) is denser than fbfly (R=2).
+  const VcPartition mesh = VcPartition::mesh(2, 4);
+  const VcPartition fbfly = VcPartition::fbfly(2, 4);
+  const double mesh_frac =
+      static_cast<double>(mesh.legal_transition_count()) /
+      static_cast<double>(mesh.total_vcs() * mesh.total_vcs());
+  const double fbfly_frac =
+      static_cast<double>(fbfly.legal_transition_count()) /
+      static_cast<double>(fbfly.total_vcs() * fbfly.total_vcs());
+  EXPECT_GT(mesh_frac, fbfly_frac);
+}
+
+}  // namespace
+}  // namespace nocalloc
