@@ -5,10 +5,14 @@
 //                                                        from A to B step S,
 //                                                        CSV on stdout
 //
-// Keys are documented in src/noc/config.hpp. Examples:
+// Keys are documented in src/noc/config.hpp. --check-invariants runs the
+// whole simulation under the runtime protocol checker (credit/flit
+// conservation, VC state machines, allocation legality, deadlock watchdog);
+// violations print their location and abort. Examples:
 //   ./build/examples/nocsim
 //   ./build/examples/nocsim mesh.cfg injection_rate=0.3 sw_alloc=wf
 //   ./build/examples/nocsim topology=fbfly vcs_per_class=4 --sweep 0.05:0.7:0.05
+//   ./build/examples/nocsim --check-invariants spec=spec_gnt
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -73,6 +77,8 @@ int main(int argc, char** argv) {
       }
       do_sweep = true;
       ++i;
+    } else if (arg == "--check-invariants") {
+      cfg.check_invariants = true;
     } else if (arg.find('=') != std::string::npos) {
       apply_override(cfg, arg);
     } else {

@@ -63,6 +63,7 @@ ArbiterCircuit gen_round_robin_arbiter(Netlist& nl,
     const NodeId next = nl.add(CellKind::kMux2, update_enable, rotated, ptr[i]);
     nl.capture(next);
   }
+  notify_generated(nl, "arbiter_gen/round_robin");
   return out;
 }
 
@@ -113,6 +114,7 @@ ArbiterCircuit gen_matrix_arbiter(Netlist& nl, std::span<const NodeId> req,
       nl.capture(next);
     }
   }
+  notify_generated(nl, "arbiter_gen/matrix");
   return out;
 }
 
@@ -156,6 +158,7 @@ ArbiterCircuit gen_tree_arbiter(Netlist& nl, ArbiterKind kind,
     }
   }
   out.any_gnt = top.any_gnt;
+  notify_generated(nl, "arbiter_gen/tree");
   return out;
 }
 

@@ -115,6 +115,25 @@ NodeId Netlist::onehot_mux(std::span<const NodeId> data,
   return or_tree(terms);
 }
 
+void Netlist::inject_fault_fanin(NodeId node, std::size_t slot, NodeId fanin) {
+  NOCALLOC_CHECK(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  NOCALLOC_CHECK(slot < n.fanin_count);
+  n.fanin[slot] = fanin;  // deliberately unchecked: may dangle or cycle
+}
+
+namespace {
+PostGenerationHook g_post_generation_hook;
+}  // namespace
+
+void set_post_generation_hook(PostGenerationHook hook) {
+  g_post_generation_hook = std::move(hook);
+}
+
+void notify_generated(const Netlist& netlist, const char* generator) {
+  if (g_post_generation_hook) g_post_generation_hook(netlist, generator);
+}
+
 std::vector<NodeId> Netlist::prefix_or(std::span<const NodeId> in) {
   std::vector<NodeId> cur(in.begin(), in.end());
   const std::size_t n = cur.size();

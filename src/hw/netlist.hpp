@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -122,6 +123,15 @@ class Netlist {
   /// Log-depth, O(N log N) gates -- what synthesis infers for priority logic.
   std::vector<NodeId> prefix_or(std::span<const NodeId> in);
 
+  // ---- Fault injection (tests only) ---------------------------------------
+
+  /// Rewires fanin slot `slot` of `node` to `fanin`, bypassing the
+  /// append-only ordering guarantee. The builder API makes cyclic or
+  /// out-of-order graphs unrepresentable, so the lint negative tests use
+  /// this to seed exactly the malformed structures lint() must catch.
+  /// Bounds on `node` and `slot` are still checked; never use outside tests.
+  void inject_fault_fanin(NodeId node, std::size_t slot, NodeId fanin);
+
  private:
   NodeId push(CellKind kind, std::initializer_list<NodeId> fanins);
 
@@ -134,5 +144,22 @@ class Netlist {
   std::vector<std::uint16_t> scope_stack_{0};
   std::vector<std::uint16_t> node_scope_;
 };
+
+// ---- Post-generation hook ---------------------------------------------------
+// Opt-in structural post-condition for the generators: when a hook is
+// installed, every gen_* entry point invokes it with the netlist it just
+// extended and its own name. The lint library installs a hook that aborts on
+// structural errors (install_generator_lint()); routing the call through this
+// indirection keeps the hw target free of a dependency on lint.
+
+using PostGenerationHook =
+    std::function<void(const Netlist& netlist, const char* generator)>;
+
+/// Installs (or, with an empty function, removes) the process-wide hook.
+void set_post_generation_hook(PostGenerationHook hook);
+
+/// Invokes the installed hook, if any. Called by the generators after
+/// appending a complete block.
+void notify_generated(const Netlist& netlist, const char* generator);
 
 }  // namespace nocalloc::hw

@@ -231,6 +231,7 @@ void gen_switch_allocator(Netlist& nl, const SaGenConfig& cfg) {
   if (cfg.spec == SpecMode::kNonSpeculative) {
     const SaRequests r = make_request_inputs(nl, P, cfg.vcs);
     mark_core_outputs(nl, build_core(nl, cfg, r));
+    notify_generated(nl, "sa_gen");
     return;
   }
 
@@ -284,6 +285,7 @@ void gen_switch_allocator(Netlist& nl, const SaGenConfig& cfg) {
       if (g != kNoNode) nl.mark_output(g);
     }
   }
+  notify_generated(nl, "sa_gen");
 }
 
 }  // namespace nocalloc::hw

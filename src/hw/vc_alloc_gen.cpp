@@ -302,6 +302,7 @@ void gen_vc_allocator(Netlist& nl, const VcAllocGenConfig& cfg) {
   NOCALLOC_CHECK(cfg.ports > 0);
   VcGen gen(nl, cfg);
   gen.build();
+  notify_generated(nl, "vc_alloc_gen");
 }
 
 }  // namespace nocalloc::hw

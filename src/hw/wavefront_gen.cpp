@@ -68,6 +68,7 @@ WavefrontCircuit gen_wavefront(Netlist& nl,
       out.gnt[i][j] = nl.or_tree(terms);
     }
   }
+  notify_generated(nl, "wavefront_gen");
   return out;
 }
 

@@ -1,0 +1,40 @@
+// Enumeration of the paper's allocator design points (Secs. 4.3.1 / 5.3.1):
+// every VC- and switch-allocator configuration whose synthesis results feed
+// Figs. 5-14. The noclint CLI sweeps these with --all and
+// tests/test_lint_designs.cpp pins them as a lint regression net covering
+// all generators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/sa_gen.hpp"
+#include "hw/vc_alloc_gen.hpp"
+
+namespace nocalloc::hw {
+
+struct VcDesignPoint {
+  std::string name;
+  VcAllocGenConfig cfg;
+  /// Rough netlist size class; the largest wavefront points build
+  /// multi-million-node netlists and can be skipped by quick sweeps.
+  bool large = false;
+};
+
+struct SaDesignPoint {
+  std::string name;
+  SaGenConfig cfg;
+  bool large = false;
+};
+
+/// VC allocator points: {mesh P=5 (M2xR1), fbfly P=10 (M2xR2)} x C in
+/// {1,2,4} x {sep_if, sep_of} x {rr, m} plus wf, sparse throughout, with
+/// dense variants on the small mesh configs to cover the dense path.
+std::vector<VcDesignPoint> paper_vc_design_points(bool include_large = true);
+
+/// Switch allocator points: P in {5,10} x V in {2,4,8,16} (minus the
+/// non-paper 5x16) x {sep_if, sep_of, wf} x {nonspec, spec_req, spec_gnt},
+/// matrix arbiters added for the separable variants.
+std::vector<SaDesignPoint> paper_sa_design_points(bool include_large = true);
+
+}  // namespace nocalloc::hw

@@ -1,0 +1,557 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+// ---- Small helpers ----------------------------------------------------------
+
+std::size_t index_of(NodeId id) { return static_cast<std::size_t>(id); }
+
+bool in_range(const Netlist& nl, NodeId id) {
+  return id >= 0 && index_of(id) < nl.size();
+}
+
+/// Exact fanin count a cell kind must carry. kDff is special: 1 for inline
+/// dff(d), 0 for state() elements (whose D arrives via capture()).
+int expected_arity(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+    case CellKind::kConst:
+      return 0;
+    case CellKind::kInv:
+    case CellKind::kBuf:
+      return 1;
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+      return 2;
+    case CellKind::kMux2:
+    case CellKind::kAoi21:
+    case CellKind::kInhibit:
+      return 3;
+    case CellKind::kDff:
+      return -1;  // 0 or 1, validated separately
+  }
+  return -1;
+}
+
+/// Three-valued logic for the constant-propagation pass.
+enum class Val : char { kZero, kOne, kX };
+
+Val val_of(bool b) { return b ? Val::kOne : Val::kZero; }
+
+Val v_not(Val a) {
+  if (a == Val::kX) return Val::kX;
+  return a == Val::kOne ? Val::kZero : Val::kOne;
+}
+
+Val v_and(Val a, Val b) {
+  if (a == Val::kZero || b == Val::kZero) return Val::kZero;
+  if (a == Val::kOne && b == Val::kOne) return Val::kOne;
+  return Val::kX;
+}
+
+Val v_or(Val a, Val b) {
+  if (a == Val::kOne || b == Val::kOne) return Val::kOne;
+  if (a == Val::kZero && b == Val::kZero) return Val::kZero;
+  return Val::kX;
+}
+
+Val v_xor(Val a, Val b) {
+  if (a == Val::kX || b == Val::kX) return Val::kX;
+  return a == b ? Val::kZero : Val::kOne;
+}
+
+Val v_mux(Val s, Val a, Val b) {
+  if (s == Val::kOne) return a;
+  if (s == Val::kZero) return b;
+  return (a == b) ? a : Val::kX;  // select unknown: only equal arms settle
+}
+
+std::string node_list(const std::vector<NodeId>& nodes, const char* sep) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out << sep;
+    out << nodes[i];
+  }
+  return out.str();
+}
+
+/// Collects diagnostics with a per-check cap.
+class Sink {
+ public:
+  Sink(std::vector<Diagnostic>& out, const Netlist& nl, std::size_t cap)
+      : out_(out), nl_(nl), cap_(cap) {}
+
+  void add(LintSeverity sev, LintCheck check, std::string message,
+           std::vector<NodeId> nodes = {}) {
+    if (emitted_[static_cast<int>(check)]++ >= cap_) return;
+    Diagnostic d;
+    d.severity = sev;
+    d.check = check;
+    d.message = std::move(message);
+    d.nodes = std::move(nodes);
+    if (!d.nodes.empty() && in_range(nl_, d.nodes.front())) {
+      d.scope = nl_.node_scope(d.nodes.front());
+    }
+    out_.push_back(std::move(d));
+  }
+
+ private:
+  std::vector<Diagnostic>& out_;
+  const Netlist& nl_;
+  std::size_t cap_;
+  std::unordered_map<int, std::size_t> emitted_;
+};
+
+// ---- Pass 1: structural integrity -------------------------------------------
+// Returns true when the graph is traversable (every fanin id in range), so
+// the later passes can walk it without re-checking bounds.
+
+bool check_structure(const Netlist& nl, Sink& sink) {
+  bool traversable = true;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Node& n = nl.node(static_cast<NodeId>(i));
+    const int want = expected_arity(n.kind);
+    if (n.kind == CellKind::kDff) {
+      if (n.fanin_count > 1) {
+        sink.add(LintSeverity::kError, LintCheck::kArityViolation,
+                 "dff node " + std::to_string(i) + " has " +
+                     std::to_string(n.fanin_count) + " fanins (expected 0 or 1)",
+                 {static_cast<NodeId>(i)});
+      }
+    } else if (want >= 0 && n.fanin_count != want) {
+      sink.add(LintSeverity::kError, LintCheck::kArityViolation,
+               std::string(cell_params(n.kind).name) + " node " +
+                   std::to_string(i) + " has " + std::to_string(n.fanin_count) +
+                   " fanins (expected " + std::to_string(want) + ")",
+               {static_cast<NodeId>(i)});
+    }
+    for (std::uint8_t f = 0; f < n.fanin_count && f < 3; ++f) {
+      if (!in_range(nl, n.fanin[f])) {
+        sink.add(LintSeverity::kError, LintCheck::kBadFanin,
+                 "node " + std::to_string(i) + " fanin slot " +
+                     std::to_string(f) + " references nonexistent node " +
+                     std::to_string(n.fanin[f]),
+                 {static_cast<NodeId>(i)});
+        traversable = false;
+      }
+    }
+  }
+
+  if (nl.captures().size() != nl.states().size()) {
+    std::vector<NodeId> unpaired(nl.states().begin() + nl.captures().size(),
+                                 nl.states().end());
+    std::string message =
+        std::to_string(nl.states().size() - nl.captures().size()) +
+        " state() element(s) never closed by capture(): nodes " +
+        node_list(unpaired, ", ");
+    sink.add(LintSeverity::kError, LintCheck::kUnpairedState,
+             std::move(message), std::move(unpaired));
+  }
+  for (NodeId c : nl.captures()) {
+    if (!in_range(nl, c)) {
+      sink.add(LintSeverity::kError, LintCheck::kBadCapture,
+               "capture references nonexistent node " + std::to_string(c));
+      traversable = false;
+    }
+  }
+  for (NodeId o : nl.outputs()) {
+    if (!in_range(nl, o)) {
+      sink.add(LintSeverity::kError, LintCheck::kBadOutput,
+               "primary output references nonexistent node " +
+                   std::to_string(o));
+      traversable = false;
+    }
+  }
+  return traversable;
+}
+
+// ---- Pass 2: combinational loops --------------------------------------------
+// DFS over combinational fanin edges (a DFF's D pin ends a timing path, so
+// edges *into* kDff nodes are sequential and excluded). Returns true when
+// the combinational graph is acyclic.
+
+bool check_loops(const Netlist& nl, Sink& sink) {
+  enum : char { kWhite, kGrey, kBlack };
+  std::vector<char> color(nl.size(), kWhite);
+  std::vector<NodeId> path;          // current DFS chain, root first
+  std::vector<std::size_t> edge;     // next fanin slot to explore per entry
+  bool acyclic = true;
+
+  for (std::size_t root = 0; root < nl.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    path.assign(1, static_cast<NodeId>(root));
+    edge.assign(1, 0);
+    color[root] = kGrey;
+    while (!path.empty()) {
+      const NodeId cur = path.back();
+      const Node& n = nl.node(cur);
+      // Sequential elements start timing paths: do not walk their fanins.
+      const std::size_t fanins =
+          n.kind == CellKind::kDff ? 0 : n.fanin_count;
+      if (edge.back() < fanins) {
+        const NodeId next = n.fanin[edge.back()++];
+        if (color[index_of(next)] == kWhite) {
+          color[index_of(next)] = kGrey;
+          path.push_back(next);
+          edge.push_back(0);
+        } else if (color[index_of(next)] == kGrey) {
+          // Back edge: the cycle is the path suffix starting at `next`.
+          acyclic = false;
+          const auto start = std::find(path.begin(), path.end(), next);
+          // path runs consumer -> fanin; reverse for fanin -> consumer order.
+          std::vector<NodeId> cycle(start, path.end());
+          std::reverse(cycle.begin(), cycle.end());
+          std::string message = "combinational loop: " +
+                                node_list(cycle, " -> ") + " -> " +
+                                std::to_string(cycle.front());
+          sink.add(LintSeverity::kError, LintCheck::kCombinationalLoop,
+                   std::move(message), std::move(cycle));
+        }
+      } else {
+        color[index_of(cur)] = kBlack;
+        path.pop_back();
+        edge.pop_back();
+      }
+    }
+  }
+  return acyclic;
+}
+
+// ---- Pass 3: constant propagation / stuck-at outputs ------------------------
+
+std::vector<Val> propagate_constants(const Netlist& nl) {
+  std::vector<Val> value(nl.size(), Val::kX);
+  // Node ids are topologically ordered by construction, so a single forward
+  // sweep reaches the fixpoint on well-formed netlists. Fault-injected
+  // graphs may contain forward edges; a couple of extra sweeps converge
+  // (values only ever move X -> constant).
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    bool changed = false;
+    for (std::size_t i = 0; i < nl.size(); ++i) {
+      const Node& n = nl.node(static_cast<NodeId>(i));
+      auto in = [&](int k) { return value[index_of(n.fanin[k])]; };
+      Val v = Val::kX;
+      switch (n.kind) {
+        case CellKind::kInput:
+        case CellKind::kDff:  // flop output: unknown without reachability
+          continue;
+        case CellKind::kConst:
+          v = val_of(n.value);
+          break;
+        case CellKind::kInv:
+          v = v_not(in(0));
+          break;
+        case CellKind::kBuf:
+          v = in(0);
+          break;
+        case CellKind::kAnd2:
+          v = v_and(in(0), in(1));
+          break;
+        case CellKind::kNand2:
+          v = v_not(v_and(in(0), in(1)));
+          break;
+        case CellKind::kOr2:
+          v = v_or(in(0), in(1));
+          break;
+        case CellKind::kNor2:
+          v = v_not(v_or(in(0), in(1)));
+          break;
+        case CellKind::kXor2:
+          v = v_xor(in(0), in(1));
+          break;
+        case CellKind::kMux2:
+          v = v_mux(in(0), in(1), in(2));
+          break;
+        case CellKind::kAoi21:
+          v = v_not(v_or(v_and(in(0), in(1)), in(2)));
+          break;
+        case CellKind::kInhibit:
+          v = v_and(in(2), v_not(v_and(in(0), in(1))));
+          break;
+      }
+      if (v != value[i]) {
+        value[i] = v;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return value;
+}
+
+void check_stuck_outputs(const Netlist& nl, const std::vector<Val>& value,
+                         Sink& sink) {
+  for (std::size_t k = 0; k < nl.outputs().size(); ++k) {
+    const NodeId o = nl.outputs()[k];
+    const Val v = value[index_of(o)];
+    if (v == Val::kX) continue;
+    // Constants marked as outputs on purpose (empty-reduction neutral
+    // elements) are still worth flagging: a stuck grant wire is exactly the
+    // generator bug this pass exists to catch.
+    sink.add(LintSeverity::kWarning, LintCheck::kStuckOutput,
+             "primary output #" + std::to_string(k) + " (node " +
+                 std::to_string(o) + ") is stuck at " +
+                 (v == Val::kOne ? "1" : "0"),
+             {o});
+  }
+}
+
+// ---- Pass 4: cone of influence / dead logic ---------------------------------
+
+std::vector<char> cone_of_influence(const Netlist& nl) {
+  std::vector<char> reached(nl.size(), 0);
+  // state() flops receive their D through the paired capture() node.
+  std::unordered_map<NodeId, NodeId> capture_of;
+  const std::size_t pairs =
+      std::min(nl.states().size(), nl.captures().size());
+  for (std::size_t i = 0; i < pairs; ++i) {
+    capture_of.emplace(nl.states()[i], nl.captures()[i]);
+  }
+
+  std::vector<NodeId> worklist(nl.outputs().begin(), nl.outputs().end());
+  for (NodeId o : worklist) reached[index_of(o)] = 1;
+  while (!worklist.empty()) {
+    const NodeId cur = worklist.back();
+    worklist.pop_back();
+    const Node& n = nl.node(cur);
+    for (std::uint8_t f = 0; f < n.fanin_count; ++f) {
+      const NodeId next = n.fanin[f];
+      if (!reached[index_of(next)]) {
+        reached[index_of(next)] = 1;
+        worklist.push_back(next);
+      }
+    }
+    if (n.kind == CellKind::kDff && n.fanin_count == 0) {
+      const auto it = capture_of.find(cur);
+      if (it != capture_of.end() && !reached[index_of(it->second)]) {
+        reached[index_of(it->second)] = 1;
+        worklist.push_back(it->second);
+      }
+    }
+  }
+  return reached;
+}
+
+std::vector<ScopeDeadCells> dead_cells_by_scope(
+    const Netlist& nl, const std::vector<char>& reached) {
+  std::unordered_map<std::string, std::size_t> per_scope;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Node& n = nl.node(static_cast<NodeId>(i));
+    if (reached[i]) continue;
+    // Inputs and constants are pseudo-cells; an unused input gets its own
+    // info diagnostic and an unused constant costs nothing.
+    if (n.kind == CellKind::kInput || n.kind == CellKind::kConst) continue;
+    ++per_scope[nl.node_scope(static_cast<NodeId>(i))];
+  }
+  std::vector<ScopeDeadCells> out;
+  out.reserve(per_scope.size());
+  for (auto& [scope, cells] : per_scope) out.push_back({scope, cells});
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.cells != b.cells ? a.cells > b.cells : a.scope < b.scope;
+  });
+  return out;
+}
+
+void check_dead_logic(const Netlist& nl, const std::vector<char>& reached,
+                      Sink& sink) {
+  for (const ScopeDeadCells& s : dead_cells_by_scope(nl, reached)) {
+    // Collect a few example node ids from the scope for the message.
+    std::vector<NodeId> examples;
+    for (std::size_t i = 0; i < nl.size() && examples.size() < 4; ++i) {
+      const Node& n = nl.node(static_cast<NodeId>(i));
+      if (reached[i] || n.kind == CellKind::kInput ||
+          n.kind == CellKind::kConst) {
+        continue;
+      }
+      if (nl.node_scope(static_cast<NodeId>(i)) == s.scope) {
+        examples.push_back(static_cast<NodeId>(i));
+      }
+    }
+    // Build the message before the move: argument evaluation order is
+    // unspecified, so node_list(examples) inline could see a moved-from
+    // vector.
+    std::string message =
+        "scope '" + s.scope + "': " + std::to_string(s.cells) +
+        " cell(s) outside every output's cone of influence (e.g. nodes " +
+        node_list(examples, ", ") + ")";
+    sink.add(LintSeverity::kWarning, LintCheck::kDeadLogic,
+             std::move(message), std::move(examples));
+  }
+
+  std::vector<NodeId> unused_inputs;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    if (nl.node(static_cast<NodeId>(i)).kind == CellKind::kInput &&
+        !reached[i]) {
+      unused_inputs.push_back(static_cast<NodeId>(i));
+    }
+  }
+  if (!unused_inputs.empty()) {
+    std::string message = std::to_string(unused_inputs.size()) +
+                          " primary input(s) feed no output: nodes " +
+                          node_list(unused_inputs, ", ");
+    sink.add(LintSeverity::kInfo, LintCheck::kUnusedInput,
+             std::move(message), std::move(unused_inputs));
+  }
+}
+
+// ---- Pass 5: unregistered input -> output paths -----------------------------
+
+void check_unregistered_paths(const Netlist& nl, Sink& sink) {
+  // Forward sweep (ids are topological once loop-free): a node is
+  // combinationally driven by a primary input unless a DFF breaks the path.
+  std::vector<char> comb(nl.size(), 0);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Node& n = nl.node(static_cast<NodeId>(i));
+    if (n.kind == CellKind::kInput) {
+      comb[i] = 1;
+    } else if (n.kind != CellKind::kDff) {
+      for (std::uint8_t f = 0; f < n.fanin_count; ++f) {
+        if (comb[index_of(n.fanin[f])]) {
+          comb[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+  std::size_t unregistered = 0;
+  NodeId example = kNoNode;
+  for (NodeId o : nl.outputs()) {
+    if (comb[index_of(o)]) {
+      ++unregistered;
+      if (example == kNoNode) example = o;
+    }
+  }
+  if (unregistered > 0) {
+    sink.add(LintSeverity::kInfo, LintCheck::kUnregisteredPath,
+             std::to_string(unregistered) + " of " +
+                 std::to_string(nl.outputs().size()) +
+                 " primary output(s) lie on unregistered input->output "
+                 "paths (single-cycle block)",
+             {example});
+  }
+}
+
+}  // namespace
+
+// ---- Public API -------------------------------------------------------------
+
+const char* to_string(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo:
+      return "info";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* to_string(LintCheck check) {
+  switch (check) {
+    case LintCheck::kBadFanin:
+      return "bad-fanin";
+    case LintCheck::kArityViolation:
+      return "arity-violation";
+    case LintCheck::kUnpairedState:
+      return "unpaired-state";
+    case LintCheck::kBadCapture:
+      return "bad-capture";
+    case LintCheck::kBadOutput:
+      return "bad-output";
+    case LintCheck::kCombinationalLoop:
+      return "combinational-loop";
+    case LintCheck::kStuckOutput:
+      return "stuck-output";
+    case LintCheck::kDeadLogic:
+      return "dead-logic";
+    case LintCheck::kUnusedInput:
+      return "unused-input";
+    case LintCheck::kUnregisteredPath:
+      return "unregistered-path";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnostic& diag) {
+  std::string out = std::string(to_string(diag.severity)) + "[" +
+                    to_string(diag.check) + "] " + diag.message;
+  if (!diag.scope.empty()) out += " (scope " + diag.scope + ")";
+  return out;
+}
+
+std::vector<Diagnostic> lint(const Netlist& netlist,
+                             const LintOptions& options) {
+  std::vector<Diagnostic> diags;
+  Sink sink(diags, netlist, options.max_diagnostics_per_check);
+
+  const bool traversable = check_structure(netlist, sink);
+  if (!traversable) return diags;  // graph passes would walk dangling ids
+
+  const bool acyclic = check_loops(netlist, sink);
+
+  if (netlist.outputs().empty()) {
+    sink.add(LintSeverity::kInfo, LintCheck::kDeadLogic,
+             "no primary outputs marked; cone-of-influence checks skipped");
+    return diags;
+  }
+
+  if (options.check_stuck_outputs) {
+    check_stuck_outputs(netlist, propagate_constants(netlist), sink);
+  }
+  if (options.check_dead_logic) {
+    check_dead_logic(netlist, cone_of_influence(netlist), sink);
+  }
+  if (options.check_unregistered_paths && acyclic) {
+    check_unregistered_paths(netlist, sink);
+  }
+  return diags;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return count_of(diags, LintSeverity::kError) > 0;
+}
+
+std::size_t count_of(const std::vector<Diagnostic>& diags, LintSeverity sev) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == sev) ++n;
+  }
+  return n;
+}
+
+std::vector<ScopeDeadCells> dead_cell_breakdown(const Netlist& netlist) {
+  if (netlist.outputs().empty()) return {};
+  return dead_cells_by_scope(netlist, cone_of_influence(netlist));
+}
+
+void install_generator_lint() {
+  set_post_generation_hook([](const Netlist& nl, const char* generator) {
+    // Generators run on partially built netlists (nested arbiters, staged
+    // outputs), so only hard structural errors abort here.
+    const std::vector<Diagnostic> diags = lint(nl);
+    if (!has_errors(diags)) return;
+    for (const Diagnostic& d : diags) {
+      if (d.severity == LintSeverity::kError) {
+        std::fprintf(stderr, "noclint(%s): %s\n", generator,
+                     to_string(d).c_str());
+      }
+    }
+    NOCALLOC_CHECK(false && "generator produced a netlist with lint errors");
+  });
+}
+
+void uninstall_generator_lint() { set_post_generation_hook({}); }
+
+}  // namespace nocalloc::hw

@@ -1,0 +1,101 @@
+// Static-analysis passes over hw::Netlist.
+//
+// The generators in src/hw build every allocator netlist the paper costs
+// out; a malformed generator (a combinational loop, a dangling cone, a
+// stuck grant output) would silently skew the synthesis results of Sec. 3.1
+// without failing a single unit test. lint() runs a pass library over a
+// finished netlist and returns structured diagnostics:
+//
+//   errors    -- structural illegalities no valid design may contain:
+//                combinational loops (reported with the full cycle),
+//                fanin-arity violations, dangling fanin ids, state()
+//                elements never closed by capture(), bad output ids.
+//   warnings  -- suspicious but representable structure: cells outside
+//                every primary output's cone of influence (dead logic,
+//                attributed per scope) and provably constant (stuck-at)
+//                primary outputs.
+//   info      -- observations: unused primary inputs and unregistered
+//                input->output paths (expected for the single-cycle
+//                allocator blocks, worth surfacing for pipelined designs).
+//
+// The paper's design points must lint clean of errors; the noclint CLI
+// (tools/noclint.cpp) and tests/test_lint_designs.cpp enforce exactly that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+
+namespace nocalloc::hw {
+
+enum class LintSeverity { kInfo, kWarning, kError };
+
+enum class LintCheck {
+  kBadFanin,           // fanin id outside the netlist
+  kArityViolation,     // fanin count does not match the cell kind
+  kUnpairedState,      // state() element never closed by capture()
+  kBadCapture,         // capture id outside the netlist
+  kBadOutput,          // primary-output id outside the netlist
+  kCombinationalLoop,  // cycle through gate fanins (DFFs break paths)
+  kStuckOutput,        // primary output provably constant
+  kDeadLogic,          // cell outside every output's cone of influence
+  kUnusedInput,        // primary input outside every cone of influence
+  kUnregisteredPath,   // combinational path from primary input to output
+};
+
+const char* to_string(LintSeverity severity);
+const char* to_string(LintCheck check);
+
+/// One finding. `nodes` lists the nodes involved; for kCombinationalLoop it
+/// is the full cycle in fanin -> consumer order (first node repeated
+/// conceptually, not literally).
+struct Diagnostic {
+  LintSeverity severity = LintSeverity::kInfo;
+  LintCheck check = LintCheck::kBadFanin;
+  std::string message;
+  std::vector<NodeId> nodes;
+  std::string scope;  // scope of the first involved node ("" if none)
+};
+
+/// "error[combinational-loop] ...: nodes 3 -> 7 -> 3 (scope top)".
+std::string to_string(const Diagnostic& diag);
+
+struct LintOptions {
+  bool check_dead_logic = true;
+  bool check_stuck_outputs = true;
+  bool check_unregistered_paths = true;
+  /// Cap on diagnostics emitted per check (dead cells aggregate per scope
+  /// before the cap applies).
+  std::size_t max_diagnostics_per_check = 16;
+};
+
+/// Runs all passes. Cone-of-influence based checks are skipped (with an
+/// info diagnostic) when the netlist has no primary outputs, so partially
+/// built netlists can still be structurally linted.
+std::vector<Diagnostic> lint(const Netlist& netlist,
+                             const LintOptions& options = {});
+
+bool has_errors(const std::vector<Diagnostic>& diags);
+std::size_t count_of(const std::vector<Diagnostic>& diags, LintSeverity sev);
+
+/// Per-scope dead-cell attribution: for each cost scope, the number of
+/// cells outside every primary output's cone of influence. Sorted by
+/// descending count; scopes without dead cells are omitted.
+struct ScopeDeadCells {
+  std::string scope;
+  std::size_t cells = 0;
+};
+
+std::vector<ScopeDeadCells> dead_cell_breakdown(const Netlist& netlist);
+
+/// Installs lint() as an opt-in post-condition on every hw generator (via
+/// set_post_generation_hook): after each gen_* call the freshly extended
+/// netlist is linted and the process aborts, printing the diagnostics, if
+/// any *errors* are present. Warnings and info findings are ignored here
+/// because generators legitimately run on partially built netlists.
+void install_generator_lint();
+void uninstall_generator_lint();
+
+}  // namespace nocalloc::hw

@@ -44,6 +44,13 @@ class Channel {
   bool empty() const { return pipe_.empty(); }
   std::size_t size() const { return pipe_.size(); }
 
+  /// Visits every in-flight item, oldest first, without consuming it. Used
+  /// by the invariant checker to audit channel contents.
+  template <typename F>
+  void for_each(F&& visit) const {
+    for (const auto& [sent, item] : pipe_) visit(item);
+  }
+
  private:
   std::size_t latency_;
   std::deque<std::pair<Cycle, T>> pipe_;

@@ -60,6 +60,12 @@ std::size_t parse_size(const std::string& v) {
   return out;
 }
 
+bool parse_bool(const std::string& v) {
+  if (v == "true" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "off") return false;
+  NOCALLOC_CHECK(false);
+}
+
 double parse_double(const std::string& v) {
   std::istringstream in(v);
   double out = 0;
@@ -102,6 +108,8 @@ void apply(SimConfig& cfg, const std::string& key, const std::string& value) {
     cfg.drain_cycles = parse_size(value);
   } else if (key == "seed") {
     cfg.seed = parse_size(value);
+  } else if (key == "check_invariants") {
+    cfg.check_invariants = parse_bool(value);
   } else {
     NOCALLOC_CHECK(false);  // unknown key
   }
@@ -143,7 +151,9 @@ std::string to_config_string(const SimConfig& cfg) {
       << "warmup_cycles = " << cfg.warmup_cycles << "\n"
       << "measure_cycles = " << cfg.measure_cycles << "\n"
       << "drain_cycles = " << cfg.drain_cycles << "\n"
-      << "seed = " << cfg.seed << "\n";
+      << "seed = " << cfg.seed << "\n"
+      << "check_invariants = " << (cfg.check_invariants ? "true" : "false")
+      << "\n";
   return out.str();
 }
 

@@ -1,0 +1,130 @@
+// Runtime invariant checker for the cycle-accurate simulator.
+//
+// The network results of Sec. 5 are only meaningful if the simulator honors
+// the VC/credit/allocation protocol it claims to model: a credit leak or an
+// illegal double-grant would shift every latency curve without failing a
+// functional test. The InvariantChecker is always compiled and enabled per
+// run (SimConfig::check_invariants, `nocsim --check-invariants`); it hooks
+// two kinds of boundaries:
+//
+//   - allocation results, validated inside Router::allocate() every cycle:
+//     VC grants must match valid requests from their candidate masks with
+//     no output VC granted twice; switch grants must form a port matching;
+//     speculative grants must obey the spec_req/spec_gnt masking rules of
+//     Sec. 5.2 (a surviving speculative grant never conflicts with
+//     non-speculative traffic on either side of the crossbar).
+//
+//   - step boundaries, validated after every Network::step(): per-VC input
+//     state-machine legality, per-channel credit conservation (upstream
+//     credits + in-flight flits/credits + downstream occupancy must equal
+//     the buffer depth, on router links and terminal links alike),
+//     network-wide flit conservation (injected = ejected + in flight), and
+//     a deadlock watchdog that fires when buffered flits make no progress
+//     for a configurable horizon.
+//
+// Violations are structured (cycle/router/port/VC plus a check id) and go
+// to a configurable handler: the default prints and aborts, tests install
+// throw_on_violation() and assert on the raised InvariantError.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "noc/types.hpp"
+#include "sa/speculative_switch_allocator.hpp"
+#include "sa/switch_allocator.hpp"
+#include "vc/vc_allocator.hpp"
+
+namespace nocalloc::noc {
+
+class Network;
+class Router;
+
+/// One protocol violation, pinned to its location. `router` is -1 for
+/// network-wide checks; `port`/`vc` are -1 when not applicable.
+struct InvariantViolation {
+  Cycle cycle = 0;
+  int router = -1;
+  int port = -1;
+  int vc = -1;
+  std::string check;    // short id, e.g. "credit-conservation"
+  std::string message;  // full description
+};
+
+/// "cycle 42 router 3 port 1 vc 0: credit-conservation: ...".
+std::string to_string(const InvariantViolation& violation);
+
+/// Thrown by the throw_on_violation() handler.
+class InvariantError : public std::runtime_error {
+ public:
+  explicit InvariantError(InvariantViolation violation);
+  const InvariantViolation& violation() const { return violation_; }
+
+ private:
+  InvariantViolation violation_;
+};
+
+struct InvariantCheckerConfig {
+  bool check_allocations = true;
+  bool check_vc_states = true;
+  bool check_credits = true;
+  bool check_flit_conservation = true;
+  /// Cycles without any flit movement (while flits are buffered) before the
+  /// deadlock watchdog fires; 0 disables the watchdog.
+  std::size_t deadlock_cycles = 1000;
+};
+
+class InvariantChecker {
+ public:
+  using ViolationHandler = std::function<void(const InvariantViolation&)>;
+
+  explicit InvariantChecker(InvariantCheckerConfig cfg = {});
+
+  /// Replaces the default print-and-abort handler.
+  void set_violation_handler(ViolationHandler handler);
+
+  /// Installs a handler that throws InvariantError (what tests use).
+  void throw_on_violation();
+
+  // ---- Hooks ---------------------------------------------------------------
+  // Called by Router::allocate() with each cycle's allocation results
+  // *before* they are committed, and by Network::step() after the receive
+  // phase. Wiring happens via Network::attach_invariant_checker().
+
+  void on_vc_alloc(const Router& router, Cycle now,
+                   const std::vector<VcRequest>& req,
+                   const std::vector<int>& grant);
+  void on_sw_alloc(const Router& router, Cycle now,
+                   const std::vector<SwitchRequest>& req,
+                   const std::vector<SwitchGrant>& grant);
+  void on_spec_sw_alloc(const Router& router, Cycle now,
+                        const std::vector<SwitchRequest>& nonspec_req,
+                        const std::vector<SwitchRequest>& spec_req,
+                        const std::vector<SpecSwitchGrant>& grant,
+                        SpecMode mode);
+  void after_step(const Network& net);
+
+  std::uint64_t checks_run() const { return checks_; }
+  std::uint64_t violations_seen() const { return violations_; }
+
+ private:
+  void report(InvariantViolation violation);
+
+  void check_router_state(const Router& router, Cycle now);
+  void check_link_credits(const Network& net);
+  void check_flit_conservation(const Network& net);
+  void check_progress(const Network& net);
+
+  InvariantCheckerConfig cfg_;
+  ViolationHandler handler_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_ = 0;
+  // Deadlock watchdog state.
+  Cycle last_progress_cycle_ = 0;
+  std::uint64_t last_progress_signature_ = 0;
+};
+
+}  // namespace nocalloc::noc

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "noc/invariants.hpp"
 
 namespace nocalloc::noc {
 
@@ -35,6 +36,7 @@ Network::Network(const Topology& topo, const NetworkConfig& cfg,
         link.src_port, flits, credits, link.dst_router);
     routers_[static_cast<std::size_t>(link.dst_router)]->attach_input(
         link.dst_port, flits, credits);
+    link_wirings_.push_back(LinkWiring{link, flits, credits});
   }
 
   // Terminals.
@@ -65,6 +67,9 @@ Network::Network(const Topology& topo, const NetworkConfig& cfg,
     routers_[static_cast<std::size_t>(r)]->attach_output(port, ej_flits,
                                                          ej_credits, -1);
     term.attach(inj_flits, inj_credits, ej_flits, ej_credits);
+    terminal_wirings_.push_back(TerminalWiring{t, r, port, inj_flits,
+                                               inj_credits, ej_flits,
+                                               ej_credits});
   }
 }
 
@@ -75,7 +80,13 @@ void Network::step() {
   for (auto& term : terminals_) term->inject(t);
   for (auto& r : routers_) r->receive(t);
   for (auto& term : terminals_) term->receive(t);
+  if (checker_ != nullptr) checker_->after_step(*this);
   ++now_;
+}
+
+void Network::attach_invariant_checker(InvariantChecker* checker) {
+  checker_ = checker;
+  for (auto& r : routers_) r->set_invariant_checker(checker);
 }
 
 void Network::set_measuring(bool measuring) {
@@ -89,6 +100,12 @@ void Network::set_generation_enabled(bool enabled) {
 std::uint64_t Network::flits_injected() const {
   std::uint64_t n = 0;
   for (const auto& term : terminals_) n += term->flits_injected();
+  return n;
+}
+
+std::uint64_t Network::flits_ejected() const {
+  std::uint64_t n = 0;
+  for (const auto& term : terminals_) n += term->flits_ejected();
   return n;
 }
 

@@ -53,6 +53,14 @@ class Network final : public CongestionOracle {
   /// Total flits injected by all terminals so far.
   std::uint64_t flits_injected() const;
 
+  /// Total flits ejected at all terminals so far.
+  std::uint64_t flits_ejected() const;
+
+  /// Attaches a protocol checker: every router reports allocation results to
+  /// it, and the network calls its after_step() at the end of every step().
+  /// Null detaches. The checker must outlive the network (or be detached).
+  void attach_invariant_checker(InvariantChecker* checker);
+
   /// Flits still inside routers or source queues (drain check).
   std::size_t in_flight() const;
 
@@ -60,6 +68,27 @@ class Network final : public CongestionOracle {
   std::size_t output_congestion(int router, int out_port) const override;
 
  private:
+  friend class InvariantChecker;  // walks wiring records for conservation
+
+  /// One inter-router link with the channels that realise it, kept so the
+  /// invariant checker can audit the credit loop end to end.
+  struct LinkWiring {
+    LinkSpec spec;
+    Channel<Flit>* flits = nullptr;
+    Channel<Credit>* credits = nullptr;
+  };
+
+  /// The four channels between a terminal and its router port.
+  struct TerminalWiring {
+    int terminal = -1;
+    int router = -1;
+    int port = -1;
+    Channel<Flit>* inj_flits = nullptr;     // terminal -> router
+    Channel<Credit>* inj_credits = nullptr; // router -> terminal
+    Channel<Flit>* ej_flits = nullptr;      // router -> terminal
+    Channel<Credit>* ej_credits = nullptr;  // terminal -> router
+  };
+
   const Topology& topo_;
   std::unique_ptr<RoutingFunction> routing_;
   std::vector<std::unique_ptr<Router>> routers_;
@@ -67,6 +96,9 @@ class Network final : public CongestionOracle {
   // Channel storage; deques keep addresses stable while wiring.
   std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
   std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+  std::vector<LinkWiring> link_wirings_;
+  std::vector<TerminalWiring> terminal_wirings_;
+  InvariantChecker* checker_ = nullptr;
   std::uint64_t next_packet_id_ = 1;
   Cycle now_ = 0;
 };

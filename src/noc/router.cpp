@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "noc/invariants.hpp"
+
 namespace nocalloc::noc {
 
 Router::Router(int id, const RouterConfig& cfg, RoutingFunction& routing)
@@ -23,11 +25,15 @@ Router::Router(int id, const RouterConfig& cfg, RoutingFunction& routing)
 
   VcAllocatorConfig va{cfg.ports, cfg.partition, cfg.vc_alloc_kind, cfg.vc_arb,
                        /*sparse=*/true};
-  vc_alloc_ = make_vc_allocator(va);
+  vc_alloc_ = cfg.vc_alloc_factory ? cfg.vc_alloc_factory(va)
+                                   : make_vc_allocator(va);
+  NOCALLOC_CHECK(vc_alloc_ != nullptr);
 
   SwitchAllocatorConfig sa{cfg.ports, vcs_, cfg.sw_alloc_kind, cfg.sw_arb};
   if (cfg.spec == SpecMode::kNonSpeculative) {
-    sw_alloc_ = make_switch_allocator(sa);
+    sw_alloc_ = cfg.sw_alloc_factory ? cfg.sw_alloc_factory(sa)
+                                     : make_switch_allocator(sa);
+    NOCALLOC_CHECK(sw_alloc_ != nullptr);
   } else {
     spec_alloc_ = std::make_unique<SpeculativeSwitchAllocator>(sa, cfg.spec);
   }
@@ -120,6 +126,7 @@ void Router::allocate(Cycle now) {
 
   std::vector<int> vgrant;
   vc_alloc_->allocate(vreq, vgrant);
+  if (checker_ != nullptr) checker_->on_vc_alloc(*this, now, vreq, vgrant);
 
   // --- Switch allocation requests (from pre-VA state) ----------------------
   std::vector<SwitchRequest> nonspec(total);
@@ -162,6 +169,9 @@ void Router::allocate(Cycle now) {
   if (cfg_.spec == SpecMode::kNonSpeculative) {
     std::vector<SwitchGrant> grants;
     sw_alloc_->allocate(nonspec, grants);
+    if (checker_ != nullptr) {
+      checker_->on_sw_alloc(*this, now, nonspec, grants);
+    }
     for (std::size_t p = 0; p < cfg_.ports; ++p) {
       if (grants[p].granted()) {
         commit_grant(p, static_cast<std::size_t>(grants[p].vc), now);
@@ -172,6 +182,9 @@ void Router::allocate(Cycle now) {
 
   std::vector<SpecSwitchGrant> grants;
   spec_alloc_->allocate(nonspec, spec, grants);
+  if (checker_ != nullptr) {
+    checker_->on_spec_sw_alloc(*this, now, nonspec, spec, grants, cfg_.spec);
+  }
   for (std::size_t p = 0; p < cfg_.ports; ++p) {
     const SpecSwitchGrant& g = grants[p];
     if (g.nonspec.granted()) {

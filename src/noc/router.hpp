@@ -30,6 +30,8 @@
 
 namespace nocalloc::noc {
 
+class InvariantChecker;
+
 struct RouterConfig {
   std::size_t ports = 0;
   VcPartition partition{1, 1, 1};
@@ -39,6 +41,15 @@ struct RouterConfig {
   AllocatorKind sw_alloc_kind = AllocatorKind::kSeparableInputFirst;
   ArbiterKind sw_arb = ArbiterKind::kRoundRobin;
   SpecMode spec = SpecMode::kPessimistic;
+  /// Optional allocator factories: when set they replace make_vc_allocator /
+  /// make_switch_allocator for this router. The invariant tests use them to
+  /// inject deliberately broken allocators; the switch factory only applies
+  /// to the non-speculative path (the speculative wrapper builds its own
+  /// internal pair).
+  std::function<std::unique_ptr<VcAllocator>(const VcAllocatorConfig&)>
+      vc_alloc_factory;
+  std::function<std::unique_ptr<SwitchAllocator>(const SwitchAllocatorConfig&)>
+      sw_alloc_factory;
 };
 
 /// Counters exposed for benches and tests.
@@ -80,7 +91,12 @@ class Router {
   /// Total flits currently buffered (used by drain checks in tests/benches).
   std::size_t buffered_flits() const;
 
+  /// Attaches a protocol checker; allocate() reports every allocation result
+  /// to it before committing. Null detaches.
+  void set_invariant_checker(InvariantChecker* checker) { checker_ = checker; }
+
  private:
+  friend class InvariantChecker;  // audits VC state and credit counters
   enum class VcState : std::uint8_t { kIdle, kWaitVc, kActive };
 
   struct InputVc {
@@ -132,6 +148,7 @@ class Router {
   std::unique_ptr<SwitchAllocator> sw_alloc_;               // non-speculative
   std::unique_ptr<SpeculativeSwitchAllocator> spec_alloc_;  // speculative
 
+  InvariantChecker* checker_ = nullptr;
   RouterStats stats_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "noc/invariants.hpp"
 
 namespace nocalloc::noc {
 
@@ -116,6 +117,9 @@ SimResult run_simulation(const SimConfig& cfg) {
 
   Network net(topology, net_cfg, factory, on_eject);
   net_ptr = &net;
+
+  InvariantChecker checker;
+  if (cfg.check_invariants) net.attach_invariant_checker(&checker);
 
   for (std::size_t i = 0; i < cfg.warmup_cycles; ++i) net.step();
 

@@ -46,6 +46,11 @@ struct SimConfig {
   std::size_t measure_cycles = 20000;
   std::size_t drain_cycles = 30000;
   std::uint64_t seed = 1;
+
+  /// Runs the full simulation under an attached InvariantChecker (credit and
+  /// flit conservation, VC protocol, allocation legality, deadlock watchdog).
+  /// Violations print and abort. Roughly doubles simulation time.
+  bool check_invariants = false;
 };
 
 struct SimResult {

@@ -112,6 +112,7 @@ void Terminal::receive(Cycle now) {
   if (from_router_ != nullptr) {
     if (auto flit = from_router_->receive(now)) {
       // Ejection consumes the flit immediately and frees the slot.
+      ++flits_ejected_;
       credits_to_router_->send(Credit{flit->vc}, now);
       if (flit->tail) on_eject_(*flit->packet, now);
     }

@@ -16,6 +16,8 @@
 
 namespace nocalloc::noc {
 
+class InvariantChecker;
+
 class Terminal {
  public:
   /// Invoked when a packet's tail flit is ejected at this terminal.
@@ -46,6 +48,9 @@ class Terminal {
   /// Cumulative flits handed to the network.
   std::uint64_t flits_injected() const { return flits_injected_; }
 
+  /// Cumulative flits ejected here (every flit, not just tails).
+  std::uint64_t flits_ejected() const { return flits_ejected_; }
+
   /// Supplies globally unique packet ids; set by the Network.
   void set_id_counter(std::uint64_t* next_id) { next_id_ = next_id; }
 
@@ -63,6 +68,8 @@ class Terminal {
   void set_generation_enabled(bool enabled) { generate_ = enabled; }
 
  private:
+  friend class InvariantChecker;  // audits credits_ for conservation checks
+
   void stage_flit(Cycle now);
 
   int id_;
@@ -91,6 +98,7 @@ class Terminal {
 
   std::uint64_t* next_id_ = nullptr;
   std::uint64_t flits_injected_ = 0;
+  std::uint64_t flits_ejected_ = 0;
   bool measuring_ = false;
   bool generate_ = true;
 };

@@ -1,0 +1,230 @@
+// Netlist lint pass tests: hand-built good and bad netlists exercising every
+// check, including faults the builder API cannot express (injected with
+// Netlist::inject_fault_fanin).
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hw/arbiter_gen.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+std::vector<Diagnostic> of_check(const std::vector<Diagnostic>& diags,
+                                 LintCheck check) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags) {
+    if (d.check == check) out.push_back(d);
+  }
+  return out;
+}
+
+/// A well-formed registered design: 2-input function into a flop, flop into
+/// the output, plus a state/capture feedback loop.
+Netlist good_netlist() {
+  Netlist nl;
+  const NodeId a = nl.input();
+  const NodeId b = nl.input();
+  const NodeId fb = nl.state(false);
+  const NodeId f = nl.and2(nl.or2(a, fb), b);
+  nl.capture(f);
+  const NodeId q = nl.dff(f);
+  nl.mark_output(q);
+  return nl;
+}
+
+TEST(Lint, CleanNetlistHasNoFindings) {
+  Netlist nl = good_netlist();
+  const auto diags = lint(nl);
+  EXPECT_FALSE(has_errors(diags));
+  EXPECT_EQ(count_of(diags, LintSeverity::kWarning), 0u);
+}
+
+TEST(Lint, StateCaptureFeedbackIsNotALoop) {
+  // Sequential feedback through a flop must not be flagged: only gate-level
+  // cycles are combinational loops.
+  Netlist nl;
+  const NodeId q = nl.state(true);
+  const NodeId next = nl.inv(q);  // toggle flop
+  nl.capture(next);
+  nl.mark_output(next);
+  const auto diags = lint(nl);
+  EXPECT_TRUE(of_check(diags, LintCheck::kCombinationalLoop).empty());
+  EXPECT_FALSE(has_errors(diags));
+}
+
+TEST(Lint, DetectsCombinationalLoopWithFullCycle) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  const NodeId g1 = nl.and2(a, a);  // placeholder fanin, rewired below
+  const NodeId g2 = nl.or2(g1, a);
+  const NodeId g3 = nl.and2(g2, a);
+  nl.mark_output(g3);
+  // Close g1 <- g3: a three-gate combinational cycle.
+  nl.inject_fault_fanin(g1, 1, g3);
+
+  const auto diags = lint(nl);
+  ASSERT_TRUE(has_errors(diags));
+  const auto loops = of_check(diags, LintCheck::kCombinationalLoop);
+  ASSERT_EQ(loops.size(), 1u);
+  // The diagnostic carries the full cycle: all three gates, each exactly once.
+  std::vector<NodeId> cycle = loops[0].nodes;
+  std::sort(cycle.begin(), cycle.end());
+  EXPECT_EQ(cycle, (std::vector<NodeId>{g1, g2, g3}));
+  EXPECT_NE(loops[0].message.find("->"), std::string::npos);
+}
+
+TEST(Lint, DetectsDanglingFanin) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  const NodeId g = nl.inv(a);
+  nl.mark_output(g);
+  nl.inject_fault_fanin(g, 0, 1234);  // id beyond the netlist
+
+  const auto diags = lint(nl);
+  ASSERT_TRUE(has_errors(diags));
+  EXPECT_FALSE(of_check(diags, LintCheck::kBadFanin).empty());
+}
+
+TEST(Lint, DetectsUnpairedState) {
+  Netlist nl;
+  const NodeId q = nl.state(false);  // never captured
+  nl.mark_output(nl.inv(q));
+
+  const auto diags = lint(nl);
+  ASSERT_TRUE(has_errors(diags));
+  const auto unpaired = of_check(diags, LintCheck::kUnpairedState);
+  ASSERT_EQ(unpaired.size(), 1u);
+  EXPECT_EQ(unpaired[0].nodes, std::vector<NodeId>{q});
+}
+
+TEST(Lint, DetectsStuckOutput) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  const NodeId zero = nl.constant(false);
+  const NodeId g = nl.and2(a, zero);  // provably 0
+  nl.mark_output(g);
+  nl.mark_output(nl.or2(a, nl.constant(true)));  // provably 1
+
+  const auto diags = lint(nl);
+  EXPECT_FALSE(has_errors(diags));
+  const auto stuck = of_check(diags, LintCheck::kStuckOutput);
+  EXPECT_EQ(stuck.size(), 2u);
+}
+
+TEST(Lint, ConstantsPropagateThroughMux) {
+  // mux2(sel=1, a, b) == a: with a tied low the output is stuck even though
+  // the netlist has non-constant primary inputs on the other leg.
+  Netlist nl;
+  const NodeId b = nl.input();
+  const NodeId sel = nl.constant(true);
+  const NodeId a = nl.constant(false);
+  nl.mark_output(nl.add(CellKind::kMux2, sel, a, b));
+
+  const auto diags = lint(nl);
+  EXPECT_EQ(of_check(diags, LintCheck::kStuckOutput).size(), 1u);
+}
+
+TEST(Lint, DetectsDeadLogicPerScope) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  nl.begin_scope("live");
+  nl.mark_output(nl.inv(a));
+  nl.end_scope();
+  nl.begin_scope("dead-branch");
+  const NodeId d1 = nl.and2(a, a);
+  nl.or2(d1, a);  // neither feeds an output
+  nl.end_scope();
+
+  const auto diags = lint(nl);
+  EXPECT_FALSE(has_errors(diags));
+  const auto dead = of_check(diags, LintCheck::kDeadLogic);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].scope, "dead-branch");
+  EXPECT_NE(dead[0].message.find("dead-branch"), std::string::npos);
+
+  const auto breakdown = dead_cell_breakdown(nl);
+  ASSERT_EQ(breakdown.size(), 1u);
+  EXPECT_EQ(breakdown[0].scope, "dead-branch");
+  EXPECT_EQ(breakdown[0].cells, 2u);
+}
+
+TEST(Lint, ReportsUnusedInputsAsInfo) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  const NodeId unused = nl.input();
+  (void)unused;
+  nl.mark_output(nl.inv(a));
+
+  const auto diags = lint(nl);
+  EXPECT_FALSE(has_errors(diags));
+  EXPECT_EQ(of_check(diags, LintCheck::kUnusedInput).size(), 1u);
+}
+
+TEST(Lint, FlagsUnregisteredPathsButNotRegisteredOnes) {
+  // Combinational input -> output path: surfaced as info.
+  Netlist comb;
+  const NodeId a = comb.input();
+  comb.mark_output(comb.inv(a));
+  EXPECT_FALSE(of_check(lint(comb), LintCheck::kUnregisteredPath).empty());
+
+  // Fully registered path: no finding.
+  Netlist reg;
+  const NodeId b = reg.input();
+  reg.mark_output(reg.dff(reg.inv(b)));
+  EXPECT_TRUE(of_check(lint(reg), LintCheck::kUnregisteredPath).empty());
+}
+
+TEST(Lint, CapRespectsMaxDiagnosticsPerCheck) {
+  Netlist nl;
+  const NodeId zero = nl.constant(false);
+  for (int i = 0; i < 8; ++i) nl.mark_output(nl.and2(zero, zero));
+  LintOptions opt;
+  opt.max_diagnostics_per_check = 3;
+  const auto diags = lint(nl, opt);
+  EXPECT_EQ(of_check(diags, LintCheck::kStuckOutput).size(), 3u);
+}
+
+TEST(Lint, NetlistWithoutOutputsSkipsConeChecks) {
+  // Generators fire the post-generation hook on partially built netlists
+  // that have no primary outputs yet; lint must not report everything dead.
+  Netlist nl;
+  const NodeId a = nl.input();
+  nl.and2(a, a);
+  const auto diags = lint(nl);
+  EXPECT_FALSE(has_errors(diags));
+  // Only the "checks skipped" info notice may appear -- no warnings claiming
+  // the whole netlist is dead.
+  EXPECT_EQ(count_of(diags, LintSeverity::kWarning), 0u);
+  EXPECT_TRUE(of_check(diags, LintCheck::kStuckOutput).empty());
+}
+
+TEST(Lint, GeneratorHookPassesCleanGenerator) {
+  install_generator_lint();
+  Netlist nl;
+  auto req = nl.inputs(4);
+  const ArbiterCircuit arb =
+      gen_round_robin_arbiter(nl, req, nl.constant(true));
+  for (NodeId g : arb.gnt) nl.mark_output(g);
+  uninstall_generator_lint();
+  SUCCEED();  // the hook linted the arbiter netlist without aborting
+}
+
+TEST(LintDeathTest, GeneratorHookAbortsOnErrors) {
+  EXPECT_DEATH(
+      {
+        install_generator_lint();
+        Netlist nl;
+        const NodeId a = nl.input();
+        const NodeId g = nl.inv(a);
+        nl.mark_output(g);
+        nl.inject_fault_fanin(g, 0, 999);  // dangling fanin
+        notify_generated(nl, "test-generator");
+      },
+      "lint errors");
+}
+
+}  // namespace
+}  // namespace nocalloc::hw

@@ -1,0 +1,97 @@
+// Lint regression net over the paper's design points: every VC- and
+// switch-allocator netlist the cost model sweeps (Secs. 4.3.1 / 5.3.1) must
+// be free of lint errors. Warnings (dead cells from unused arbiter outputs)
+// are tolerated; errors mean a generator built an illegal structure.
+#include <gtest/gtest.h>
+
+#include "hw/sa_gen.hpp"
+#include "hw/vc_alloc_gen.hpp"
+#include "lint/design_points.hpp"
+#include "lint/lint.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+std::string error_summary(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == LintSeverity::kError) out += to_string(d) + "\n";
+  }
+  return out;
+}
+
+TEST(LintDesigns, AllVcAllocatorPointsLintClean) {
+  // Large points (the P10 V16-class wavefronts) are exercised by the CLI
+  // sweep; keeping them out of the unit suite bounds test time.
+  const auto points = paper_vc_design_points(/*include_large=*/false);
+  ASSERT_FALSE(points.empty());
+  for (const VcDesignPoint& p : points) {
+    Netlist nl;
+    gen_vc_allocator(nl, p.cfg);
+    const auto diags = lint(nl);
+    EXPECT_FALSE(has_errors(diags))
+        << p.name << ":\n" << error_summary(diags);
+    EXPECT_GT(nl.outputs().size(), 0u) << p.name;
+  }
+}
+
+TEST(LintDesigns, AllSwitchAllocatorPointsLintClean) {
+  const auto points = paper_sa_design_points(/*include_large=*/false);
+  ASSERT_FALSE(points.empty());
+  for (const SaDesignPoint& p : points) {
+    Netlist nl;
+    gen_switch_allocator(nl, p.cfg);
+    const auto diags = lint(nl);
+    EXPECT_FALSE(has_errors(diags))
+        << p.name << ":\n" << error_summary(diags);
+    EXPECT_GT(nl.outputs().size(), 0u) << p.name;
+  }
+}
+
+TEST(LintDesigns, SweepCoversAllArchitecturesAndSpecModes) {
+  // The design-point enumeration itself is part of the contract: a silent
+  // hole here would shrink the regression net without failing anything.
+  const auto vc = paper_vc_design_points();
+  const auto sa = paper_sa_design_points();
+
+  auto vc_has = [&](AllocatorKind kind, bool sparse) {
+    for (const auto& p : vc) {
+      if (p.cfg.kind == kind && p.cfg.sparse == sparse) return true;
+    }
+    return false;
+  };
+  for (AllocatorKind kind :
+       {AllocatorKind::kSeparableInputFirst,
+        AllocatorKind::kSeparableOutputFirst, AllocatorKind::kWavefront}) {
+    EXPECT_TRUE(vc_has(kind, true));
+  }
+  EXPECT_TRUE(vc_has(AllocatorKind::kSeparableInputFirst, false));
+
+  auto sa_has = [&](SpecMode spec, AllocatorKind kind) {
+    for (const auto& p : sa) {
+      if (p.cfg.spec == spec && p.cfg.kind == kind) return true;
+    }
+    return false;
+  };
+  for (SpecMode spec :
+       {SpecMode::kNonSpeculative, SpecMode::kPessimistic,
+        SpecMode::kConservative}) {
+    for (AllocatorKind kind :
+         {AllocatorKind::kSeparableInputFirst,
+          AllocatorKind::kSeparableOutputFirst, AllocatorKind::kWavefront}) {
+      EXPECT_TRUE(sa_has(spec, kind));
+    }
+  }
+
+  // Both testbed sizes appear on the SA side.
+  bool p5 = false, p10 = false;
+  for (const auto& p : sa) {
+    p5 = p5 || p.cfg.ports == 5;
+    p10 = p10 || p.cfg.ports == 10;
+  }
+  EXPECT_TRUE(p5);
+  EXPECT_TRUE(p10);
+}
+
+}  // namespace
+}  // namespace nocalloc::hw
