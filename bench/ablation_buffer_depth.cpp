@@ -3,6 +3,10 @@
 // 4 + 2*L cycles (allocation, switch traversal, link each way), so on the
 // fbfly's longest links (L = 3) a VC needs ~10 slots to stream a packet at
 // full rate -- shallower buffers throttle each VC and deeper ones buy little.
+//
+// Each (design point, depth) rate sweep is one task (early break at
+// saturation keeps it serial inside).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -11,42 +15,58 @@
 using namespace nocalloc;
 using namespace nocalloc::noc;
 
+namespace {
+
+struct Config {
+  const char* label;
+  TopologyKind topo;
+  std::size_t c;
+};
+
+constexpr Config kConfigs[] = {
+    {"mesh 2x1x1", TopologyKind::kMesh8x8, 1},
+    {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2},
+};
+
+constexpr std::size_t kDepths[] = {2, 4, 8, 16, 32};
+
+std::string run_depth(const Config& c, std::size_t depth) {
+  const bool fast = bench::fast_mode();
+  double zll = 0.0, sat = 0.0;
+  for (double rate = 0.05; rate <= 0.75; rate += 0.1) {
+    SimConfig cfg;
+    cfg.topology = c.topo;
+    cfg.vcs_per_class = c.c;
+    cfg.buffer_depth = depth;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = fast ? 600 : 2000;
+    cfg.measure_cycles = fast ? 1200 : 4000;
+    cfg.drain_cycles = fast ? 1200 : 4000;
+    const SimResult r = run_simulation(cfg);
+    if (rate <= 0.05 + 1e-9) zll = r.avg_packet_latency;
+    sat = std::max(sat, r.accepted_flit_rate);
+    if (r.saturated) break;
+  }
+  return bench::strprintf("  %-8zu %-14.1f %-14.3f\n", depth, zll, sat);
+}
+
+}  // namespace
+
 int main() {
   bench::heading("Ablation: input buffer depth per VC (Sec. 3.2 parameter)");
-  const bool fast = bench::fast_mode();
 
-  struct Config {
-    const char* label;
-    TopologyKind topo;
-    std::size_t c;
-  };
-  const Config configs[] = {
-      {"mesh 2x1x1", TopologyKind::kMesh8x8, 1},
-      {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2},
-  };
+  const std::size_t depths = std::size(kDepths);
+  const auto rows = sweep::parallel_map(
+      bench::pool(), std::size(kConfigs) * depths, [&](std::size_t t) {
+        return run_depth(kConfigs[t / depths], kDepths[t % depths]);
+      });
 
-  for (const Config& c : configs) {
-    bench::subheading(c.label);
+  for (std::size_t ci = 0; ci < std::size(kConfigs); ++ci) {
+    bench::subheading(kConfigs[ci].label);
     std::printf("  %-8s %-14s %-14s\n", "depth", "zero-load lat",
                 "max accepted");
-    for (std::size_t depth : {2u, 4u, 8u, 16u, 32u}) {
-      double zll = 0.0, sat = 0.0;
-      for (double rate = 0.05; rate <= 0.75; rate += 0.1) {
-        SimConfig cfg;
-        cfg.topology = c.topo;
-        cfg.vcs_per_class = c.c;
-        cfg.buffer_depth = depth;
-        cfg.injection_rate = rate;
-        cfg.warmup_cycles = fast ? 600 : 2000;
-        cfg.measure_cycles = fast ? 1200 : 4000;
-        cfg.drain_cycles = fast ? 1200 : 4000;
-        const SimResult r = run_simulation(cfg);
-        if (rate <= 0.05 + 1e-9) zll = r.avg_packet_latency;
-        sat = std::max(sat, r.accepted_flit_rate);
-        if (r.saturated) break;
-      }
-      std::printf("  %-8zu %-14.1f %-14.3f\n", depth, zll, sat);
-    }
+    for (std::size_t d = 0; d < depths; ++d)
+      std::printf("%s", rows[ci * depths + d].c_str());
   }
 
   bench::subheading("interpretation");

@@ -3,6 +3,9 @@
 // the maximum-size bound as a function of k and of how quickly the request
 // matrix changes -- quantifying the paper's argument that iterative
 // convergence limits such schemes in single-cycle NoC routers.
+//
+// Each (steps, churn) cell is one sweep task with its own allocator and
+// Rng(55), matching the serial protocol exactly.
 #include <cstdio>
 
 #include "alloc/incremental_max_allocator.hpp"
@@ -13,6 +16,9 @@
 using namespace nocalloc;
 
 namespace {
+
+constexpr std::size_t kSteps[] = {1, 2, 4, 10};
+constexpr double kChurns[] = {1.0, 0.3, 0.1, 0.03};
 
 // Measures quality on a request stream where each (i, j) request persists
 // and flips with probability `churn` per cycle -- churn 1.0 reproduces the
@@ -48,15 +54,21 @@ int main() {
   const std::size_t trials = bench::fast_mode() ? 400 : 4000;
   constexpr std::size_t kN = 10;
 
+  const std::size_t churns = std::size(kChurns);
+  const auto results = sweep::parallel_map(
+      bench::pool(), std::size(kSteps) * churns, [&](std::size_t t) {
+        return quality(kSteps[t / churns], kChurns[t % churns], kN, trials);
+      });
+
   std::printf("\n10x10 requests at density 0.4; quality vs maximum-size "
               "bound (%zu cycles)\n\n", trials);
   std::printf("  %-22s", "augmentations/cycle");
-  for (double churn : {1.0, 0.3, 0.1, 0.03}) std::printf("  churn=%-5.2f", churn);
+  for (double churn : kChurns) std::printf("  churn=%-5.2f", churn);
   std::printf("\n");
-  for (std::size_t steps : {1u, 2u, 4u, 10u}) {
-    std::printf("  %-22zu", steps);
-    for (double churn : {1.0, 0.3, 0.1, 0.03}) {
-      std::printf("  %-11.3f", quality(steps, churn, kN, trials));
+  for (std::size_t s = 0; s < std::size(kSteps); ++s) {
+    std::printf("  %-22zu", kSteps[s]);
+    for (std::size_t c = 0; c < churns; ++c) {
+      std::printf("  %-11.3f", results[s * churns + c]);
     }
     std::printf("\n");
   }

@@ -4,6 +4,8 @@
 // transient queue noise. This sweep shows why the default bias is needed:
 // with no bias, low-load latency rises (needless Valiant detours); with too
 // much, the saturation benefit of adaptivity erodes under adversarial load.
+//
+// Every (pattern, threshold, rate) simulation is an independent sweep task.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -14,28 +16,29 @@ using namespace nocalloc::noc;
 
 namespace {
 
-void sweep(TrafficPattern pattern) {
-  const bool fast = nocalloc::bench::fast_mode();
-  std::printf("  %-10s %-6s %-12s %-12s %-10s\n", "threshold", "rate",
-              "latency", "accepted", "misroute%");
-  for (std::size_t threshold : {0u, 1u, 3u, 8u, 32u}) {
-    for (double rate : {0.1, 0.3, 0.5}) {
-      SimConfig cfg;
-      cfg.topology = TopologyKind::kFbfly4x4;
-      cfg.vcs_per_class = 2;
-      cfg.ugal_threshold = threshold;
-      cfg.pattern = pattern;
-      cfg.injection_rate = rate;
-      cfg.warmup_cycles = fast ? 600 : 2000;
-      cfg.measure_cycles = fast ? 1200 : 4000;
-      cfg.drain_cycles = fast ? 1200 : 4000;
-      const SimResult r = run_simulation(cfg);
-      std::printf("  %-10zu %-6.2f %-12.1f %-12.3f %-10.1f%s\n", threshold,
-                  rate, r.avg_packet_latency, r.accepted_flit_rate,
-                  100 * r.ugal_nonminimal_fraction,
-                  r.saturated ? "  (saturated)" : "");
-    }
-  }
+constexpr TrafficPattern kPatterns[] = {TrafficPattern::kUniform,
+                                        TrafficPattern::kTornado};
+constexpr std::size_t kThresholds[] = {0, 1, 3, 8, 32};
+constexpr double kRates[] = {0.1, 0.3, 0.5};
+
+std::string run_point(TrafficPattern pattern, std::size_t threshold,
+                      double rate) {
+  const bool fast = bench::fast_mode();
+  SimConfig cfg;
+  cfg.topology = TopologyKind::kFbfly4x4;
+  cfg.vcs_per_class = 2;
+  cfg.ugal_threshold = threshold;
+  cfg.pattern = pattern;
+  cfg.injection_rate = rate;
+  cfg.warmup_cycles = fast ? 600 : 2000;
+  cfg.measure_cycles = fast ? 1200 : 4000;
+  cfg.drain_cycles = fast ? 1200 : 4000;
+  const SimResult r = run_simulation(cfg);
+  return bench::strprintf("  %-10zu %-6.2f %-12.1f %-12.3f %-10.1f%s\n",
+                          threshold, rate, r.avg_packet_latency,
+                          r.accepted_flit_rate,
+                          100 * r.ugal_nonminimal_fraction,
+                          r.saturated ? "  (saturated)" : "");
 }
 
 }  // namespace
@@ -43,11 +46,28 @@ void sweep(TrafficPattern pattern) {
 int main() {
   bench::heading("Ablation: UGAL minimal-path bias threshold (fbfly 2x2x2)");
 
-  bench::subheading("uniform random traffic (benign: minimal is optimal)");
-  sweep(TrafficPattern::kUniform);
+  const std::size_t thresholds = std::size(kThresholds);
+  const std::size_t rates = std::size(kRates);
+  const std::size_t per_pattern = thresholds * rates;
 
-  bench::subheading("tornado traffic (adversarial: misrouting pays off)");
-  sweep(TrafficPattern::kTornado);
+  const auto rows = sweep::parallel_map(
+      bench::pool(), std::size(kPatterns) * per_pattern, [&](std::size_t t) {
+        const TrafficPattern pattern = kPatterns[t / per_pattern];
+        const std::size_t rest = t % per_pattern;
+        return run_point(pattern, kThresholds[rest / rates],
+                         kRates[rest % rates]);
+      });
+
+  const char* sections[] = {
+      "uniform random traffic (benign: minimal is optimal)",
+      "tornado traffic (adversarial: misrouting pays off)"};
+  for (std::size_t p = 0; p < std::size(kPatterns); ++p) {
+    bench::subheading(sections[p]);
+    std::printf("  %-10s %-6s %-12s %-12s %-10s\n", "threshold", "rate",
+                "latency", "accepted", "misroute%");
+    for (std::size_t i = 0; i < per_pattern; ++i)
+      std::printf("%s", rows[p * per_pattern + i].c_str());
+  }
 
   bench::subheading("interpretation");
   std::printf(

@@ -2,6 +2,11 @@
 // design points, normalized to a maximum-size allocator over the same
 // request sequences (10,000 pseudo-random request matrices per point,
 // Sec. 3.1).
+//
+// Each (design point, allocator kind) curve is one sweep task: the curve
+// owns its allocator and Rng, so the parallel run reproduces the serial
+// output byte for byte.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -10,43 +15,65 @@
 using namespace nocalloc;
 using namespace nocalloc::quality;
 
+namespace {
+
+constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
+                                    AllocatorKind::kSeparableOutputFirst,
+                                    AllocatorKind::kWavefront};
+constexpr double kRates[] = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+struct Curve {
+  std::string row;      // formatted table row for this (point, kind)
+  double worst = 1.0;   // minimum quality across the curve's rates
+};
+
+Curve run_curve(const bench::DesignPoint& pt, AllocatorKind kind,
+                std::size_t trials) {
+  VcAllocatorConfig cfg;
+  cfg.ports = pt.ports;
+  cfg.partition = pt.partition;
+  cfg.kind = kind;
+  auto alloc = make_vc_allocator(cfg);
+  Rng rng(0x5EED + static_cast<std::uint64_t>(kind));
+  Curve out;
+  out.row = bench::strprintf("  %-8s", to_string(kind).c_str());
+  for (double rate : kRates) {
+    const QualityResult q =
+        measure_vc_quality(*alloc, pt.partition, rate, trials, rng);
+    out.row += bench::strprintf("  %5.3f", q.quality());
+    out.worst = std::min(out.worst, q.quality());
+  }
+  return out;
+}
+
+}  // namespace
+
 int main() {
   bench::heading("Figure 7: VC allocator matching quality");
   const std::size_t trials = bench::fast_mode() ? 500 : 10000;
   std::printf("(%zu random request matrices per data point)\n", trials);
 
-  constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
-                                      AllocatorKind::kSeparableOutputFirst,
-                                      AllocatorKind::kWavefront};
-  constexpr double kRates[] = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const auto points = bench::paper_design_points();
+  const std::size_t kinds = std::size(kKinds);
+
+  const auto curves = sweep::parallel_map(
+      bench::pool(), points.size() * kinds, [&](std::size_t t) {
+        return run_curve(points[t / kinds], kKinds[t % kinds], trials);
+      });
 
   double worst_sep_if = 1.0, worst_sep_of = 1.0;
-
-  for (const bench::DesignPoint& pt : bench::paper_design_points()) {
-    bench::subheading(pt.label);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    bench::subheading(points[p].label);
     std::printf("  %-8s", "rate");
     for (double r : kRates) std::printf("  %5.2f", r);
     std::printf("\n");
-    for (AllocatorKind kind : kKinds) {
-      VcAllocatorConfig cfg;
-      cfg.ports = pt.ports;
-      cfg.partition = pt.partition;
-      cfg.kind = kind;
-      auto alloc = make_vc_allocator(cfg);
-      Rng rng(0x5EED + static_cast<std::uint64_t>(kind));
-      std::printf("  %-8s", to_string(kind).c_str());
-      for (double rate : kRates) {
-        const QualityResult q =
-            measure_vc_quality(*alloc, pt.partition, rate, trials, rng);
-        std::printf("  %5.3f", q.quality());
-        if (kind == AllocatorKind::kSeparableInputFirst) {
-          worst_sep_if = std::min(worst_sep_if, q.quality());
-        }
-        if (kind == AllocatorKind::kSeparableOutputFirst) {
-          worst_sep_of = std::min(worst_sep_of, q.quality());
-        }
-      }
-      std::printf("\n");
+    for (std::size_t k = 0; k < kinds; ++k) {
+      const Curve& c = curves[p * kinds + k];
+      std::printf("%s\n", c.row.c_str());
+      if (kKinds[k] == AllocatorKind::kSeparableInputFirst)
+        worst_sep_if = std::min(worst_sep_if, c.worst);
+      if (kKinds[k] == AllocatorKind::kSeparableOutputFirst)
+        worst_sep_of = std::min(worst_sep_of, c.worst);
     }
   }
 

@@ -1,5 +1,8 @@
 // Figure 12: switch allocator matching quality vs request rate, normalized
 // to a maximum-size allocator on the P x P union request matrix.
+//
+// Each (design point, allocator kind) curve is one sweep task with its own
+// allocator and Rng; output is byte-identical for any thread count.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -8,32 +11,48 @@
 using namespace nocalloc;
 using namespace nocalloc::quality;
 
+namespace {
+
+constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
+                                    AllocatorKind::kSeparableOutputFirst,
+                                    AllocatorKind::kWavefront};
+constexpr double kRates[] = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+std::string run_curve(const bench::DesignPoint& pt, AllocatorKind kind,
+                      std::size_t trials) {
+  auto alloc = make_switch_allocator(
+      {pt.ports, pt.partition.total_vcs(), kind, ArbiterKind::kRoundRobin});
+  Rng rng(0xABCD + static_cast<std::uint64_t>(kind));
+  std::string row = bench::strprintf("  %-8s", to_string(kind).c_str());
+  for (double rate : kRates) {
+    const QualityResult q = measure_sa_quality(*alloc, rate, trials, rng);
+    row += bench::strprintf("  %5.3f", q.quality());
+  }
+  return row;
+}
+
+}  // namespace
+
 int main() {
   bench::heading("Figure 12: switch allocator matching quality");
   const std::size_t trials = bench::fast_mode() ? 500 : 10000;
   std::printf("(%zu random request matrices per data point)\n", trials);
 
-  constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
-                                      AllocatorKind::kSeparableOutputFirst,
-                                      AllocatorKind::kWavefront};
-  constexpr double kRates[] = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const auto points = bench::paper_design_points();
+  const std::size_t kinds = std::size(kKinds);
 
-  for (const bench::DesignPoint& pt : bench::paper_design_points()) {
-    bench::subheading(pt.label);
+  const auto rows = sweep::parallel_map(
+      bench::pool(), points.size() * kinds, [&](std::size_t t) {
+        return run_curve(points[t / kinds], kKinds[t % kinds], trials);
+      });
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    bench::subheading(points[p].label);
     std::printf("  %-8s", "rate");
     for (double r : kRates) std::printf("  %5.2f", r);
     std::printf("\n");
-    for (AllocatorKind kind : kKinds) {
-      auto alloc = make_switch_allocator({pt.ports, pt.partition.total_vcs(),
-                                          kind, ArbiterKind::kRoundRobin});
-      Rng rng(0xABCD + static_cast<std::uint64_t>(kind));
-      std::printf("  %-8s", to_string(kind).c_str());
-      for (double rate : kRates) {
-        const QualityResult q = measure_sa_quality(*alloc, rate, trials, rng);
-        std::printf("  %5.3f", q.quality());
-      }
-      std::printf("\n");
-    }
+    for (std::size_t k = 0; k < kinds; ++k)
+      std::printf("%s\n", rows[p * kinds + k].c_str());
   }
 
   bench::subheading("summary vs paper (Sec. 5.3.2)");

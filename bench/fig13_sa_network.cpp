@@ -2,9 +2,13 @@
 // allocator architectures across the six network design points (Sec. 5.3.3).
 // Also prints the paper's conclusion-level numbers: the wavefront vs
 // separable-input-first saturation gap on the flattened butterfly.
+//
+// Each (design point, allocator kind) latency curve is one sweep task; the
+// within-curve rate loop stays serial because it stops early at saturation.
+// Simulations are pure functions of their SimConfig, so the parallel run
+// reproduces the serial output byte for byte.
 #include <algorithm>
 #include <cstdio>
-#include <map>
 
 #include "bench/bench_util.hpp"
 #include "noc/sim.hpp"
@@ -14,7 +18,28 @@ using namespace nocalloc::noc;
 
 namespace {
 
+constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
+                                    AllocatorKind::kSeparableOutputFirst,
+                                    AllocatorKind::kWavefront};
+
+struct Config {
+  const char* label;
+  TopologyKind topo;
+  std::size_t c;
+  double max_rate;
+};
+
+constexpr Config kConfigs[] = {
+    {"mesh 2x1x1", TopologyKind::kMesh8x8, 1, 0.45},
+    {"mesh 2x1x2", TopologyKind::kMesh8x8, 2, 0.50},
+    {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
+    {"fbfly 2x2x1", TopologyKind::kFbfly4x4, 1, 0.60},
+    {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2, 0.70},
+    {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
+};
+
 struct Sweep {
+  std::string line;            // "    rate: ..." row for this curve
   double max_accepted = 0.0;   // saturation throughput estimate
   double zero_load_latency = 0.0;
 };
@@ -23,7 +48,7 @@ Sweep sweep_curve(TopologyKind topo, std::size_t c, AllocatorKind sa,
                   double max_rate) {
   const bool fast = bench::fast_mode();
   Sweep sweep;
-  std::printf("    rate:");
+  sweep.line = "    rate:";
   for (double rate = 0.05; rate <= max_rate + 1e-9; rate += 0.05) {
     SimConfig cfg;
     cfg.topology = topo;
@@ -37,12 +62,12 @@ Sweep sweep_curve(TopologyKind topo, std::size_t c, AllocatorKind sa,
     sweep.max_accepted = std::max(sweep.max_accepted, r.accepted_flit_rate);
     if (rate <= 0.05 + 1e-9) sweep.zero_load_latency = r.avg_packet_latency;
     if (r.saturated) {
-      std::printf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
+      sweep.line +=
+          bench::strprintf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
       break;
     }
-    std::printf(" %.2f:%.1f", rate, r.avg_packet_latency);
+    sweep.line += bench::strprintf(" %.2f:%.1f", rate, r.avg_packet_latency);
   }
-  std::printf("\n");
   return sweep;
 }
 
@@ -54,45 +79,31 @@ int main() {
   std::printf("(entries are rate:avg-latency-in-cycles; SAT marks the "
               "saturation point)\n");
 
-  constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
-                                      AllocatorKind::kSeparableOutputFirst,
-                                      AllocatorKind::kWavefront};
+  const std::size_t kinds = std::size(kKinds);
+  const std::size_t configs = std::size(kConfigs);
 
-  struct Config {
-    const char* label;
-    TopologyKind topo;
-    std::size_t c;
-    double max_rate;
-  };
-  const Config configs[] = {
-      {"mesh 2x1x1", TopologyKind::kMesh8x8, 1, 0.45},
-      {"mesh 2x1x2", TopologyKind::kMesh8x8, 2, 0.50},
-      {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
-      {"fbfly 2x2x1", TopologyKind::kFbfly4x4, 1, 0.60},
-      {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2, 0.70},
-      {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
-  };
+  const auto results = sweep::parallel_map(
+      bench::pool(), configs * kinds, [&](std::size_t t) {
+        const Config& c = kConfigs[t / kinds];
+        return sweep_curve(c.topo, c.c, kKinds[t % kinds], c.max_rate);
+      });
 
-  std::map<std::pair<const char*, AllocatorKind>, Sweep> results;
-  for (const Config& c : configs) {
-    bench::subheading(c.label);
-    for (AllocatorKind kind : kKinds) {
-      std::printf("  %s\n", to_string(kind).c_str());
-      results[{c.label, kind}] = sweep_curve(c.topo, c.c, kind, c.max_rate);
+  for (std::size_t ci = 0; ci < configs; ++ci) {
+    bench::subheading(kConfigs[ci].label);
+    for (std::size_t k = 0; k < kinds; ++k) {
+      std::printf("  %s\n", to_string(kKinds[k]).c_str());
+      std::printf("%s\n", results[ci * kinds + k].line.c_str());
     }
   }
 
   bench::subheading("summary vs paper (Secs. 5.3.3 and 6)");
-  for (const Config& c : configs) {
-    const double sif =
-        results[{c.label, AllocatorKind::kSeparableInputFirst}].max_accepted;
-    const double sof =
-        results[{c.label, AllocatorKind::kSeparableOutputFirst}].max_accepted;
-    const double wf =
-        results[{c.label, AllocatorKind::kWavefront}].max_accepted;
+  for (std::size_t ci = 0; ci < configs; ++ci) {
+    const double sif = results[ci * kinds + 0].max_accepted;
+    const double sof = results[ci * kinds + 1].max_accepted;
+    const double wf = results[ci * kinds + 2].max_accepted;
     std::printf("%-12s saturation: sep_if %.3f, sep_of %.3f, wf %.3f -> wf "
                 "gains %+.0f%% over sep_if\n",
-                c.label, sif, sof, wf, 100 * (wf / sif - 1.0));
+                kConfigs[ci].label, sif, sof, wf, 100 * (wf / sif - 1.0));
   }
   std::printf("\npaper: mesh differences negligible (<4%% at 2x1x4); fbfly "
               "wf gains ~4%% at 2x2x1,\n~15%% at 8 VCs and >20%% at 16 VCs; "

@@ -1,9 +1,11 @@
 // Figure 14: average packet latency vs injection rate for the three
 // speculation policies (nonspec, conventional spec_gnt, pessimistic
 // spec_req), using a separable input-first switch allocator (Sec. 5.3.3).
+//
+// Each (design point, speculation mode) latency curve is one sweep task;
+// see fig13 for the determinism argument.
 #include <algorithm>
 #include <cstdio>
-#include <map>
 
 #include "bench/bench_util.hpp"
 #include "noc/sim.hpp"
@@ -13,7 +15,28 @@ using namespace nocalloc::noc;
 
 namespace {
 
+constexpr SpecMode kModes[] = {SpecMode::kNonSpeculative,
+                               SpecMode::kConservative,
+                               SpecMode::kPessimistic};
+
+struct Config {
+  const char* label;
+  TopologyKind topo;
+  std::size_t c;
+  double max_rate;
+};
+
+constexpr Config kConfigs[] = {
+    {"mesh 2x1x1", TopologyKind::kMesh8x8, 1, 0.45},
+    {"mesh 2x1x2", TopologyKind::kMesh8x8, 2, 0.50},
+    {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
+    {"fbfly 2x2x1", TopologyKind::kFbfly4x4, 1, 0.60},
+    {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2, 0.70},
+    {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
+};
+
 struct Sweep {
+  std::string line;
   double max_accepted = 0.0;
   double zero_load_latency = 0.0;
 };
@@ -22,7 +45,7 @@ Sweep sweep_curve(TopologyKind topo, std::size_t c, SpecMode mode,
                   double max_rate) {
   const bool fast = bench::fast_mode();
   Sweep sweep;
-  std::printf("    rate:");
+  sweep.line = "    rate:";
   for (double rate = 0.05; rate <= max_rate + 1e-9; rate += 0.05) {
     SimConfig cfg;
     cfg.topology = topo;
@@ -36,12 +59,12 @@ Sweep sweep_curve(TopologyKind topo, std::size_t c, SpecMode mode,
     sweep.max_accepted = std::max(sweep.max_accepted, r.accepted_flit_rate);
     if (rate <= 0.05 + 1e-9) sweep.zero_load_latency = r.avg_packet_latency;
     if (r.saturated) {
-      std::printf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
+      sweep.line +=
+          bench::strprintf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
       break;
     }
-    std::printf(" %.2f:%.1f", rate, r.avg_packet_latency);
+    sweep.line += bench::strprintf(" %.2f:%.1f", rate, r.avg_packet_latency);
   }
-  std::printf("\n");
   return sweep;
 }
 
@@ -52,44 +75,33 @@ int main() {
   std::printf("(separable input-first switch allocator; entries are "
               "rate:latency, SAT = saturated)\n");
 
-  constexpr SpecMode kModes[] = {SpecMode::kNonSpeculative,
-                                 SpecMode::kConservative,
-                                 SpecMode::kPessimistic};
+  const std::size_t modes = std::size(kModes);
+  const std::size_t configs = std::size(kConfigs);
 
-  struct Config {
-    const char* label;
-    TopologyKind topo;
-    std::size_t c;
-    double max_rate;
-  };
-  const Config configs[] = {
-      {"mesh 2x1x1", TopologyKind::kMesh8x8, 1, 0.45},
-      {"mesh 2x1x2", TopologyKind::kMesh8x8, 2, 0.50},
-      {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
-      {"fbfly 2x2x1", TopologyKind::kFbfly4x4, 1, 0.60},
-      {"fbfly 2x2x2", TopologyKind::kFbfly4x4, 2, 0.70},
-      {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
-  };
+  const auto results = sweep::parallel_map(
+      bench::pool(), configs * modes, [&](std::size_t t) {
+        const Config& c = kConfigs[t / modes];
+        return sweep_curve(c.topo, c.c, kModes[t % modes], c.max_rate);
+      });
 
-  std::map<std::pair<const char*, SpecMode>, Sweep> results;
-  for (const Config& c : configs) {
-    bench::subheading(c.label);
-    for (SpecMode mode : kModes) {
-      std::printf("  %s\n", to_string(mode).c_str());
-      results[{c.label, mode}] = sweep_curve(c.topo, c.c, mode, c.max_rate);
+  for (std::size_t ci = 0; ci < configs; ++ci) {
+    bench::subheading(kConfigs[ci].label);
+    for (std::size_t m = 0; m < modes; ++m) {
+      std::printf("  %s\n", to_string(kModes[m]).c_str());
+      std::printf("%s\n", results[ci * modes + m].line.c_str());
     }
   }
 
   bench::subheading("summary vs paper (Sec. 5.3.3)");
-  for (const Config& c : configs) {
-    const Sweep& ns = results[{c.label, SpecMode::kNonSpeculative}];
-    const Sweep& sg = results[{c.label, SpecMode::kConservative}];
-    const Sweep& sr = results[{c.label, SpecMode::kPessimistic}];
+  for (std::size_t ci = 0; ci < configs; ++ci) {
+    const Sweep& ns = results[ci * modes + 0];
+    const Sweep& sg = results[ci * modes + 1];
+    const Sweep& sr = results[ci * modes + 2];
     std::printf(
         "%-12s zero-load: nonspec %5.1f, spec %5.1f (-%4.1f%%)   saturation: "
         "nonspec %.3f, spec_gnt %.3f (+%4.1f%%), spec_req %.3f (%+.1f%% vs "
         "spec_gnt)\n",
-        c.label, ns.zero_load_latency, sr.zero_load_latency,
+        kConfigs[ci].label, ns.zero_load_latency, sr.zero_load_latency,
         100 * (1.0 - sr.zero_load_latency / ns.zero_load_latency),
         ns.max_accepted, sg.max_accepted,
         100 * (sg.max_accepted / ns.max_accepted - 1.0), sr.max_accepted,

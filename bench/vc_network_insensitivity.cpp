@@ -3,6 +3,8 @@
 // without a figure "due to space constraints"). Sweeps all three VC
 // allocator architectures on the most VC-rich design points, where
 // differences would be largest if they existed.
+//
+// Each (design point, VC allocator kind) curve is one sweep task.
 #include <algorithm>
 #include <cstdio>
 
@@ -12,58 +14,84 @@
 using namespace nocalloc;
 using namespace nocalloc::noc;
 
+namespace {
+
+constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
+                                    AllocatorKind::kSeparableOutputFirst,
+                                    AllocatorKind::kWavefront};
+
+struct Config {
+  const char* label;
+  TopologyKind topo;
+  std::size_t c;
+  double max_rate;
+};
+
+constexpr Config kConfigs[] = {
+    {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
+    {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
+};
+
+struct Curve {
+  std::string text;  // full per-kind block including the per-curve summary
+  double sat = 0.0;
+  double zll = 0.0;
+};
+
+Curve run_curve(const Config& c, AllocatorKind kind) {
+  const bool fast = bench::fast_mode();
+  Curve out;
+  out.text = bench::strprintf("  vc_alloc=%s\n    rate:",
+                              to_string(kind).c_str());
+  for (double rate = 0.05; rate <= c.max_rate + 1e-9; rate += 0.1) {
+    SimConfig cfg;
+    cfg.topology = c.topo;
+    cfg.vcs_per_class = c.c;
+    cfg.vc_alloc = kind;
+    cfg.injection_rate = rate;
+    cfg.warmup_cycles = fast ? 600 : 2000;
+    cfg.measure_cycles = fast ? 1200 : 4000;
+    cfg.drain_cycles = fast ? 1200 : 4000;
+    const SimResult r = run_simulation(cfg);
+    out.sat = std::max(out.sat, r.accepted_flit_rate);
+    if (rate <= 0.05 + 1e-9) out.zll = r.avg_packet_latency;
+    if (r.saturated) {
+      out.text += bench::strprintf(" %.2f:SAT", rate);
+      break;
+    }
+    out.text += bench::strprintf(" %.2f:%.1f", rate, r.avg_packet_latency);
+  }
+  out.text += bench::strprintf("\n    zero-load %.1f cycles, saturation %.3f "
+                               "flits/terminal/cycle\n",
+                               out.zll, out.sat);
+  return out;
+}
+
+}  // namespace
+
 int main() {
   bench::heading("Sec. 4.3.3: network-level insensitivity to the VC "
                  "allocator");
 
-  constexpr AllocatorKind kKinds[] = {AllocatorKind::kSeparableInputFirst,
-                                      AllocatorKind::kSeparableOutputFirst,
-                                      AllocatorKind::kWavefront};
+  const std::size_t kinds = std::size(kKinds);
+  const std::size_t configs = std::size(kConfigs);
 
-  struct Config {
-    const char* label;
-    TopologyKind topo;
-    std::size_t c;
-    double max_rate;
-  };
-  const Config configs[] = {
-      {"mesh 2x1x4", TopologyKind::kMesh8x8, 4, 0.50},
-      {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
-  };
-  const bool fast = bench::fast_mode();
+  const auto curves = sweep::parallel_map(
+      bench::pool(), configs * kinds, [&](std::size_t t) {
+        return run_curve(kConfigs[t / kinds], kKinds[t % kinds]);
+      });
 
-  for (const Config& c : configs) {
-    bench::subheading(c.label);
+  for (std::size_t ci = 0; ci < configs; ++ci) {
+    bench::subheading(kConfigs[ci].label);
     double min_sat = 1e9, max_sat = 0.0;
     double min_zll = 1e9, max_zll = 0.0;
-    for (AllocatorKind kind : kKinds) {
-      std::printf("  vc_alloc=%s\n    rate:", to_string(kind).c_str());
-      double sat = 0.0, zll = 0.0;
-      for (double rate = 0.05; rate <= c.max_rate + 1e-9; rate += 0.1) {
-        SimConfig cfg;
-        cfg.topology = c.topo;
-        cfg.vcs_per_class = c.c;
-        cfg.vc_alloc = kind;
-        cfg.injection_rate = rate;
-        cfg.warmup_cycles = fast ? 600 : 2000;
-        cfg.measure_cycles = fast ? 1200 : 4000;
-        cfg.drain_cycles = fast ? 1200 : 4000;
-        const SimResult r = run_simulation(cfg);
-        sat = std::max(sat, r.accepted_flit_rate);
-        if (rate <= 0.05 + 1e-9) zll = r.avg_packet_latency;
-        if (r.saturated) {
-          std::printf(" %.2f:SAT", rate);
-          break;
-        }
-        std::printf(" %.2f:%.1f", rate, r.avg_packet_latency);
-      }
-      std::printf("\n    zero-load %.1f cycles, saturation %.3f "
-                  "flits/terminal/cycle\n",
-                  zll, sat);
-      min_sat = std::min(min_sat, sat);
-      max_sat = std::max(max_sat, sat);
-      min_zll = std::min(min_zll, zll);
-      max_zll = std::max(max_zll, zll);
+    for (std::size_t k = 0; k < kinds; ++k) {
+      const Curve& c = curves[ci * kinds + k];
+      std::printf("%s", c.text.c_str());
+      min_sat = std::min(min_sat, c.sat);
+      max_sat = std::max(max_sat, c.sat);
+      min_zll = std::min(min_zll, c.zll);
+      max_zll = std::max(max_zll, c.zll);
     }
     std::printf("  spread across VC allocators: zero-load %.1f%%, saturation "
                 "%.1f%%\n",

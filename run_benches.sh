@@ -1,15 +1,49 @@
 #!/bin/sh
-# Runs every bench binary at full fidelity; output accumulates into
-# bench_output.txt (and per-binary copies under bench_results/).
-cd /root/repo
+# Runs every bench binary; output accumulates into bench_output.txt (and
+# per-binary copies under bench_results/). Progress and failures are logged
+# to bench_results/progress.log, which always ends with FULL_BENCH_DONE.
+#
+# Environment knobs:
+#   BENCH_FAST=1       -- reduced-fidelity smoke run (sets NOCALLOC_BENCH_FAST)
+#   BENCH_TIMEOUT=secs -- per-binary timeout (default 5400 full / 600 fast)
+#   NOCALLOC_THREADS=N -- sweep-pool threads for the parallel benches
+cd /root/repo || exit 1
 rm -f bench_output.txt
 mkdir -p bench_results
 : > bench_results/progress.log
+log() { echo "[$(date +%H:%M:%S)] $*" >> bench_results/progress.log; }
+
+if [ "${BENCH_FAST:-0}" = "1" ]; then
+  export NOCALLOC_BENCH_FAST=1
+  timeout_secs="${BENCH_TIMEOUT:-600}"
+  log "BENCH_FAST=1: reduced-fidelity smoke mode"
+else
+  timeout_secs="${BENCH_TIMEOUT:-5400}"
+fi
+
+# Refuse to record timings from a Debug or sanitizer build: the stamp is
+# written by CMake at configure time (build type + SANITIZE value).
+build_type=$(cat build/nocalloc_build_type 2>/dev/null)
+case "$build_type" in
+  Release|RelWithDebInfo|MinSizeRel)
+    log "build type $build_type ok" ;;
+  *)
+    log "REFUSING to bench: build type '$build_type' is not a release build"
+    log "FULL_BENCH_DONE"
+    exit 1 ;;
+esac
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   n=$(basename "$b")
-  echo "[$(date +%H:%M:%S)] running $n" >> bench_results/progress.log
-  "$b" > "bench_results/$n.txt" 2>&1
+  log "running $n (timeout ${timeout_secs}s)"
+  timeout "$timeout_secs" "$b" > "bench_results/$n.txt" 2>&1
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    log "TIMEOUT $n after ${timeout_secs}s (partial output kept)"
+  elif [ "$status" -ne 0 ]; then
+    log "FAILED $n (exit $status)"
+  fi
   cat "bench_results/$n.txt" >> bench_output.txt
 done
-echo "[$(date +%H:%M:%S)] FULL_BENCH_DONE" >> bench_results/progress.log
+log "FULL_BENCH_DONE"

@@ -37,12 +37,24 @@ class Allocator {
   /// Resets all priority state.
   virtual void reset() = 0;
 
+  /// Selects the byte-loop reference implementation instead of the
+  /// word-parallel mask kernels. Both paths produce identical grants and
+  /// identical priority-state evolution; the reference path is the oracle the
+  /// mask kernels are differentially tested against (tests/test_mask_kernels)
+  /// and is not meant for production sweeps. Wrappers forward the setting to
+  /// their inner allocators.
+  virtual void set_reference_path(bool ref) { reference_path_ = ref; }
+  bool reference_path() const { return reference_path_; }
+
  protected:
   /// Validates the request matrix shape and clears the grant matrix.
   void prepare(const BitMatrix& req, BitMatrix& gnt) const {
     NOCALLOC_CHECK(req.rows() == inputs_ && req.cols() == outputs_);
     gnt.resize(inputs_, outputs_);
   }
+
+ protected:
+  bool reference_path_ = false;
 
  private:
   std::size_t inputs_;

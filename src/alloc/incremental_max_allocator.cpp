@@ -34,6 +34,32 @@ bool IncrementalMaxAllocator::augment(const BitMatrix& req, std::size_t i,
   return false;
 }
 
+bool IncrementalMaxAllocator::augment_mask(const BitMatrix& req, std::size_t i,
+                                           std::vector<bits::Word>& visited) {
+  const bits::Word* row = req.row(i);
+  for (std::size_t w = 0; w < visited.size(); ++w) {
+    // Visited bits only accumulate, so re-masking the candidate word after
+    // each recursive call keeps the scan order identical to the reference
+    // loop's per-element visited check.
+    bits::Word cand = row[w] & ~visited[w];
+    while (cand != 0) {
+      const std::size_t j =
+          w * bits::kWordBits +
+          static_cast<std::size_t>(std::countr_zero(cand));
+      visited[w] |= bits::bit(j);
+      const int holder = match_out_[j];
+      if (holder < 0 ||
+          augment_mask(req, static_cast<std::size_t>(holder), visited)) {
+        match_in_[i] = static_cast<int>(j);
+        match_out_[j] = static_cast<int>(i);
+        return true;
+      }
+      cand = row[w] & ~visited[w];
+    }
+  }
+  return false;
+}
+
 void IncrementalMaxAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
   prepare(req, gnt);
 
@@ -48,14 +74,25 @@ void IncrementalMaxAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
 
   // Phase 2: a bounded number of augmentation steps, starting from a
   // rotating input for weak fairness.
-  std::vector<std::uint8_t> visited(outputs());
+  std::vector<std::uint8_t> visited;
+  std::vector<bits::Word> visited_mask;
+  if (reference_path_) {
+    visited.resize(outputs());
+  } else {
+    visited_mask.resize(bits::word_count(outputs()));
+  }
   std::size_t steps_used = 0;
   for (std::size_t k = 0; k < inputs() && steps_used < steps_; ++k) {
     const std::size_t i = (next_start_ + k) % inputs();
     if (match_in_[i] >= 0 || !req.row_any(i)) continue;
     ++steps_used;
-    visited.assign(outputs(), 0);
-    augment(req, i, visited);
+    if (reference_path_) {
+      visited.assign(outputs(), 0);
+      augment(req, i, visited);
+    } else {
+      visited_mask.assign(visited_mask.size(), 0);
+      augment_mask(req, i, visited_mask);
+    }
   }
   next_start_ = (next_start_ + 1) % inputs();
 

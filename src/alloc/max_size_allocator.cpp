@@ -11,16 +11,28 @@ namespace {
 // effectively instant but still asymptotically clean for larger harness use.
 class HopcroftKarp {
  public:
-  explicit HopcroftKarp(const BitMatrix& req)
+  // The adjacency lists are in ascending column order either way, so the
+  // algorithm's execution -- and hence the resulting matching -- is identical
+  // for both construction paths; `reference` exists only so the differential
+  // tests can pin the mask iteration against the byte scan.
+  explicit HopcroftKarp(const BitMatrix& req, bool reference = false)
       : n_(req.rows()),
         m_(req.cols()),
         adj_(req.rows()),
         match_l_(req.rows(), kFree),
         match_r_(req.cols(), kFree),
         dist_(req.rows(), 0) {
-    for (std::size_t i = 0; i < n_; ++i) {
-      for (std::size_t j = 0; j < m_; ++j) {
-        if (req.get(i, j)) adj_[i].push_back(static_cast<int>(j));
+    if (reference) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j < m_; ++j) {
+          if (req.get(i, j)) adj_[i].push_back(static_cast<int>(j));
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n_; ++i) {
+        bits::for_each_set(req.row(i), req.words_per_row(), [&](std::size_t j) {
+          adj_[i].push_back(static_cast<int>(j));
+        });
       }
     }
   }
@@ -91,8 +103,9 @@ class HopcroftKarp {
 
 }  // namespace
 
-void MaxSizeAllocator::max_matching(const BitMatrix& req, BitMatrix& gnt) {
-  HopcroftKarp hk(req);
+void MaxSizeAllocator::max_matching(const BitMatrix& req, BitMatrix& gnt,
+                                    bool reference) {
+  HopcroftKarp hk(req, reference);
   hk.run();
   gnt.resize(req.rows(), req.cols());
   for (std::size_t i = 0; i < req.rows(); ++i) {
@@ -101,14 +114,20 @@ void MaxSizeAllocator::max_matching(const BitMatrix& req, BitMatrix& gnt) {
   }
 }
 
-std::size_t MaxSizeAllocator::max_matching_size(const BitMatrix& req) {
-  HopcroftKarp hk(req);
+std::size_t MaxSizeAllocator::max_matching_size(const BitMatrix& req,
+                                                bool reference) {
+  HopcroftKarp hk(req, reference);
   return hk.run();
 }
 
 void MaxSizeAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
   prepare(req, gnt);
-  max_matching(req, gnt);
+  HopcroftKarp hk(req, reference_path_);
+  hk.run();
+  for (std::size_t i = 0; i < req.rows(); ++i) {
+    const int j = hk.left_match(i);
+    if (j >= 0) gnt.set(i, static_cast<std::size_t>(j));
+  }
 }
 
 }  // namespace nocalloc

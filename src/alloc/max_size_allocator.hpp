@@ -20,10 +20,13 @@ class MaxSizeAllocator final : public Allocator {
   void reset() override {}
 
   /// Size of a maximum matching for `req`, without materializing grants.
-  static std::size_t max_matching_size(const BitMatrix& req);
+  /// `reference` selects the byte-scan adjacency build (same result).
+  static std::size_t max_matching_size(const BitMatrix& req,
+                                       bool reference = false);
 
   /// Computes a maximum matching into `gnt` (resized to req's shape).
-  static void max_matching(const BitMatrix& req, BitMatrix& gnt);
+  static void max_matching(const BitMatrix& req, BitMatrix& gnt,
+                           bool reference = false);
 };
 
 }  // namespace nocalloc

@@ -26,9 +26,8 @@ void MultiIterationAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
       if (j < 0) continue;
       gnt.set(i, static_cast<std::size_t>(j));
       // Remove the matched row and column from further passes.
-      for (std::size_t c = 0; c < outputs(); ++c) remaining.set(i, c, false);
-      for (std::size_t r = 0; r < inputs(); ++r)
-        remaining.set(r, static_cast<std::size_t>(j), false);
+      remaining.clear_row(i);
+      remaining.clear_col(static_cast<std::size_t>(j));
     }
   }
 }

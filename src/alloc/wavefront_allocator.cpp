@@ -37,9 +37,49 @@ void WavefrontAllocator::allocate_from_diagonal(const BitMatrix& req,
   }
 }
 
+void WavefrontAllocator::allocate_from_diagonal_mask(const BitMatrix& req,
+                                                     std::size_t start,
+                                                     BitMatrix& gnt) {
+  const std::size_t rows = req.rows();
+  const std::size_t cols = req.cols();
+  const std::size_t n = std::max(rows, cols);
+  gnt.resize(rows, cols);
+
+  // Free rows / columns as packed masks. A wave visits each row at most
+  // once, so iterating only the still-free rows and testing the request and
+  // column bits directly replaces the reference path's per-cell byte loop.
+  std::vector<bits::Word> row_free(bits::word_count(rows), 0);
+  std::vector<bits::Word> col_free(bits::word_count(cols), 0);
+  for (std::size_t i = 0; i < rows; ++i)
+    row_free[bits::word_of(i)] |= bits::bit(i);
+  for (std::size_t j = 0; j < cols; ++j)
+    col_free[bits::word_of(j)] |= bits::bit(j);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t d = (start + k) % n;
+    // Cells of one wrapped diagonal share neither row nor column, so grants
+    // within the wave are independent; clearing bits mid-iteration only
+    // affects later waves.
+    bits::for_each_set(row_free.data(), row_free.size(), [&](std::size_t i) {
+      const std::size_t j = (d + n - (i % n)) % n;
+      if (j >= cols) return;
+      if ((req.row(i)[bits::word_of(j)] & bits::bit(j)) != 0 &&
+          (col_free[bits::word_of(j)] & bits::bit(j)) != 0) {
+        gnt.row(i)[bits::word_of(j)] |= bits::bit(j);
+        row_free[bits::word_of(i)] &= ~bits::bit(i);
+        col_free[bits::word_of(j)] &= ~bits::bit(j);
+      }
+    });
+  }
+}
+
 void WavefrontAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
   prepare(req, gnt);
-  allocate_from_diagonal(req, diagonal_, gnt);
+  if (reference_path_) {
+    allocate_from_diagonal(req, diagonal_, gnt);
+  } else {
+    allocate_from_diagonal_mask(req, diagonal_, gnt);
+  }
   diagonal_ = (diagonal_ + 1) % n_;
 }
 

@@ -4,22 +4,25 @@
 
 namespace nocalloc {
 
-MatrixArbiter::MatrixArbiter(std::size_t size) : size_(size) {
+MatrixArbiter::MatrixArbiter(std::size_t size)
+    : size_(size), wpr_(bits::word_count(size)) {
   NOCALLOC_CHECK(size > 0);
   reset();
 }
 
 void MatrixArbiter::reset() {
   // Initial total order: lower index beats higher index.
-  prio_.assign(size_ * size_, 0);
+  prio_.assign(size_ * wpr_, 0);
   for (std::size_t i = 0; i < size_; ++i) {
-    for (std::size_t j = i + 1; j < size_; ++j) prio_[i * size_ + j] = 1;
+    for (std::size_t j = i + 1; j < size_; ++j) {
+      prio_[i * wpr_ + bits::word_of(j)] |= bits::bit(j);
+    }
   }
 }
 
 bool MatrixArbiter::has_priority(std::size_t i, std::size_t j) const {
   NOCALLOC_CHECK(i < size_ && j < size_ && i != j);
-  return prio_[i * size_ + j] != 0;
+  return (prio_row(i)[bits::word_of(j)] & bits::bit(j)) != 0;
 }
 
 int MatrixArbiter::pick(const ReqVector& req) const {
@@ -29,7 +32,7 @@ int MatrixArbiter::pick(const ReqVector& req) const {
     bool wins = true;
     for (std::size_t j = 0; j < size_; ++j) {
       if (j == i || !req[j]) continue;
-      if (!prio_[i * size_ + j]) {
+      if (!has_priority(i, j)) {
         wins = false;
         break;
       }
@@ -41,13 +44,47 @@ int MatrixArbiter::pick(const ReqVector& req) const {
   return -1;
 }
 
+int MatrixArbiter::pick_words(const bits::Word* req) const {
+  // Candidate i wins iff no other requester has priority over it:
+  // (req & ~prio_row(i)) must contain no bit besides i itself.
+  int winner = -1;
+  for (std::size_t w = 0; w < wpr_ && winner < 0; ++w) {
+    bits::Word cur = req[w];
+    while (cur != 0) {
+      const std::size_t i =
+          w * bits::kWordBits +
+          static_cast<std::size_t>(std::countr_zero(cur));
+      cur &= cur - 1;
+      const bits::Word* pr = prio_row(i);
+      bool wins = true;
+      for (std::size_t v = 0; v < wpr_; ++v) {
+        bits::Word losers = req[v] & ~pr[v];
+        if (v == bits::word_of(i)) losers &= ~bits::bit(i);
+        if (losers != 0) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) {
+        winner = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  return winner;
+}
+
 void MatrixArbiter::update(int winner) {
   NOCALLOC_CHECK(winner >= 0 && static_cast<std::size_t>(winner) < size_);
   const std::size_t w = static_cast<std::size_t>(winner);
+  const std::size_t ww = bits::word_of(w);
+  const bits::Word wb = bits::bit(w);
   for (std::size_t j = 0; j < size_; ++j) {
     if (j == w) continue;
-    prio_[w * size_ + j] = 0;  // winner loses priority over everyone
-    prio_[j * size_ + w] = 1;  // everyone gains priority over winner
+    prio_[j * wpr_ + ww] |= wb;  // everyone gains priority over winner
+  }
+  for (std::size_t v = 0; v < wpr_; ++v) {
+    prio_[w * wpr_ + v] = 0;  // winner loses priority over everyone
   }
 }
 

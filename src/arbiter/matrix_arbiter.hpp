@@ -17,6 +17,7 @@ class MatrixArbiter final : public Arbiter {
 
   std::size_t size() const override { return size_; }
   int pick(const ReqVector& req) const override;
+  int pick_words(const bits::Word* req) const override;
   void update(int winner) override;
   void reset() override;
 
@@ -24,10 +25,15 @@ class MatrixArbiter final : public Arbiter {
   bool has_priority(std::size_t i, std::size_t j) const;
 
  private:
+  const bits::Word* prio_row(std::size_t i) const {
+    return prio_.data() + i * wpr_;
+  }
+
   std::size_t size_;
-  // Row-major upper-triangle-complete matrix: prio_[i*size_+j] != 0 means
-  // input i has priority over input j. The diagonal is unused.
-  std::vector<std::uint8_t> prio_;
+  std::size_t wpr_;  // words per priority row
+  // Packed priority rows: bit j of row i set means input i has priority over
+  // input j. The diagonal is unused and kept zero.
+  std::vector<bits::Word> prio_;
 };
 
 }  // namespace nocalloc

@@ -15,6 +15,7 @@ class RoundRobinArbiter final : public Arbiter {
 
   std::size_t size() const override { return size_; }
   int pick(const ReqVector& req) const override;
+  int pick_words(const bits::Word* req) const override;
   void update(int winner) override;
   void reset() override { pointer_ = 0; }
 

@@ -3,43 +3,43 @@
 namespace nocalloc {
 
 std::size_t BitMatrix::count() const {
-  std::size_t n = 0;
-  for (unsigned char v : data_) n += v;
-  return n;
+  return bits::count(data_.data(), data_.size());
 }
 
 std::size_t BitMatrix::row_count(std::size_t r) const {
   NOCALLOC_CHECK(r < rows_);
-  std::size_t n = 0;
-  for (std::size_t c = 0; c < cols_; ++c) n += data_[r * cols_ + c];
-  return n;
+  return bits::count(row(r), wpr_);
 }
 
 std::size_t BitMatrix::col_count(std::size_t c) const {
   NOCALLOC_CHECK(c < cols_);
+  const std::size_t w = bits::word_of(c);
+  const bits::Word m = bits::bit(c);
   std::size_t n = 0;
-  for (std::size_t r = 0; r < rows_; ++r) n += data_[r * cols_ + c];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    n += (data_[r * wpr_ + w] & m) != 0 ? 1 : 0;
+  }
   return n;
 }
 
 int BitMatrix::row_single(std::size_t r) const {
   NOCALLOC_CHECK(r < rows_);
-  int found = -1;
-  for (std::size_t c = 0; c < cols_; ++c) {
-    if (data_[r * cols_ + c]) {
-      NOCALLOC_CHECK(found < 0);
-      found = static_cast<int>(c);
-    }
-  }
-  return found;
+  NOCALLOC_CHECK(bits::count(row(r), wpr_) <= 1);
+  return bits::find_first(row(r), wpr_);
 }
 
 bool BitMatrix::is_matching() const {
+  // Row legality: at most one grant per row. Column legality: with every row
+  // holding at most one bit, two rows sharing a column show up as an overlap
+  // against the running union of all rows seen so far.
+  std::vector<bits::Word> seen(wpr_, 0);
   for (std::size_t r = 0; r < rows_; ++r) {
     if (row_count(r) > 1) return false;
-  }
-  for (std::size_t c = 0; c < cols_; ++c) {
-    if (col_count(c) > 1) return false;
+    const bits::Word* rw = row(r);
+    for (std::size_t w = 0; w < wpr_; ++w) {
+      if (seen[w] & rw[w]) return false;
+      seen[w] |= rw[w];
+    }
   }
   return true;
 }
@@ -47,7 +47,7 @@ bool BitMatrix::is_matching() const {
 bool BitMatrix::is_subset_of(const BitMatrix& reqs) const {
   NOCALLOC_CHECK(rows_ == reqs.rows_ && cols_ == reqs.cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) {
-    if (data_[i] && !reqs.data_[i]) return false;
+    if (data_[i] & ~reqs.data_[i]) return false;
   }
   return true;
 }
@@ -57,7 +57,7 @@ std::string BitMatrix::to_string() const {
   out.reserve(rows_ * (cols_ + 1));
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
-      out.push_back(data_[r * cols_ + c] ? 'X' : '.');
+      out.push_back(get(r, c) ? 'X' : '.');
     }
     out.push_back('\n');
   }

@@ -3,6 +3,14 @@
 // NOCALLOC_CHECK is active in all build types: the simulator and the hardware
 // model both rely on structural invariants (matrix shapes, port ranges) whose
 // violation would silently corrupt results, so they are always verified.
+//
+// NOCALLOC_DCHECK guards per-element accesses inside hot loops (BitMatrix
+// get/set, word indexing). It compiles to the same abort as NOCALLOC_CHECK in
+// Debug and sanitizer builds, and to nothing in optimized builds, where the
+// structural NOCALLOC_CHECKs on shapes and port ranges already bound every
+// index that feeds the element accessors. Sanitizer builds opt in via the
+// NOCALLOC_FORCE_DCHECK definition (set by CMake when SANITIZE is non-empty)
+// even though they compile with NDEBUG.
 #pragma once
 
 #include <cstdio>
@@ -21,3 +29,13 @@ namespace nocalloc {
   do {                                                            \
     if (!(expr)) ::nocalloc::check_fail(#expr, __FILE__, __LINE__); \
   } while (false)
+
+#if !defined(NDEBUG) || defined(NOCALLOC_FORCE_DCHECK)
+#define NOCALLOC_DCHECK_ENABLED 1
+#define NOCALLOC_DCHECK(expr) NOCALLOC_CHECK(expr)
+#else
+#define NOCALLOC_DCHECK_ENABLED 0
+#define NOCALLOC_DCHECK(expr) \
+  do {                        \
+  } while (false)
+#endif

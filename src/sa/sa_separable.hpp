@@ -24,8 +24,19 @@ class SaSeparableInputFirst final : public SwitchAllocator {
   void reset() override;
 
  private:
+  void allocate_mask(const std::vector<SwitchRequest>& req,
+                     std::vector<SwitchGrant>& grant);
+  void allocate_ref(const std::vector<SwitchRequest>& req,
+                    std::vector<SwitchGrant>& grant);
+
   std::vector<std::unique_ptr<Arbiter>> vc_arb_;   // per input port, width V
   std::vector<std::unique_ptr<Arbiter>> out_arb_;  // per output port, width P
+  // Mask-path scratch: per-port VC request masks, per-output bid masks over
+  // input ports, stage-1 winners and the requested-output summary mask.
+  std::vector<bits::Word> vc_req_;
+  std::vector<bits::Word> out_bids_;
+  std::vector<bits::Word> out_any_;
+  std::vector<int> port_vc_;
 };
 
 class SaSeparableOutputFirst final : public SwitchAllocator {
@@ -37,8 +48,20 @@ class SaSeparableOutputFirst final : public SwitchAllocator {
   void reset() override;
 
  private:
+  void allocate_mask(const std::vector<SwitchRequest>& req,
+                     std::vector<SwitchGrant>& grant);
+  void allocate_ref(const std::vector<SwitchRequest>& req,
+                    std::vector<SwitchGrant>& grant);
+
   std::vector<std::unique_ptr<Arbiter>> out_arb_;  // per output port, width P
   std::vector<std::unique_ptr<Arbiter>> vc_arb_;   // per input port, width V
+  // Mask-path scratch: per-output request columns over input ports, the
+  // requested-output summary, per-output winners and per-port VC candidates.
+  std::vector<bits::Word> cols_;
+  std::vector<bits::Word> out_any_;
+  std::vector<bits::Word> port_won_;
+  std::vector<bits::Word> vc_cand_;
+  std::vector<int> out_choice_;
 };
 
 }  // namespace nocalloc

@@ -1,5 +1,7 @@
 #include "sa/sa_wavefront.hpp"
 
+#include <algorithm>
+
 namespace nocalloc {
 
 SaWavefront::SaWavefront(std::size_t ports, std::size_t vcs,
@@ -7,6 +9,7 @@ SaWavefront::SaWavefront(std::size_t ports, std::size_t vcs,
     : SwitchAllocator(ports, vcs), core_(ports, ports) {
   for (std::size_t i = 0; i < ports * ports; ++i)
     presel_.push_back(make_arbiter(presel_arb, vcs));
+  vc_req_.resize(bits::word_count(vcs));
 }
 
 void SaWavefront::allocate(const std::vector<SwitchRequest>& req,
@@ -19,21 +22,39 @@ void SaWavefront::allocate(const std::vector<SwitchRequest>& req,
   BitMatrix ports_gnt;
   core_.allocate(ports_req, ports_gnt);
 
-  ReqVector vc_req(vcs(), 0);
+  if (reference_path_) {
+    ReqVector vc_req(vcs(), 0);
+    for (std::size_t p = 0; p < ports(); ++p) {
+      const int o = ports_gnt.row_single(p);
+      if (o < 0) continue;
+      bool any = false;
+      for (std::size_t v = 0; v < vcs(); ++v) {
+        const SwitchRequest& r = req[p * vcs() + v];
+        const bool cand = r.valid && r.out_port == o;
+        vc_req[v] = cand ? 1 : 0;
+        any = any || cand;
+      }
+      NOCALLOC_CHECK(any);  // the core only grants requested pairs
+      Arbiter& presel = *presel_[p * ports() + static_cast<std::size_t>(o)];
+      const int v = presel.pick(vc_req);
+      NOCALLOC_CHECK(v >= 0);
+      grant[p] = {v, o};
+      presel.update(v);
+    }
+    return;
+  }
+
   for (std::size_t p = 0; p < ports(); ++p) {
     const int o = ports_gnt.row_single(p);
     if (o < 0) continue;
-    bool any = false;
+    std::fill(vc_req_.begin(), vc_req_.end(), bits::Word{0});
     for (std::size_t v = 0; v < vcs(); ++v) {
       const SwitchRequest& r = req[p * vcs() + v];
-      const bool cand = r.valid && r.out_port == o;
-      vc_req[v] = cand ? 1 : 0;
-      any = any || cand;
+      if (r.valid && r.out_port == o) vc_req_[bits::word_of(v)] |= bits::bit(v);
     }
-    NOCALLOC_CHECK(any);  // the core only grants requested pairs
     Arbiter& presel = *presel_[p * ports() + static_cast<std::size_t>(o)];
-    const int v = presel.pick(vc_req);
-    NOCALLOC_CHECK(v >= 0);
+    const int v = presel.pick_words(vc_req_.data());
+    NOCALLOC_CHECK(v >= 0);  // the core only grants requested pairs
     grant[p] = {v, o};
     presel.update(v);
   }

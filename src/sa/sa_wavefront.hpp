@@ -20,9 +20,14 @@ class SaWavefront final : public SwitchAllocator {
   void allocate(const std::vector<SwitchRequest>& req,
                 std::vector<SwitchGrant>& grant) override;
   void reset() override;
+  void set_reference_path(bool ref) override {
+    SwitchAllocator::set_reference_path(ref);
+    core_.set_reference_path(ref);
+  }
 
  private:
   WavefrontAllocator core_;
+  std::vector<bits::Word> vc_req_;  // mask-path scratch
   // presel_[p * P + o]: V:1 arbiter pre-selecting the VC used when input
   // port p is granted output port o.
   std::vector<std::unique_ptr<Arbiter>> presel_;

@@ -68,6 +68,12 @@ class SpeculativeSwitchAllocator {
 
   void reset();
 
+  /// Forwards the reference/fast path selection to both internal allocators.
+  void set_reference_path(bool ref) {
+    nonspec_->set_reference_path(ref);
+    spec_->set_reference_path(ref);
+  }
+
   /// Cumulative count of speculative grants discarded by the conflict mask;
   /// used by benches to quantify the pessimistic policy's lost opportunities.
   std::uint64_t masked_spec_grants() const { return masked_; }

@@ -49,6 +49,11 @@ class SwitchAllocator {
 
   virtual void reset() = 0;
 
+  /// Selects the byte-loop reference implementation over the word-parallel
+  /// fast path; see Allocator::set_reference_path for the contract.
+  virtual void set_reference_path(bool ref) { reference_path_ = ref; }
+  bool reference_path() const { return reference_path_; }
+
  protected:
   void prepare(const std::vector<SwitchRequest>& req,
                std::vector<SwitchGrant>& grant) const;
@@ -57,6 +62,8 @@ class SwitchAllocator {
   /// requests output port o.
   void port_requests(const std::vector<SwitchRequest>& req,
                      BitMatrix& out) const;
+
+  bool reference_path_ = false;
 
  private:
   std::size_t ports_;

@@ -1,0 +1,48 @@
+// Deterministic parallel sweep primitives.
+//
+// The quality measurements and network simulations behind the paper's
+// figures are embarrassingly parallel across (design point, injection rate,
+// seed) tuples but must stay bit-for-bit reproducible: a figure produced
+// with 16 threads has to match the one produced serially. Two pieces make
+// that hold:
+//
+//   * parallel_map writes each task's result into a slot addressed by the
+//     task index, so the output vector's content is independent of
+//     scheduling order; and
+//   * task_seed derives every task's RNG seed from (base seed, task index)
+//     alone -- counter-based, never from a shared generator that threads
+//     would race on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sweep/thread_pool.hpp"
+
+namespace nocalloc::sweep {
+
+/// Stateless mix of a base seed and a task counter into an independent
+/// 64-bit seed (splitmix64 finalizer over a golden-ratio-stepped input, the
+/// same construction Rng::split uses). Identical for every thread count by
+/// construction.
+inline std::uint64_t task_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Evaluates fn(i) for i in [0, count) on the pool and returns the results
+/// in index order. fn must be safe to call concurrently from multiple
+/// threads and should depend only on its index (use task_seed for
+/// randomness); the result type must be default-constructible and movable.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using T = decltype(fn(std::size_t{0}));
+  std::vector<T> out(count);
+  pool.run_indexed(count, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace nocalloc::sweep

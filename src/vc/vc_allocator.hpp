@@ -50,12 +50,19 @@ class VcAllocator {
   /// Resets priority state.
   virtual void reset() = 0;
 
+  /// Selects the byte-loop reference implementation over the word-parallel
+  /// fast path; see Allocator::set_reference_path for the contract.
+  virtual void set_reference_path(bool ref) { reference_path_ = ref; }
+  bool reference_path() const { return reference_path_; }
+
  protected:
   /// Validates request shape and clears the grant vector.
   void prepare(const std::vector<VcRequest>& req, std::vector<int>& grant) const;
 
   /// Expands per-input-VC requests into a (P*V) x (P*V) request matrix.
   void expand_requests(const std::vector<VcRequest>& req, BitMatrix& out) const;
+
+  bool reference_path_ = false;
 
  private:
   std::size_t ports_;

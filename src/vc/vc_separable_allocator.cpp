@@ -1,5 +1,7 @@
 #include "vc/vc_separable_allocator.hpp"
 
+#include <algorithm>
+
 #include "arbiter/tree_arbiter.hpp"
 
 namespace nocalloc {
@@ -11,12 +13,56 @@ VcSeparableInputFirstAllocator::VcSeparableInputFirstAllocator(
     input_arb_.push_back(make_arbiter(arb, vcs));
   for (std::size_t o = 0; o < total(); ++o)
     output_arb_.push_back(std::make_unique<TreeArbiter>(arb, ports, vcs));
+  in_mask_.resize(bits::word_count(vcs));
+  bids_.resize(total() * bits::word_count(total()));
+  out_any_.resize(bits::word_count(total()));
 }
 
 void VcSeparableInputFirstAllocator::allocate(const std::vector<VcRequest>& req,
                                               std::vector<int>& grant) {
   prepare(req, grant);
+  if (reference_path_) {
+    allocate_ref(req, grant);
+  } else {
+    allocate_mask(req, grant);
+  }
+}
 
+void VcSeparableInputFirstAllocator::allocate_mask(
+    const std::vector<VcRequest>& req, std::vector<int>& grant) {
+  const std::size_t tw = bits::word_count(total());
+
+  std::fill(bids_.begin(), bids_.end(), bits::Word{0});
+  std::fill(out_any_.begin(), out_any_.end(), bits::Word{0});
+
+  // Stage 1: each input VC selects one candidate output VC at its port and
+  // bids for it.
+  for (std::size_t i = 0; i < total(); ++i) {
+    const VcRequest& r = req[i];
+    if (!r.valid) continue;
+    pack_req(r.vc_mask, in_mask_.data());
+    const int v = input_arb_[i]->pick_words(in_mask_.data());
+    if (v < 0) continue;  // empty candidate mask
+    const std::size_t o =
+        static_cast<std::size_t>(r.out_port) * vcs() + static_cast<std::size_t>(v);
+    bids_[o * tw + bits::word_of(i)] |= bits::bit(i);
+    out_any_[bits::word_of(o)] |= bits::bit(o);
+  }
+
+  // Stage 2: each bid-for output VC arbitrates among its bidders.
+  bits::for_each_set(out_any_.data(), tw, [&](std::size_t o) {
+    const int winner = output_arb_[o]->pick_words(&bids_[o * tw]);
+    NOCALLOC_CHECK(winner >= 0);
+    grant[static_cast<std::size_t>(winner)] = static_cast<int>(o);
+    output_arb_[o]->update(winner);
+    // The winning input VC's stage-1 choice succeeded: advance its priority.
+    input_arb_[static_cast<std::size_t>(winner)]->update(
+        static_cast<int>(o % vcs()));
+  });
+}
+
+void VcSeparableInputFirstAllocator::allocate_ref(
+    const std::vector<VcRequest>& req, std::vector<int>& grant) {
   // Stage 1: each input VC selects one candidate output VC at its port.
   // input_bid[i] = global output VC the input bids on, or -1.
   std::vector<int> input_bid(total(), -1);
@@ -60,12 +106,73 @@ VcSeparableOutputFirstAllocator::VcSeparableOutputFirstAllocator(
     output_arb_.push_back(std::make_unique<TreeArbiter>(arb, ports, vcs));
   for (std::size_t i = 0; i < total(); ++i)
     input_arb_.push_back(make_arbiter(arb, vcs));
+  cols_.resize(total() * bits::word_count(total()));
+  out_any_.resize(bits::word_count(total()));
+  in_won_.resize(bits::word_count(total()));
+  offered_.resize(bits::word_count(vcs));
+  output_choice_.resize(total());
 }
 
 void VcSeparableOutputFirstAllocator::allocate(
     const std::vector<VcRequest>& req, std::vector<int>& grant) {
   prepare(req, grant);
+  if (reference_path_) {
+    allocate_ref(req, grant);
+  } else {
+    allocate_mask(req, grant);
+  }
+}
 
+void VcSeparableOutputFirstAllocator::allocate_mask(
+    const std::vector<VcRequest>& req, std::vector<int>& grant) {
+  const std::size_t tw = bits::word_count(total());
+
+  // Request columns: bit i of column o set iff input VC i requests output
+  // VC o (same content as expand_requests, built transposed).
+  std::fill(cols_.begin(), cols_.end(), bits::Word{0});
+  std::fill(out_any_.begin(), out_any_.end(), bits::Word{0});
+  for (std::size_t i = 0; i < total(); ++i) {
+    const VcRequest& r = req[i];
+    if (!r.valid) continue;
+    const std::size_t base = static_cast<std::size_t>(r.out_port) * vcs();
+    for (std::size_t v = 0; v < vcs(); ++v) {
+      if (!r.vc_mask[v]) continue;
+      const std::size_t o = base + v;
+      cols_[o * tw + bits::word_of(i)] |= bits::bit(i);
+      out_any_[bits::word_of(o)] |= bits::bit(o);
+    }
+  }
+
+  // Stage 1: every requested output VC picks among the input VCs bidding.
+  std::fill(output_choice_.begin(), output_choice_.end(), -1);
+  std::fill(in_won_.begin(), in_won_.end(), bits::Word{0});
+  bits::for_each_set(out_any_.data(), tw, [&](std::size_t o) {
+    const int winner = output_arb_[o]->pick_words(&cols_[o * tw]);
+    output_choice_[o] = winner;
+    if (winner >= 0) in_won_[bits::word_of(winner)] |= bits::bit(winner);
+  });
+
+  // Stage 2: each input VC that won output VCs picks the one actually taken
+  // (all candidates live at its single destination port).
+  bits::for_each_set(in_won_.data(), tw, [&](std::size_t i) {
+    const VcRequest& r = req[i];
+    const std::size_t base = static_cast<std::size_t>(r.out_port) * vcs();
+    std::fill(offered_.begin(), offered_.end(), bits::Word{0});
+    for (std::size_t v = 0; v < vcs(); ++v) {
+      if (output_choice_[base + v] == static_cast<int>(i))
+        offered_[bits::word_of(v)] |= bits::bit(v);
+    }
+    const int v = input_arb_[i]->pick_words(offered_.data());
+    NOCALLOC_CHECK(v >= 0);
+    const std::size_t o = base + static_cast<std::size_t>(v);
+    grant[i] = static_cast<int>(o);
+    input_arb_[i]->update(v);
+    output_arb_[o]->update(static_cast<int>(i));
+  });
+}
+
+void VcSeparableOutputFirstAllocator::allocate_ref(
+    const std::vector<VcRequest>& req, std::vector<int>& grant) {
   BitMatrix full;
   expand_requests(req, full);
 

@@ -26,8 +26,16 @@ class VcSeparableInputFirstAllocator final : public VcAllocator {
   void reset() override;
 
  private:
+  void allocate_mask(const std::vector<VcRequest>& req, std::vector<int>& grant);
+  void allocate_ref(const std::vector<VcRequest>& req, std::vector<int>& grant);
+
   std::vector<std::unique_ptr<Arbiter>> input_arb_;   // per input VC, width V
   std::vector<std::unique_ptr<Arbiter>> output_arb_;  // per output VC, width P*V
+  // Mask-path scratch: packed per-input candidate mask, per-output-VC bid
+  // masks over input VCs, and the bid-for summary over output VCs.
+  std::vector<bits::Word> in_mask_;
+  std::vector<bits::Word> bids_;
+  std::vector<bits::Word> out_any_;
 };
 
 class VcSeparableOutputFirstAllocator final : public VcAllocator {
@@ -40,8 +48,19 @@ class VcSeparableOutputFirstAllocator final : public VcAllocator {
   void reset() override;
 
  private:
+  void allocate_mask(const std::vector<VcRequest>& req, std::vector<int>& grant);
+  void allocate_ref(const std::vector<VcRequest>& req, std::vector<int>& grant);
+
   std::vector<std::unique_ptr<Arbiter>> output_arb_;  // per output VC, width P*V
   std::vector<std::unique_ptr<Arbiter>> input_arb_;   // per input VC, width V
+  // Mask-path scratch: per-output-VC request columns over input VCs, the
+  // requested-output summary, winners per output VC, the won-something
+  // summary over input VCs, and the packed per-input offer mask.
+  std::vector<bits::Word> cols_;
+  std::vector<bits::Word> out_any_;
+  std::vector<bits::Word> in_won_;
+  std::vector<bits::Word> offered_;
+  std::vector<int> output_choice_;
 };
 
 }  // namespace nocalloc

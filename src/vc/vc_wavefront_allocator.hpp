@@ -25,6 +25,10 @@ class VcWavefrontAllocator final : public VcAllocator {
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
   void reset() override;
+  void set_reference_path(bool ref) override {
+    VcAllocator::set_reference_path(ref);
+    for (auto& c : cores_) c->set_reference_path(ref);
+  }
 
   bool sparse() const { return sparse_; }
 

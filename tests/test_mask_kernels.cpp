@@ -1,0 +1,243 @@
+// Differential tests for the word-parallel (mask) kernels.
+//
+// The fast paths added for the performance work must be grant-for-grant
+// identical to the byte-loop reference paths they replaced: every arbiter's
+// pick_words must select the same winner as pick, and every allocator run
+// with set_reference_path(false) must emit the same grants, cycle after
+// cycle, as a twin instance running the reference path on the same request
+// stream. The allocator-level tests sweep all 145 paper design points
+// (src/lint/design_points.hpp) across multiple seeds and request densities.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "arbiter/arbiter.hpp"
+#include "arbiter/tree_arbiter.hpp"
+#include "common/rng.hpp"
+#include "lint/design_points.hpp"
+#include "sa/speculative_switch_allocator.hpp"
+#include "sa/switch_allocator.hpp"
+#include "vc/vc_allocator.hpp"
+
+namespace nocalloc {
+namespace {
+
+ReqVector random_req(std::size_t n, double rate, Rng& rng) {
+  ReqVector req(n, 0);
+  for (auto& r : req) r = rng.next_bool(rate) ? 1 : 0;
+  return req;
+}
+
+TEST(PackReq, MatchesByteVector) {
+  Rng rng(11);
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 128u, 130u, 200u}) {
+    const ReqVector req = random_req(n, 0.4, rng);
+    std::vector<bits::Word> words(bits::word_count(n), ~bits::Word{0});
+    pack_req(req, words.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ((words[bits::word_of(i)] >> (i % bits::kWordBits)) & 1u,
+                req[i] ? 1u : 0u)
+          << "n=" << n << " bit " << i;
+    }
+    // Tail bits above n must be zero (pick_words relies on this).
+    if (n % bits::kWordBits != 0) {
+      EXPECT_EQ(words.back() & ~bits::tail_mask(n), 0u) << "n=" << n;
+    }
+  }
+}
+
+// pick_words must agree with pick for every arbiter kind across sizes that
+// exercise sub-word, exact-word, and multi-word masks -- including after
+// priority updates, which move the rotating pointer across word boundaries.
+TEST(ArbiterMaskPath, PickWordsMatchesPick) {
+  for (ArbiterKind kind : {ArbiterKind::kRoundRobin, ArbiterKind::kMatrix}) {
+    for (std::size_t n : {1u, 2u, 5u, 63u, 64u, 65u, 130u}) {
+      auto arb = make_arbiter(kind, n);
+      Rng rng(0xA0 + n);
+      std::vector<bits::Word> words(bits::word_count(n));
+      for (int round = 0; round < 400; ++round) {
+        const double rate = (round % 10) * 0.1 + 0.02;
+        const ReqVector req = random_req(n, rate, rng);
+        pack_req(req, words.data());
+        const int byte_pick = arb->pick(req);
+        const int word_pick = arb->pick_words(words.data());
+        ASSERT_EQ(word_pick, byte_pick)
+            << to_string(kind) << " n=" << n << " round " << round;
+        if (byte_pick >= 0 && rng.next_bool(0.7)) arb->update(byte_pick);
+      }
+    }
+  }
+}
+
+TEST(ArbiterMaskPath, TreeArbiterPickWordsMatchesPick) {
+  struct Shape {
+    std::size_t groups, group_size;
+  };
+  for (ArbiterKind kind : {ArbiterKind::kRoundRobin, ArbiterKind::kMatrix}) {
+    for (Shape s : {Shape{2, 2}, Shape{5, 4}, Shape{10, 16}, Shape{3, 33}}) {
+      TreeArbiter arb(kind, s.groups, s.group_size);
+      const std::size_t n = arb.size();
+      Rng rng(0xB0 + n);
+      std::vector<bits::Word> words(bits::word_count(n));
+      for (int round = 0; round < 300; ++round) {
+        const ReqVector req = random_req(n, (round % 9) * 0.12 + 0.02, rng);
+        pack_req(req, words.data());
+        const int byte_pick = arb.pick(req);
+        const int word_pick = arb.pick_words(words.data());
+        ASSERT_EQ(word_pick, byte_pick)
+            << to_string(kind) << " " << s.groups << "x" << s.group_size
+            << " round " << round;
+        if (byte_pick >= 0 && rng.next_bool(0.7)) arb.update(byte_pick);
+      }
+    }
+  }
+}
+
+// The lint regression net and these differential tests must cover the same
+// universe: every allocator configuration the paper synthesizes.
+TEST(DesignPoints, CoverAll145) {
+  const auto vc = hw::paper_vc_design_points();
+  const auto sa = hw::paper_sa_design_points();
+  EXPECT_EQ(vc.size(), 40u);
+  EXPECT_EQ(sa.size(), 105u);
+  EXPECT_EQ(vc.size() + sa.size(), 145u);
+}
+
+std::vector<SwitchRequest> random_sa_requests(std::size_t ports,
+                                              std::size_t vcs, double rate,
+                                              Rng& rng) {
+  std::vector<SwitchRequest> req(ports * vcs);
+  for (auto& r : req) {
+    r.valid = rng.next_bool(rate);
+    r.out_port = r.valid ? static_cast<int>(rng.next_below(ports)) : -1;
+  }
+  return req;
+}
+
+// Runs twin non-speculative allocators -- one mask path, one reference
+// path -- on an identical request stream and requires identical grants.
+void diff_sa_point(const hw::SaDesignPoint& p, std::uint64_t seed,
+                   int cycles) {
+  const SwitchAllocatorConfig cfg{p.cfg.ports, p.cfg.vcs, p.cfg.kind,
+                                  p.cfg.arb};
+  auto fast = make_switch_allocator(cfg);
+  auto ref = make_switch_allocator(cfg);
+  ref->set_reference_path(true);
+  Rng rng(seed);
+  std::vector<SwitchGrant> fast_gnt, ref_gnt;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const double rate = (cycle % 10) * 0.1 + 0.05;
+    const auto req = random_sa_requests(cfg.ports, cfg.vcs, rate, rng);
+    fast->allocate(req, fast_gnt);
+    ref->allocate(req, ref_gnt);
+    ASSERT_EQ(fast_gnt.size(), ref_gnt.size());
+    for (std::size_t i = 0; i < fast_gnt.size(); ++i) {
+      ASSERT_EQ(fast_gnt[i].vc, ref_gnt[i].vc)
+          << p.name << " seed " << seed << " cycle " << cycle << " port " << i;
+      ASSERT_EQ(fast_gnt[i].out_port, ref_gnt[i].out_port)
+          << p.name << " seed " << seed << " cycle " << cycle << " port " << i;
+    }
+  }
+}
+
+void diff_spec_point(const hw::SaDesignPoint& p, std::uint64_t seed,
+                     int cycles) {
+  const SwitchAllocatorConfig cfg{p.cfg.ports, p.cfg.vcs, p.cfg.kind,
+                                  p.cfg.arb};
+  SpeculativeSwitchAllocator fast(cfg, p.cfg.spec);
+  SpeculativeSwitchAllocator ref(cfg, p.cfg.spec);
+  ref.set_reference_path(true);
+  Rng rng(seed);
+  std::vector<SpecSwitchGrant> fast_gnt, ref_gnt;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const double rate = (cycle % 10) * 0.1 + 0.05;
+    const auto nonspec = random_sa_requests(cfg.ports, cfg.vcs, rate, rng);
+    const auto spec = random_sa_requests(cfg.ports, cfg.vcs, rate * 0.5, rng);
+    fast.allocate(nonspec, spec, fast_gnt);
+    ref.allocate(nonspec, spec, ref_gnt);
+    ASSERT_EQ(fast_gnt.size(), ref_gnt.size());
+    for (std::size_t i = 0; i < fast_gnt.size(); ++i) {
+      ASSERT_EQ(fast_gnt[i].nonspec.vc, ref_gnt[i].nonspec.vc)
+          << p.name << " seed " << seed << " cycle " << cycle << " port " << i;
+      ASSERT_EQ(fast_gnt[i].nonspec.out_port, ref_gnt[i].nonspec.out_port)
+          << p.name << " seed " << seed << " cycle " << cycle << " port " << i;
+      ASSERT_EQ(fast_gnt[i].spec.vc, ref_gnt[i].spec.vc)
+          << p.name << " seed " << seed << " cycle " << cycle << " port " << i;
+      ASSERT_EQ(fast_gnt[i].spec.out_port, ref_gnt[i].spec.out_port)
+          << p.name << " seed " << seed << " cycle " << cycle << " port " << i;
+    }
+    ASSERT_EQ(fast.masked_spec_grants(), ref.masked_spec_grants())
+        << p.name << " seed " << seed << " cycle " << cycle;
+  }
+}
+
+TEST(AllocatorMaskPath, AllSaDesignPointsMatchReference) {
+  for (const hw::SaDesignPoint& p : hw::paper_sa_design_points()) {
+    for (std::uint64_t seed : {1u, 42u, 9001u}) {
+      if (p.cfg.spec == SpecMode::kNonSpeculative) {
+        diff_sa_point(p, seed, 60);
+      } else {
+        diff_spec_point(p, seed, 60);
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Legal VC request set under the partition, mirroring the quality protocol:
+// a requesting input VC targets all C VCs of one legal (message, resource)
+// class at a random output port.
+std::vector<VcRequest> random_vc_requests(std::size_t ports,
+                                          const VcPartition& part, double rate,
+                                          Rng& rng) {
+  const std::size_t vcs = part.total_vcs();
+  std::vector<VcRequest> req(ports * vcs);
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    if (!rng.next_bool(rate)) continue;
+    VcRequest& r = req[i];
+    r.valid = true;
+    r.out_port = static_cast<int>(rng.next_below(ports));
+    const std::size_t vc = i % vcs;
+    const auto succ = part.successors(part.resource_class_of(vc));
+    const std::size_t r2 = succ[rng.next_below(succ.size())];
+    r.vc_mask.assign(vcs, 0);
+    const std::size_t base = part.class_base(part.message_class_of(vc), r2);
+    for (std::size_t c = 0; c < part.vcs_per_class(); ++c) {
+      r.vc_mask[base + c] = 1;
+    }
+  }
+  return req;
+}
+
+TEST(AllocatorMaskPath, AllVcDesignPointsMatchReference) {
+  for (const hw::VcDesignPoint& p : hw::paper_vc_design_points()) {
+    VcAllocatorConfig cfg;
+    cfg.ports = p.cfg.ports;
+    cfg.partition = p.cfg.partition;
+    cfg.kind = p.cfg.kind;
+    cfg.arb = p.cfg.arb;
+    cfg.sparse = p.cfg.sparse;
+    auto fast = make_vc_allocator(cfg);
+    auto ref = make_vc_allocator(cfg);
+    ref->set_reference_path(true);
+    for (std::uint64_t seed : {3u, 77u, 4242u}) {
+      Rng rng(seed);
+      std::vector<int> fast_gnt, ref_gnt;
+      for (int cycle = 0; cycle < 60; ++cycle) {
+        const double rate = (cycle % 10) * 0.1 + 0.05;
+        const auto req =
+            random_vc_requests(cfg.ports, cfg.partition, rate, rng);
+        fast->allocate(req, fast_gnt);
+        ref->allocate(req, ref_gnt);
+        ASSERT_EQ(fast_gnt, ref_gnt)
+            << p.name << " seed " << seed << " cycle " << cycle;
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocalloc
