@@ -1,0 +1,223 @@
+// End-to-end simulator throughput (cycles per wall-clock second) for the
+// zero-allocation data path: packet arena, ring-buffer flit queues, and
+// active-set router scheduling.
+//
+// Two things are measured per design point:
+//
+//   1. cycles/s over a full warmup + measurement + drain run, comparable to
+//      the pre-optimization baseline recorded in bench_results/ and in the
+//      README performance table.
+//
+//   2. heap traffic in the steady-state window (after warmup, before drain),
+//      via a global operator new/delete counter. At sub-saturation loads the
+//      cycle loop must be allocation-free: the arena and every ring buffer
+//      reach their high-water capacity during warmup, so the measured window
+//      performs zero allocations. Saturated points are exempt -- terminal
+//      source queues grow without bound beyond the saturation throughput,
+//      which is unavoidable and documented in DESIGN.md.
+//
+// Honors NOCALLOC_BENCH_FAST=1 (run_benches.sh BENCH_FAST): shorter
+// measurement window, same warmup, zero-allocation assertion still enforced.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <new>
+
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "noc/sim.hpp"
+
+// ---- Global allocation counter ---------------------------------------------
+// Counts every route into the heap. The handlers themselves must not
+// allocate, so they sit directly on malloc/free.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  void* p = nullptr;
+  if (posix_memalign(&p, a < sizeof(void*) ? sizeof(void*) : a,
+                     size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace nocalloc::noc {
+namespace {
+
+double wall_now() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+struct Point {
+  TopologyKind topo;
+  double load;
+  const char* label;
+  bool saturated;  // exempt from the zero-allocation assertion
+  // cycles/s of the pre-optimization simulator (shared_ptr packets,
+  // std::deque buffers, every router stepped every cycle) at this design
+  // point, recorded on the reference host with the same phase lengths.
+  // Speedups printed against it are indicative when run elsewhere.
+  double baseline_cycles_per_sec;
+};
+
+struct RunOutcome {
+  double cycles_per_sec = 0.0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steps_total = 0;
+  std::uint64_t steps_skipped = 0;
+  std::size_t arena_high_water = 0;
+};
+
+// Builds the network directly (rather than through run_simulation) so the
+// allocation counter can be bracketed around the steady-state window only:
+// construction and warmup are allowed to allocate, the measured cycles are
+// not.
+RunOutcome run_point(const Point& pt, std::size_t warmup, std::size_t measure,
+                     std::size_t drain) {
+  MeshTopology mesh(8);
+  FlattenedButterflyTopology fbfly(4, 4);
+  const Topology& topology =
+      pt.topo == TopologyKind::kMesh8x8 ? static_cast<const Topology&>(mesh)
+                                        : fbfly;
+
+  NetworkConfig cfg;
+  cfg.router.ports = topology.ports();
+  cfg.router.partition = partition_for(pt.topo, 1);
+  cfg.request_rate = pt.load / 6.0;
+  cfg.seed = 1;
+
+  Network::RoutingFactory factory =
+      [&](const CongestionOracle& oracle) -> std::unique_ptr<RoutingFunction> {
+    if (pt.topo == TopologyKind::kMesh8x8) {
+      return std::make_unique<DorMeshRouting>(mesh);
+    }
+    return std::make_unique<UgalFbflyRouting>(fbfly, oracle,
+                                              Rng(1 ^ 0xCAFEF00Dull));
+  };
+
+  Network* net_ptr = nullptr;
+  std::uint64_t reply_id = 1ull << 62;
+  Terminal::EjectCallback on_eject = [&](const Packet& pkt, Cycle now) {
+    if (is_request(pkt.type)) {
+      net_ptr->terminal(pkt.dst_terminal)
+          .enqueue_reply(make_reply(pkt, now, reply_id++));
+    }
+  };
+
+  const double t0 = wall_now();
+  Network net(topology, cfg, factory, on_eject);
+  net_ptr = &net;
+
+  for (std::size_t i = 0; i < warmup; ++i) net.step();
+
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < measure; ++i) net.step();
+  const std::uint64_t allocs_after =
+      g_heap_allocs.load(std::memory_order_relaxed);
+
+  net.set_generation_enabled(false);
+  for (std::size_t i = 0; i < drain && net.in_flight() > 0; ++i) net.step();
+  const double dt = wall_now() - t0;
+
+  RunOutcome out;
+  out.cycles_per_sec = static_cast<double>(net.perf().cycles) / dt;
+  out.steady_allocs = allocs_after - allocs_before;
+  out.steps_total = net.perf().router_steps_total;
+  out.steps_skipped = net.perf().router_steps_skipped;
+  out.arena_high_water = net.arena().high_water();
+  return out;
+}
+
+int run_all() {
+  const bool fast = []() {
+    const char* v = std::getenv("NOCALLOC_BENCH_FAST");
+    return v != nullptr && std::strcmp(v, "1") == 0;
+  }();
+  const std::size_t warmup = 2000;
+  const std::size_t measure = fast ? 1000 : 10000;
+  const std::size_t drain = fast ? 500 : 8000;
+
+#ifdef NOCALLOC_BUILD_TYPE
+  std::printf("Build type: %s\n", NOCALLOC_BUILD_TYPE);
+  if (std::strcmp(NOCALLOC_BUILD_TYPE, "Debug") == 0) {
+    std::printf("WARNING: Debug build; timings are not comparable\n");
+  }
+#endif
+  std::printf("Simulator throughput (warmup %zu + measure %zu + drain %zu)\n",
+              warmup, measure, drain);
+  std::printf(
+      "%-18s %12s %12s %8s %14s %10s %8s\n", "point", "cycles/s",
+      "baseline", "speedup", "steady allocs", "skipped", "arena");
+
+  const Point points[] = {
+      {TopologyKind::kMesh8x8, 0.02, "mesh/low", false, 27771},
+      {TopologyKind::kMesh8x8, 0.15, "mesh/medium", false, 17541},
+      {TopologyKind::kMesh8x8, 0.90, "mesh/saturation", true, 12067},
+      {TopologyKind::kFbfly4x4, 0.02, "fbfly/low", false, 50020},
+      {TopologyKind::kFbfly4x4, 0.20, "fbfly/medium", false, 27155},
+      {TopologyKind::kFbfly4x4, 0.90, "fbfly/saturation", true, 16650},
+  };
+
+  bool ok = true;
+  for (const Point& pt : points) {
+    const RunOutcome out = run_point(pt, warmup, measure, drain);
+    const double skipped_pct =
+        out.steps_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(out.steps_skipped) /
+                  static_cast<double>(out.steps_total);
+    std::printf("%-18s %12.0f %12.0f %7.2fx %14llu %9.1f%% %8zu\n", pt.label,
+                out.cycles_per_sec, pt.baseline_cycles_per_sec,
+                out.cycles_per_sec / pt.baseline_cycles_per_sec,
+                static_cast<unsigned long long>(out.steady_allocs),
+                skipped_pct, out.arena_high_water);
+    if (!pt.saturated && out.steady_allocs != 0) {
+      std::printf("ZERO-ALLOC FAIL: %s performed %llu heap allocations in "
+                  "the steady-state window\n",
+                  pt.label,
+                  static_cast<unsigned long long>(out.steady_allocs));
+      ok = false;
+    }
+  }
+  std::printf(ok ? "zero-allocation check: PASS (sub-saturation points)\n"
+                 : "zero-allocation check: FAIL\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nocalloc::noc
+
+int main() { return nocalloc::noc::run_all(); }

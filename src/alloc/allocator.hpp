@@ -37,6 +37,17 @@ class Allocator {
   /// Resets all priority state.
   virtual void reset() = 0;
 
+  /// Advances the priority state exactly as `cycles` allocate() calls with an
+  /// empty request matrix would. Architectures whose priorities evolve only
+  /// on grants (separable arbiters, maximum-size) are unaffected -- the
+  /// default is a no-op -- but the wavefront rotates its priority diagonal
+  /// every cycle regardless of requests, so a simulator that skips idle
+  /// routers (active-set scheduling) must replay the skipped cycles to keep
+  /// its grant sequence identical to a densely stepped run.
+  virtual void advance_priority(std::uint64_t cycles) {
+    static_cast<void>(cycles);
+  }
+
   /// Selects the byte-loop reference implementation instead of the
   /// word-parallel mask kernels. Both paths produce identical grants and
   /// identical priority-state evolution; the reference path is the oracle the

@@ -77,8 +77,35 @@ void WavefrontAllocator::allocate(const BitMatrix& req, BitMatrix& gnt) {
   prepare(req, gnt);
   if (reference_path_) {
     allocate_from_diagonal(req, diagonal_, gnt);
-  } else {
-    allocate_from_diagonal_mask(req, diagonal_, gnt);
+    diagonal_ = (diagonal_ + 1) % n_;
+    return;
+  }
+
+  // Same matching as allocate_from_diagonal_mask, but with the free-row /
+  // free-column masks kept as members so the per-cycle fast path performs no
+  // heap allocations (resize is a no-op once warm).
+  const std::size_t rows = req.rows();
+  const std::size_t cols = req.cols();
+  const std::size_t n = std::max(rows, cols);
+  row_free_.assign(bits::word_count(rows), 0);
+  col_free_.assign(bits::word_count(cols), 0);
+  for (std::size_t i = 0; i < rows; ++i)
+    row_free_[bits::word_of(i)] |= bits::bit(i);
+  for (std::size_t j = 0; j < cols; ++j)
+    col_free_[bits::word_of(j)] |= bits::bit(j);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t d = (diagonal_ + k) % n;
+    bits::for_each_set(row_free_.data(), row_free_.size(), [&](std::size_t i) {
+      const std::size_t j = (d + n - (i % n)) % n;
+      if (j >= cols) return;
+      if ((req.row(i)[bits::word_of(j)] & bits::bit(j)) != 0 &&
+          (col_free_[bits::word_of(j)] & bits::bit(j)) != 0) {
+        gnt.row(i)[bits::word_of(j)] |= bits::bit(j);
+        row_free_[bits::word_of(i)] &= ~bits::bit(i);
+        col_free_[bits::word_of(j)] &= ~bits::bit(j);
+      }
+    });
   }
   diagonal_ = (diagonal_ + 1) % n_;
 }

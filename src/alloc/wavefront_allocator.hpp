@@ -26,6 +26,9 @@ class WavefrontAllocator final : public Allocator {
 
   void allocate(const BitMatrix& req, BitMatrix& gnt) override;
   void reset() override { diagonal_ = 0; }
+  void advance_priority(std::uint64_t cycles) override {
+    diagonal_ = (diagonal_ + cycles) % n_;
+  }
 
   /// Currently active starting diagonal (exposed for tests).
   std::size_t diagonal() const { return diagonal_; }
@@ -45,6 +48,10 @@ class WavefrontAllocator final : public Allocator {
  private:
   std::size_t n_;  // padded square dimension
   std::size_t diagonal_ = 0;
+  // Mask-path scratch, reused across allocate() calls so the per-cycle fast
+  // path performs no heap allocations.
+  std::vector<bits::Word> row_free_;
+  std::vector<bits::Word> col_free_;
 };
 
 }  // namespace nocalloc

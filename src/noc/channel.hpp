@@ -4,13 +4,24 @@
 // readable at cycle t + latency. Mesh links have latency 1; the flattened
 // butterfly's express links have latency 1-3 depending on physical span
 // (Sec. 3.2). Credits travel on mirror channels of the same latency.
+//
+// The pipe is a ring buffer pre-sized to latency + 1 slots -- the maximum
+// in-flight count under the one-send-per-cycle / exact-arrival-receive
+// protocol -- so steady-state sends and receives never touch the heap. (The
+// ring still grows if a test drives the channel off-protocol, e.g. queueing
+// future sends before stepping the consumer.)
+//
+// For active-set scheduling, a channel can carry a wake flag for its
+// consumer: send() raises the flag, telling the Network the consumer has
+// pending work and must be stepped until the channel drains.
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <optional>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/ring.hpp"
 #include "noc/types.hpp"
 
 namespace nocalloc::noc {
@@ -18,28 +29,46 @@ namespace nocalloc::noc {
 template <typename T>
 class Channel {
  public:
-  explicit Channel(std::size_t latency = 1) : latency_(latency) {
+  explicit Channel(std::size_t latency = 1)
+      : latency_(latency), pipe_(latency + 1) {
     NOCALLOC_CHECK(latency >= 1);
   }
 
   std::size_t latency() const { return latency_; }
 
+  /// Registers the consumer's active-set flag; send() sets it so the
+  /// consumer is stepped when the item arrives. Null detaches.
+  void set_consumer_flag(std::uint8_t* flag) { consumer_flag_ = flag; }
+
   /// Writes an item at the current cycle. At most one item per cycle.
   void send(T item, Cycle now) {
-    NOCALLOC_CHECK(pipe_.empty() || pipe_.back().first < now);
-    pipe_.emplace_back(now, std::move(item));
+    NOCALLOC_DCHECK(pipe_.empty() || pipe_.back().sent < now);
+    pipe_.push_back(Slot{now, std::move(item)});
+    if (consumer_flag_ != nullptr) *consumer_flag_ = 1;
   }
 
   /// Returns the item arriving at `now`, if any.
   std::optional<T> receive(Cycle now) {
-    if (pipe_.empty()) return std::nullopt;
-    auto& [sent, item] = pipe_.front();
-    if (sent + latency_ > now) return std::nullopt;
-    NOCALLOC_CHECK(sent + latency_ == now);  // consumers must not skip cycles
-    std::optional<T> out(std::move(item));
-    pipe_.pop_front();
+    T* front = peek(now);
+    if (front == nullptr) return std::nullopt;
+    std::optional<T> out(std::move(*front));
+    pop();
     return out;
   }
+
+  /// Zero-copy variant of receive(): a pointer to the item arriving at
+  /// `now` (valid until the next pipe operation), or nullptr. The caller
+  /// must pop() after consuming it.
+  T* peek(Cycle now) {
+    if (pipe_.empty()) return nullptr;
+    Slot& front = pipe_.front();
+    if (front.sent + latency_ > now) return nullptr;
+    NOCALLOC_DCHECK(front.sent + latency_ == now);  // consumers must not skip cycles
+    return &front.item;
+  }
+
+  /// Consumes the item returned by peek().
+  void pop() { pipe_.pop_front(); }
 
   bool empty() const { return pipe_.empty(); }
   std::size_t size() const { return pipe_.size(); }
@@ -48,12 +77,18 @@ class Channel {
   /// by the invariant checker to audit channel contents.
   template <typename F>
   void for_each(F&& visit) const {
-    for (const auto& [sent, item] : pipe_) visit(item);
+    pipe_.for_each([&](const Slot& slot) { visit(slot.item); });
   }
 
  private:
+  struct Slot {
+    Cycle sent = 0;
+    T item;
+  };
+
   std::size_t latency_;
-  std::deque<std::pair<Cycle, T>> pipe_;
+  GrowRing<Slot> pipe_;
+  std::uint8_t* consumer_flag_ = nullptr;
 };
 
 }  // namespace nocalloc::noc

@@ -237,7 +237,35 @@ void InvariantChecker::after_step(const Network& net) {
   }
   if (cfg_.check_credits) check_link_credits(net);
   if (cfg_.check_flit_conservation) check_flit_conservation(net);
+  if (cfg_.check_active_set) check_active_set(net);
   if (cfg_.deadlock_cycles > 0) check_progress(net);
+}
+
+void InvariantChecker::check_active_set(const Network& net) {
+  ++checks_;
+  // A retired router must be genuinely quiescent: waking it late would mean
+  // it missed an exact-arrival Channel::receive and would trip its CHECK (or
+  // silently delay a flit). This is the scheduler's core invariant.
+  for (std::size_t r = 0; r < net.routers_.size(); ++r) {
+    if (net.router_active_[r]) continue;
+    if (net.routers_[r]->has_pending_work()) {
+      report(InvariantViolation{
+          net.now_, static_cast<int>(r), -1, -1, "active-set",
+          "router outside the dirty set has buffered flits, pending "
+          "credits, or in-flight channel entries"});
+    }
+  }
+  for (std::size_t t = 0; t < net.terminals_.size(); ++t) {
+    if (net.terminal_active_[t]) continue;
+    const Network::TerminalWiring& tw = net.terminal_wirings_[t];
+    if (!tw.ej_flits->empty() || !tw.inj_credits->empty()) {
+      report(InvariantViolation{
+          net.now_, tw.router, tw.port, -1, "active-set",
+          "terminal " + std::to_string(tw.terminal) +
+              " outside the dirty set has in-flight ejection flits or "
+              "injection credits"});
+    }
+  }
 }
 
 void InvariantChecker::check_router_state(const Router& router, Cycle now) {
@@ -339,22 +367,11 @@ void InvariantChecker::check_link_credits(const Network& net) {
     ch.for_each([&](const Credit& c) { n += c.vc == vc ? 1 : 0; });
     return n;
   };
-  auto count_staged = [](const std::vector<Flit>& staged, int vc) {
-    std::size_t n = 0;
-    for (const Flit& f : staged) n += f.vc == vc ? 1 : 0;
-    return n;
-  };
-  auto count_queued_credits = [](const std::vector<Credit>& q, int vc) {
-    std::size_t n = 0;
-    for (const Credit& c : q) n += c.vc == vc ? 1 : 0;
-    return n;
-  };
-
   // Inter-router links: the credit loop for (link, vc) spans the upstream
-  // credit counter, the flits staged in the upstream crossbar register and in
-  // flight on the link, the downstream input buffer, and the credits on their
-  // way back (downstream queue plus credit channel). The sum must equal the
-  // buffer depth at every step boundary.
+  // credit counter, the flits in flight on the link (the channel also holds
+  // the folded switch-traversal stage), the downstream input buffer, and the
+  // credits on their way back. The sum must equal the buffer depth at every
+  // step boundary.
   for (const Network::LinkWiring& lw : net.link_wirings_) {
     ++checks_;
     const Router& up =
@@ -368,10 +385,8 @@ void InvariantChecker::check_link_credits(const Network& net) {
       const int vc = static_cast<int>(v);
       const std::size_t sum =
           up.output_vcs_[src_port * up.vcs_ + v].credits +
-          count_staged(up.xbar_[src_port], vc) +
           count_flits(*lw.flits, vc) +
           down.input_vcs_[dst_port * down.vcs_ + v].buffer.size() +
-          count_queued_credits(down.credit_out_q_[dst_port], vc) +
           count_credits(*lw.credits, vc);
       if (sum != depth) {
         report(InvariantViolation{
@@ -398,7 +413,6 @@ void InvariantChecker::check_link_credits(const Network& net) {
       const std::size_t inj_sum =
           term.credits_[v] + count_flits(*tw.inj_flits, vc) +
           router.input_vcs_[port * router.vcs_ + v].buffer.size() +
-          count_queued_credits(router.credit_out_q_[port], vc) +
           count_credits(*tw.inj_credits, vc);
       if (inj_sum != depth) {
         report(InvariantViolation{
@@ -410,7 +424,6 @@ void InvariantChecker::check_link_credits(const Network& net) {
       }
       const std::size_t ej_sum =
           router.output_vcs_[port * router.vcs_ + v].credits +
-          count_staged(router.xbar_[port], vc) +
           count_flits(*tw.ej_flits, vc) + count_credits(*tw.ej_credits, vc);
       if (ej_sum != depth) {
         report(InvariantViolation{

@@ -72,6 +72,10 @@ struct InvariantCheckerConfig {
   bool check_vc_states = true;
   bool check_credits = true;
   bool check_flit_conservation = true;
+  /// Audits the active-set scheduler: a router outside the dirty set must
+  /// have no buffered flits, pending credits, or in-flight items on its
+  /// incoming channels.
+  bool check_active_set = true;
   /// Cycles without any flit movement (while flits are buffered) before the
   /// deadlock watchdog fires; 0 disables the watchdog.
   std::size_t deadlock_cycles = 1000;
@@ -116,6 +120,7 @@ class InvariantChecker {
   void check_router_state(const Router& router, Cycle now);
   void check_link_credits(const Network& net);
   void check_flit_conservation(const Network& net);
+  void check_active_set(const Network& net);
   void check_progress(const Network& net);
 
   InvariantCheckerConfig cfg_;

@@ -14,24 +14,39 @@ Network::Network(const Topology& topo, const NetworkConfig& cfg,
   NOCALLOC_CHECK(cfg.router.ports == topo.ports());
   routing_ = routing_factory(*this);
 
+  // Active flags are sized before any channel takes a pointer into them.
+  router_active_.assign(topo.num_routers(), 1);
+  terminal_active_.assign(topo.num_terminals(), 1);
+
   const auto n_routers = static_cast<int>(topo.num_routers());
   for (int r = 0; r < n_routers; ++r) {
-    routers_.push_back(std::make_unique<Router>(r, cfg.router, *routing_));
+    routers_.push_back(
+        std::make_unique<Router>(r, cfg.router, *routing_, arena_));
   }
 
-  auto new_flit_channel = [&](std::size_t latency) {
+  auto new_flit_channel = [&](std::size_t latency, std::uint8_t* consumer) {
     flit_channels_.push_back(std::make_unique<Channel<Flit>>(latency));
+    flit_channels_.back()->set_consumer_flag(consumer);
     return flit_channels_.back().get();
   };
-  auto new_credit_channel = [&](std::size_t latency) {
+  auto new_credit_channel = [&](std::size_t latency, std::uint8_t* consumer) {
     credit_channels_.push_back(std::make_unique<Channel<Credit>>(latency));
+    credit_channels_.back()->set_consumer_flag(consumer);
     return credit_channels_.back().get();
   };
 
-  // Inter-router links (flits one way, credits the other).
+  // Inter-router links (flits one way, credits the other). Each channel
+  // wakes its consumer on send, which is what keeps the active-set exact.
+  // Router-driven channels carry the folded switch-traversal stage, so their
+  // latency is the physical link latency plus one (a flit granted at cycle t
+  // arrives at t + 1 + link.latency, exactly as with an explicit ST stage).
   for (const LinkSpec& link : topo.links()) {
-    Channel<Flit>* flits = new_flit_channel(link.latency);
-    Channel<Credit>* credits = new_credit_channel(link.latency);
+    Channel<Flit>* flits = new_flit_channel(
+        link.latency + 1,
+        &router_active_[static_cast<std::size_t>(link.dst_router)]);
+    Channel<Credit>* credits = new_credit_channel(
+        link.latency + 1,
+        &router_active_[static_cast<std::size_t>(link.src_router)]);
     routers_[static_cast<std::size_t>(link.src_router)]->attach_output(
         link.src_port, flits, credits, link.dst_router);
     routers_[static_cast<std::size_t>(link.dst_router)]->attach_input(
@@ -54,18 +69,21 @@ Network::Network(const Topology& topo, const NetworkConfig& cfg,
                   seeder.split(static_cast<std::uint64_t>(t)));
     terminals_.push_back(std::make_unique<Terminal>(
         t, r, cfg.router.partition, cfg.router.buffer_depth, *routing_,
-        std::move(source), on_eject));
+        std::move(source), arena_, on_eject));
     Terminal& term = *terminals_.back();
     term.set_id_counter(&next_packet_id_);
 
-    Channel<Flit>* inj_flits = new_flit_channel(1);
-    Channel<Credit>* inj_credits = new_credit_channel(1);
-    Channel<Flit>* ej_flits = new_flit_channel(1);
-    Channel<Credit>* ej_credits = new_credit_channel(1);
-    routers_[static_cast<std::size_t>(r)]->attach_input(port, inj_flits,
-                                                        inj_credits);
-    routers_[static_cast<std::size_t>(r)]->attach_output(port, ej_flits,
-                                                         ej_credits, -1);
+    const auto rs = static_cast<std::size_t>(r);
+    const auto ts = static_cast<std::size_t>(t);
+    // Terminal-driven channels keep latency 1; router-driven ones (ejected
+    // flits, credits back to the terminal) get the +1 ST fold.
+    Channel<Flit>* inj_flits = new_flit_channel(1, &router_active_[rs]);
+    Channel<Credit>* inj_credits =
+        new_credit_channel(2, &terminal_active_[ts]);
+    Channel<Flit>* ej_flits = new_flit_channel(2, &terminal_active_[ts]);
+    Channel<Credit>* ej_credits = new_credit_channel(1, &router_active_[rs]);
+    routers_[rs]->attach_input(port, inj_flits, inj_credits);
+    routers_[rs]->attach_output(port, ej_flits, ej_credits, -1);
     term.attach(inj_flits, inj_credits, ej_flits, ej_credits);
     terminal_wirings_.push_back(TerminalWiring{t, r, port, inj_flits,
                                                inj_credits, ej_flits,
@@ -75,11 +93,43 @@ Network::Network(const Topology& topo, const NetworkConfig& cfg,
 
 void Network::step() {
   const Cycle t = now_;
-  for (auto& r : routers_) r->transmit(t);
-  for (auto& r : routers_) r->allocate(t);
+  const std::size_t nr = routers_.size();
+  // Phase gates read the flags live: a router woken mid-cycle (by a send in
+  // an earlier phase) joins in, where all its phase work is a harmless no-op
+  // -- the sent item only becomes receivable one cycle later.
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (router_active_[r]) {
+      routers_[r]->allocate(t);
+    } else {
+      ++perf_.router_steps_skipped;
+    }
+  }
+  // Terminals poll their source every cycle regardless of the active set,
+  // preserving the RNG draw sequence of a dense run.
   for (auto& term : terminals_) term->inject(t);
-  for (auto& r : routers_) r->receive(t);
-  for (auto& term : terminals_) term->receive(t);
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (router_active_[r]) routers_[r]->receive(t);
+  }
+  for (std::size_t i = 0; i < terminals_.size(); ++i) {
+    if (terminal_active_[i]) terminals_[i]->receive(t);
+  }
+
+  // Retire quiescent consumers. Runs before the invariant hook so the
+  // checker can audit the active-set invariant itself.
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (router_active_[r] && !routers_[r]->has_pending_work()) {
+      router_active_[r] = 0;
+    }
+  }
+  for (std::size_t i = 0; i < terminals_.size(); ++i) {
+    if (terminal_active_[i] && terminal_wirings_[i].ej_flits->empty() &&
+        terminal_wirings_[i].inj_credits->empty()) {
+      terminal_active_[i] = 0;
+    }
+  }
+
+  perf_.router_steps_total += nr;
+  ++perf_.cycles;
   if (checker_ != nullptr) checker_->after_step(*this);
   ++now_;
 }

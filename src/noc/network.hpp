@@ -1,11 +1,21 @@
 // Network assembly: instantiates routers, terminals and channels for a
 // topology, wires credit loops, and advances the whole system cycle by
 // cycle. Also implements the CongestionOracle UGAL reads at injection.
+//
+// step() uses active-set scheduling: a router (or a terminal's receive side)
+// that has no buffered flits, pending credits, or in-flight items on its
+// incoming channels is retired from the dirty set and
+// skipped until a channel send targeting it re-wakes it (channels flip the
+// consumer's active flag at send time; the item arrives at least one cycle
+// later, so no arrival can be missed). Terminals still poll their traffic
+// source every cycle, which keeps the RNG draw sequence -- and therefore
+// every statistic -- bit-identical to a densely stepped run.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "noc/packet_arena.hpp"
 #include "noc/router.hpp"
 #include "noc/terminal.hpp"
 #include "noc/topology.hpp"
@@ -22,6 +32,13 @@ struct NetworkConfig {
   std::function<std::unique_ptr<TrafficSource>(int terminal)> source_factory;
 };
 
+/// Work-proportionality counters maintained by step().
+struct NetworkPerfCounters {
+  std::uint64_t cycles = 0;               // step() calls so far
+  std::uint64_t router_steps_total = 0;   // routers x cycles
+  std::uint64_t router_steps_skipped = 0; // router-steps skipped as quiescent
+};
+
 class Network final : public CongestionOracle {
  public:
   /// `routing_factory` builds the routing function once the oracle (this
@@ -32,7 +49,7 @@ class Network final : public CongestionOracle {
   Network(const Topology& topo, const NetworkConfig& cfg,
           RoutingFactory routing_factory, Terminal::EjectCallback on_eject);
 
-  /// Advances one cycle (transmit -> allocate/inject -> receive).
+  /// Advances one cycle (allocate -> inject -> receive).
   void step();
 
   Cycle now() const { return now_; }
@@ -43,6 +60,13 @@ class Network final : public CongestionOracle {
     return *terminals_[static_cast<std::size_t>(id)];
   }
   std::size_t num_terminals() const { return terminals_.size(); }
+
+  /// The packet storage every router/terminal of this network shares.
+  PacketArena& arena() { return arena_; }
+  const PacketArena& arena() const { return arena_; }
+
+  /// Active-set and work counters (cycles simulated, router-steps skipped).
+  const NetworkPerfCounters& perf() const { return perf_; }
 
   /// Starts/stops marking newly created packets as measured.
   void set_measuring(bool measuring);
@@ -90,6 +114,7 @@ class Network final : public CongestionOracle {
   };
 
   const Topology& topo_;
+  PacketArena arena_;  // must outlive routers/terminals (handle consumers)
   std::unique_ptr<RoutingFunction> routing_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Terminal>> terminals_;
@@ -98,6 +123,11 @@ class Network final : public CongestionOracle {
   std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
   std::vector<LinkWiring> link_wirings_;
   std::vector<TerminalWiring> terminal_wirings_;
+  // Active-set flags; channels hold pointers into these, so they are sized
+  // once in the constructor and never resized.
+  std::vector<std::uint8_t> router_active_;
+  std::vector<std::uint8_t> terminal_active_;
+  NetworkPerfCounters perf_;
   InvariantChecker* checker_ = nullptr;
   std::uint64_t next_packet_id_ = 1;
   Cycle now_ = 0;

@@ -1,0 +1,104 @@
+// Per-simulation packet storage.
+//
+// Every flit of a packet used to carry a shared_ptr<Packet>, so copying a
+// flit through a channel or crossbar bumped an atomic refcount and the last
+// eject paid a heap free. The arena replaces that with a 32-bit handle into
+// per-simulation slab storage: flits are trivially copyable, packet metadata
+// is allocated from a free list (no heap traffic once the slabs are warm),
+// and ownership is explicit -- the packet is released exactly once, when its
+// tail flit leaves the network at the destination terminal.
+//
+// Slabs are chunked so existing Packet addresses stay stable while the arena
+// grows (references obtained from get() survive concurrent allocate()s).
+// Explicit ownership also turns dropped tail flits -- which shared_ptr
+// silently papered over as mere leaks -- into checkable bugs: in debug
+// builds, release() verifies the handle is live, and the simulation driver
+// asserts the arena is empty once the network has drained.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "noc/types.hpp"
+
+namespace nocalloc::noc {
+
+// PacketHandle / kInvalidPacket live in noc/types.hpp next to Flit.
+
+class PacketArena {
+ public:
+  /// Allocates a slot and value-initializes it. O(1); heap-allocates only
+  /// when the free list is exhausted (a new slab every kChunkSize packets).
+  PacketHandle allocate() {
+    if (free_.empty()) grow();
+    const PacketHandle h = free_.back();
+    free_.pop_back();
+#if NOCALLOC_DCHECK_ENABLED
+    live_flag_[h] = 1;
+#endif
+    ++live_;
+    if (live_ > high_water_) high_water_ = live_;
+    get(h) = Packet{};
+    return h;
+  }
+
+  /// Returns a slot to the free list. Exactly one release per allocate;
+  /// double releases are caught in debug builds.
+  void release(PacketHandle h) {
+    NOCALLOC_DCHECK(h < capacity());
+#if NOCALLOC_DCHECK_ENABLED
+    NOCALLOC_DCHECK(live_flag_[h] == 1);
+    live_flag_[h] = 0;
+#endif
+    NOCALLOC_DCHECK(live_ > 0);
+    --live_;
+    free_.push_back(h);
+  }
+
+  Packet& get(PacketHandle h) {
+    NOCALLOC_DCHECK(h < capacity());
+    return chunks_[h / kChunkSize][h % kChunkSize];
+  }
+  const Packet& get(PacketHandle h) const {
+    NOCALLOC_DCHECK(h < capacity());
+    return chunks_[h / kChunkSize][h % kChunkSize];
+  }
+
+  /// Packets currently allocated. Zero once the network has drained -- any
+  /// residue is a dropped tail flit.
+  std::size_t live() const { return live_; }
+
+  /// Peak simultaneous live packets over the arena's lifetime.
+  std::size_t high_water() const { return high_water_; }
+
+  std::size_t capacity() const { return chunks_.size() * kChunkSize; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 512;
+
+  void grow() {
+    const std::size_t base = capacity();
+    chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+    // Reserving for every slot keeps release() allocation-free forever.
+    free_.reserve(base + kChunkSize);
+    for (std::size_t i = kChunkSize; i-- > 0;) {
+      free_.push_back(static_cast<PacketHandle>(base + i));
+    }
+#if NOCALLOC_DCHECK_ENABLED
+    live_flag_.resize(base + kChunkSize, 0);
+#endif
+  }
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<PacketHandle> free_;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+  // Unconditional member (only *used* under NOCALLOC_DCHECK_ENABLED) so the
+  // arena's layout -- and that of every object embedding it -- is identical
+  // across debug and release translation units.
+  std::vector<std::uint8_t> live_flag_;
+};
+
+}  // namespace nocalloc::noc

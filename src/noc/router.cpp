@@ -6,22 +6,39 @@
 
 namespace nocalloc::noc {
 
-Router::Router(int id, const RouterConfig& cfg, RoutingFunction& routing)
+Router::Router(int id, const RouterConfig& cfg, RoutingFunction& routing,
+               PacketArena& arena)
     : id_(id),
       cfg_(cfg),
       routing_(routing),
+      arena_(&arena),
       vcs_(cfg.partition.total_vcs()),
       input_vcs_(cfg.ports * vcs_),
       output_vcs_(cfg.ports * vcs_),
+      wait_mask_(bits::word_count(cfg.ports * vcs_), 0),
+      active_mask_(bits::word_count(cfg.ports * vcs_), 0),
       flits_in_(cfg.ports, nullptr),
       credits_out_(cfg.ports, nullptr),
       flits_out_(cfg.ports, nullptr),
       credits_in_(cfg.ports, nullptr),
       downstream_(cfg.ports, -1),
-      xbar_(cfg.ports),
-      credit_out_q_(cfg.ports) {
+      vreq_(cfg.ports * vcs_),
+      nonspec_req_(cfg.ports * vcs_),
+      spec_req_(cfg.ports * vcs_) {
   NOCALLOC_CHECK(cfg.ports > 0 && cfg.buffer_depth > 0);
+  for (auto& ivc : input_vcs_) ivc.buffer.reset_capacity(cfg.buffer_depth);
   for (auto& ovc : output_vcs_) ovc.credits = cfg.buffer_depth;
+
+  const std::size_t total = cfg.ports * vcs_;
+  // Pre-size every scratch request's candidate mask so the per-cycle
+  // vc_mask.assign() only rewrites bytes and never allocates, even for input
+  // VCs first touched long after warmup.
+  for (auto& r : vreq_) r.vc_mask.assign(vcs_, 0);
+  vgrant_.reserve(total);
+  sw_grants_.reserve(cfg.ports);
+  spec_grants_.reserve(cfg.ports);
+  touched_wait_.reserve(total);
+  touched_nonspec_.reserve(total);
 
   VcAllocatorConfig va{cfg.ports, cfg.partition, cfg.vc_alloc_kind, cfg.vc_arb,
                        /*sparse=*/true};
@@ -54,163 +71,202 @@ void Router::attach_output(int port, Channel<Flit>* flits_out,
   downstream_[static_cast<std::size_t>(port)] = downstream_router;
 }
 
-void Router::start_packet(InputVc& ivc, const Flit& head) {
-  NOCALLOC_CHECK(head.head);
-  ivc.state = VcState::kWaitVc;
+void Router::set_vc_state(std::size_t idx, VcState state) {
+  input_vcs_[idx].state = state;
+  const std::size_t w = bits::word_of(idx);
+  const bits::Word b = bits::bit(idx);
+  if (state == VcState::kWaitVc) {
+    wait_mask_[w] |= b;
+  } else {
+    wait_mask_[w] &= ~b;
+  }
+  if (state == VcState::kActive) {
+    active_mask_[w] |= b;
+  } else {
+    active_mask_[w] &= ~b;
+  }
+}
+
+void Router::start_packet(std::size_t idx, const Flit& head) {
+  NOCALLOC_DCHECK(head.head);
+  InputVc& ivc = input_vcs_[idx];
+  set_vc_state(idx, VcState::kWaitVc);
   ivc.route = head.route;
   ivc.out_vc = -1;
-  NOCALLOC_CHECK(ivc.route.out_port >= 0 &&
+  NOCALLOC_DCHECK(ivc.route.out_port >= 0 &&
                  static_cast<std::size_t>(ivc.route.out_port) < cfg_.ports);
 }
 
 void Router::receive(Cycle now) {
   for (std::size_t p = 0; p < cfg_.ports; ++p) {
     if (flits_in_[p] != nullptr) {
-      if (auto flit = flits_in_[p]->receive(now)) {
+      // peek/pop moves the flit straight from the channel pipe into the VC
+      // ring buffer, skipping the std::optional intermediate copy.
+      if (Flit* flit = flits_in_[p]->peek(now)) {
         // The flit travels on the VC the upstream router assigned; with
         // credit-based flow control a free slot is guaranteed.
-        NOCALLOC_CHECK(flit->vc >= 0 &&
+        NOCALLOC_DCHECK(flit->vc >= 0 &&
                        static_cast<std::size_t>(flit->vc) < vcs_);
-        InputVc& ivc = input_vc(p, static_cast<std::size_t>(flit->vc));
-        NOCALLOC_CHECK(ivc.buffer.size() < cfg_.buffer_depth);
+        const std::size_t idx = p * vcs_ + static_cast<std::size_t>(flit->vc);
+        InputVc& ivc = input_vcs_[idx];
+        NOCALLOC_DCHECK(ivc.buffer.size() < cfg_.buffer_depth);
         // A head that lands at the front of an idle VC starts a packet now;
         // otherwise it waits behind the packet(s) already buffered.
         const bool at_front = ivc.buffer.empty();
         ivc.buffer.push_back(std::move(*flit));
+        flits_in_[p]->pop();
         if (at_front && ivc.state == VcState::kIdle) {
-          start_packet(ivc, ivc.buffer.front());
+          start_packet(idx, ivc.buffer.front());
         }
       }
     }
     if (credits_in_[p] != nullptr) {
-      if (auto credit = credits_in_[p]->receive(now)) {
+      if (const Credit* credit = credits_in_[p]->peek(now)) {
         OutputVc& ovc = output_vc(p, static_cast<std::size_t>(credit->vc));
-        NOCALLOC_CHECK(ovc.credits < cfg_.buffer_depth);
+        NOCALLOC_DCHECK(ovc.credits < cfg_.buffer_depth);
         ++ovc.credits;
+        credits_in_[p]->pop();
       }
     }
   }
 }
 
 void Router::allocate(Cycle now) {
-  const std::size_t total = cfg_.ports * vcs_;
-
-  // Snapshot pre-VA state: VCs that are still waiting for an output VC bid
-  // speculatively; VCs that already hold one bid non-speculatively.
-  std::vector<std::uint8_t> waiting(total, 0);
-
-  // --- VC allocation ------------------------------------------------------
-  std::vector<VcRequest> vreq(total);
-  for (std::size_t p = 0; p < cfg_.ports; ++p) {
-    for (std::size_t v = 0; v < vcs_; ++v) {
-      InputVc& ivc = input_vc(p, v);
-      if (ivc.state != VcState::kWaitVc) continue;
-      NOCALLOC_CHECK(!ivc.buffer.empty() && ivc.buffer.front().head);
-      waiting[p * vcs_ + v] = 1;
-      const Packet& pkt = *ivc.buffer.front().packet;
-      VcRequest& r = vreq[p * vcs_ + v];
-      r.valid = true;
-      r.out_port = ivc.route.out_port;
-      r.vc_mask.assign(vcs_, 0);
-      const std::size_t m = message_class_of(pkt.type);
-      const std::size_t base =
-          cfg_.partition.class_base(m, ivc.route.resource_class);
-      for (std::size_t c = 0; c < cfg_.partition.vcs_per_class(); ++c) {
-        const std::size_t w = base + c;
-        if (!output_vc(static_cast<std::size_t>(r.out_port), w).allocated) {
-          r.vc_mask[w] = 1;
-        }
-      }
-    }
+  // No input VC holds a packet, so this cycle cannot produce any request.
+  // Skip the allocator calls entirely; next_alloc_cycle_ stays behind so the
+  // catch-up below accounts for this cycle once there is work again. (An
+  // all-empty allocate() is equivalent to advance_priority(1) for every
+  // allocator architecture: wavefront diagonals rotate unconditionally,
+  // separable arbiters and pre-selects update only on grants.) With a
+  // checker attached the allocators still run on empty cycles, so broken
+  // allocators that grant without requests are caught even in idle networks.
+  if (checker_ == nullptr &&
+      !bits::any(wait_mask_.data(), wait_mask_.size()) &&
+      !bits::any(active_mask_.data(), active_mask_.size())) {
+    return;
   }
 
-  std::vector<int> vgrant;
-  vc_alloc_->allocate(vreq, vgrant);
-  if (checker_ != nullptr) checker_->on_vc_alloc(*this, now, vreq, vgrant);
+  // Catch the allocators' rotating priority state up over cycles this
+  // router was skipped (or had no packets), so grant sequences stay
+  // bit-identical to a densely stepped run.
+  if (now > next_alloc_cycle_) {
+    const std::uint64_t gap = now - next_alloc_cycle_;
+    vc_alloc_->advance_priority(gap);
+    if (sw_alloc_ != nullptr) sw_alloc_->advance_priority(gap);
+    if (spec_alloc_ != nullptr) spec_alloc_->advance_priority(gap);
+  }
+  next_alloc_cycle_ = now + 1;
+
+  // --- VC allocation requests (heads still waiting for an output VC) -------
+  // Waiting heads also bid speculatively for the switch in the same cycle.
+  bits::for_each_set(wait_mask_.data(), wait_mask_.size(), [&](std::size_t i) {
+    InputVc& ivc = input_vcs_[i];
+    NOCALLOC_DCHECK(!ivc.buffer.empty() && ivc.buffer.front().head);
+    const Packet& pkt = arena_->get(ivc.buffer.front().packet);
+    VcRequest& r = vreq_[i];
+    r.valid = true;
+    r.out_port = ivc.route.out_port;
+    r.vc_mask.assign(vcs_, 0);
+    const std::size_t m = message_class_of(pkt.type);
+    const std::size_t base =
+        cfg_.partition.class_base(m, ivc.route.resource_class);
+    for (std::size_t c = 0; c < cfg_.partition.vcs_per_class(); ++c) {
+      const std::size_t w = base + c;
+      if (!output_vc(static_cast<std::size_t>(r.out_port), w).allocated) {
+        r.vc_mask[w] = 1;
+      }
+    }
+    if (cfg_.spec != SpecMode::kNonSpeculative) {
+      spec_req_[i] = {true, ivc.route.out_port};
+    }
+    touched_wait_.push_back(i);
+  });
+
+  vc_alloc_->allocate(vreq_, vgrant_);
+  if (checker_ != nullptr) checker_->on_vc_alloc(*this, now, vreq_, vgrant_);
 
   // --- Switch allocation requests (from pre-VA state) ----------------------
-  std::vector<SwitchRequest> nonspec(total);
-  std::vector<SwitchRequest> spec(total);
-  for (std::size_t p = 0; p < cfg_.ports; ++p) {
-    for (std::size_t v = 0; v < vcs_; ++v) {
-      const std::size_t i = p * vcs_ + v;
-      InputVc& ivc = input_vc(p, v);
-      if (waiting[i]) {
-        if (cfg_.spec != SpecMode::kNonSpeculative) {
-          spec[i] = {true, ivc.route.out_port};
-        }
-        continue;
-      }
-      if (ivc.state != VcState::kActive || ivc.buffer.empty()) continue;
-      const OutputVc& ovc = output_vc(
-          static_cast<std::size_t>(ivc.route.out_port),
-          static_cast<std::size_t>(ivc.out_vc));
-      if (ovc.credits == 0) continue;  // no downstream slot: do not bid
-      nonspec[i] = {true, ivc.route.out_port};
-    }
-  }
+  bits::for_each_set(
+      active_mask_.data(), active_mask_.size(), [&](std::size_t i) {
+        InputVc& ivc = input_vcs_[i];
+        if (ivc.buffer.empty()) return;
+        const OutputVc& ovc =
+            output_vc(static_cast<std::size_t>(ivc.route.out_port),
+                      static_cast<std::size_t>(ivc.out_vc));
+        if (ovc.credits == 0) return;  // no downstream slot: do not bid
+        nonspec_req_[i] = {true, ivc.route.out_port};
+        touched_nonspec_.push_back(i);
+      });
 
   // --- Commit VC grants (heads acquire their output VC this cycle) ---------
-  for (std::size_t i = 0; i < total; ++i) {
-    if (vgrant[i] < 0) continue;
+  for (const std::size_t i : touched_wait_) {
+    if (vgrant_[i] < 0) continue;
     InputVc& ivc = input_vcs_[i];
-    NOCALLOC_CHECK(ivc.state == VcState::kWaitVc);
-    const std::size_t out_vc = static_cast<std::size_t>(vgrant[i]) % vcs_;
+    const std::size_t out_vc = static_cast<std::size_t>(vgrant_[i]) % vcs_;
     OutputVc& ovc =
         output_vc(static_cast<std::size_t>(ivc.route.out_port), out_vc);
-    NOCALLOC_CHECK(!ovc.allocated);
+    NOCALLOC_DCHECK(!ovc.allocated);
     ovc.allocated = true;
     ivc.out_vc = static_cast<int>(out_vc);
-    ivc.state = VcState::kActive;
+    set_vc_state(i, VcState::kActive);
     ++stats_.vc_allocs;
   }
 
   // --- Switch allocation and commit ----------------------------------------
   if (cfg_.spec == SpecMode::kNonSpeculative) {
-    std::vector<SwitchGrant> grants;
-    sw_alloc_->allocate(nonspec, grants);
+    sw_alloc_->allocate(nonspec_req_, sw_grants_);
     if (checker_ != nullptr) {
-      checker_->on_sw_alloc(*this, now, nonspec, grants);
+      checker_->on_sw_alloc(*this, now, nonspec_req_, sw_grants_);
     }
     for (std::size_t p = 0; p < cfg_.ports; ++p) {
-      if (grants[p].granted()) {
-        commit_grant(p, static_cast<std::size_t>(grants[p].vc), now);
+      if (sw_grants_[p].granted()) {
+        commit_grant(p, static_cast<std::size_t>(sw_grants_[p].vc), now);
       }
     }
-    return;
+  } else {
+    spec_alloc_->allocate(nonspec_req_, spec_req_, spec_grants_);
+    if (checker_ != nullptr) {
+      checker_->on_spec_sw_alloc(*this, now, nonspec_req_, spec_req_,
+                                 spec_grants_, cfg_.spec);
+    }
+    for (std::size_t p = 0; p < cfg_.ports; ++p) {
+      const SpecSwitchGrant& g = spec_grants_[p];
+      if (g.nonspec.granted()) {
+        commit_grant(p, static_cast<std::size_t>(g.nonspec.vc), now);
+      } else if (g.spec.granted()) {
+        // A speculative grant only holds if the head also won VC allocation
+        // this cycle and the fresh output VC has a credit available.
+        const std::size_t v = static_cast<std::size_t>(g.spec.vc);
+        InputVc& ivc = input_vc(p, v);
+        const bool va_won = ivc.state == VcState::kActive && ivc.out_vc >= 0;
+        if (va_won &&
+            output_vc(static_cast<std::size_t>(ivc.route.out_port),
+                      static_cast<std::size_t>(ivc.out_vc))
+                    .credits > 0) {
+          commit_grant(p, v, now);
+          ++stats_.spec_grants_used;
+        } else {
+          ++stats_.misspeculations;
+        }
+      }
+    }
   }
 
-  std::vector<SpecSwitchGrant> grants;
-  spec_alloc_->allocate(nonspec, spec, grants);
-  if (checker_ != nullptr) {
-    checker_->on_spec_sw_alloc(*this, now, nonspec, spec, grants, cfg_.spec);
+  // Clear only the request entries this cycle touched, so cleanup cost
+  // tracks traffic rather than ports * vcs.
+  for (const std::size_t i : touched_wait_) {
+    vreq_[i].valid = false;
+    spec_req_[i].valid = false;
   }
-  for (std::size_t p = 0; p < cfg_.ports; ++p) {
-    const SpecSwitchGrant& g = grants[p];
-    if (g.nonspec.granted()) {
-      commit_grant(p, static_cast<std::size_t>(g.nonspec.vc), now);
-    } else if (g.spec.granted()) {
-      // A speculative grant only holds if the head also won VC allocation
-      // this cycle and the fresh output VC has a credit available.
-      const std::size_t v = static_cast<std::size_t>(g.spec.vc);
-      InputVc& ivc = input_vc(p, v);
-      const bool va_won = ivc.state == VcState::kActive && ivc.out_vc >= 0;
-      if (va_won &&
-          output_vc(static_cast<std::size_t>(ivc.route.out_port),
-                    static_cast<std::size_t>(ivc.out_vc))
-                  .credits > 0) {
-        commit_grant(p, v, now);
-        ++stats_.spec_grants_used;
-      } else {
-        ++stats_.misspeculations;
-      }
-    }
-  }
+  for (const std::size_t i : touched_nonspec_) nonspec_req_[i].valid = false;
+  touched_wait_.clear();
+  touched_nonspec_.clear();
 }
 
-void Router::commit_grant(std::size_t port, std::size_t vc, Cycle /*now*/) {
-  InputVc& ivc = input_vc(port, vc);
-  NOCALLOC_CHECK(ivc.state == VcState::kActive && !ivc.buffer.empty());
+void Router::commit_grant(std::size_t port, std::size_t vc, Cycle now) {
+  const std::size_t idx = port * vcs_ + vc;
+  InputVc& ivc = input_vcs_[idx];
+  NOCALLOC_DCHECK(ivc.state == VcState::kActive && !ivc.buffer.empty());
 
   Flit flit = std::move(ivc.buffer.front());
   ivc.buffer.pop_front();
@@ -218,7 +274,7 @@ void Router::commit_grant(std::size_t port, std::size_t vc, Cycle /*now*/) {
   const std::size_t out_port = static_cast<std::size_t>(ivc.route.out_port);
   const std::size_t out_vc = static_cast<std::size_t>(ivc.out_vc);
   OutputVc& ovc = output_vc(out_port, out_vc);
-  NOCALLOC_CHECK(ovc.credits > 0);
+  NOCALLOC_DCHECK(ovc.credits > 0);
   --ovc.credits;
 
   flit.vc = static_cast<int>(out_vc);
@@ -228,46 +284,48 @@ void Router::commit_grant(std::size_t port, std::size_t vc, Cycle /*now*/) {
     // no route.
     const int peer = downstream_[out_port];
     if (peer >= 0) {
-      flit.route =
-          routing_.route(peer, *flit.packet, ivc.route.resource_class);
+      flit.route = routing_.route(peer, arena_->get(flit.packet),
+                                  ivc.route.resource_class);
     } else {
       flit.route = RouteInfo{};
     }
   }
 
-  NOCALLOC_CHECK(xbar_[out_port].empty());  // one flit per output per cycle
-  xbar_[out_port].push_back(std::move(flit));
+  // Switch traversal folded into the wire: the grant goes straight into the
+  // output channel, whose latency carries the extra ST cycle. SA grants form
+  // a port matching (at most one grant per output port per cycle), which is
+  // exactly the channel's one-send-per-cycle protocol.
+  const bool tail = flit.tail;
+  NOCALLOC_DCHECK(flits_out_[out_port] != nullptr);
+  flits_out_[out_port]->send(std::move(flit), now);
   ++stats_.flits_routed;
 
-  // The freed buffer slot is credited upstream at the next transmit.
+  // The freed buffer slot is credited upstream on the mirror channel.
   if (credits_out_[port] != nullptr) {
-    credit_out_q_[port].push_back(Credit{static_cast<int>(vc)});
+    credits_out_[port]->send(Credit{static_cast<int>(vc)}, now);
   }
 
-  if (xbar_[out_port].back().tail) {
+  if (tail) {
     ovc.allocated = false;
     ivc.out_vc = -1;
     if (!ivc.buffer.empty()) {
-      start_packet(ivc, ivc.buffer.front());
+      start_packet(idx, ivc.buffer.front());
     } else {
-      ivc.state = VcState::kIdle;
+      set_vc_state(idx, VcState::kIdle);
     }
   }
 }
 
-void Router::transmit(Cycle now) {
-  for (std::size_t p = 0; p < cfg_.ports; ++p) {
-    if (!xbar_[p].empty()) {
-      NOCALLOC_CHECK(flits_out_[p] != nullptr);
-      flits_out_[p]->send(std::move(xbar_[p].front()), now);
-      xbar_[p].clear();
-    }
-    if (!credit_out_q_[p].empty()) {
-      NOCALLOC_CHECK(credits_out_[p] != nullptr);
-      credits_out_[p]->send(credit_out_q_[p].front(), now);
-      credit_out_q_[p].erase(credit_out_q_[p].begin());
-    }
+bool Router::has_pending_work() const {
+  if (bits::any(wait_mask_.data(), wait_mask_.size()) ||
+      bits::any(active_mask_.data(), active_mask_.size())) {
+    return true;
   }
+  for (std::size_t p = 0; p < cfg_.ports; ++p) {
+    if (flits_in_[p] != nullptr && !flits_in_[p]->empty()) return true;
+    if (credits_in_[p] != nullptr && !credits_in_[p]->empty()) return true;
+  }
+  return false;
 }
 
 std::size_t Router::output_congestion(int out_port) const {
@@ -282,7 +340,6 @@ std::size_t Router::output_congestion(int out_port) const {
 std::size_t Router::buffered_flits() const {
   std::size_t n = 0;
   for (const auto& ivc : input_vcs_) n += ivc.buffer.size();
-  for (const auto& staged : xbar_) n += staged.size();
   return n;
 }
 

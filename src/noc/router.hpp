@@ -6,21 +6,38 @@
 // computed while a head flit traverses this one).
 //
 // Cycle protocol, driven by the Network in this order for every router:
-//   transmit(t)  -- flits granted at t-1 leave through the crossbar into the
-//                   output channels; lookahead routes are attached to heads;
-//                   freed buffer slots are credited upstream
 //   allocate(t)  -- VA for waiting heads, SA (speculative or not) for ready
-//                   flits; winners move into the crossbar register
+//                   flits; winners traverse the crossbar and are written
+//                   straight into the output channels (lookahead routes
+//                   attached to heads, freed buffer slots credited upstream)
 //   receive(t)   -- arriving flits enter input VC buffers, arriving credits
 //                   replenish output VC counters (visible from t+1)
+//
+// The switch-traversal pipeline stage is folded into the wires: a grant at
+// cycle t used to sit in a crossbar register and enter the channel at t+1;
+// instead the channel latency of every router-driven link is one higher and
+// the flit is sent at t, arriving on the exact same cycle with two fewer
+// copies and no per-port staging state.
+//
+// The per-cycle path is allocation-free in steady state: input VC buffers
+// are fixed-capacity rings, the crossbar and credit-return registers are
+// one-deep slots, and the allocator request/grant vectors are reused member
+// scratch. Occupied input VCs are tracked in packed bitmasks (wait_mask_ /
+// active_mask_) so allocate() touches only VCs that actually hold packets,
+// and the Network's active-set scheduler can skip the router entirely while
+// it is quiescent. Allocators with cycle-rotating priority state (wavefront
+// diagonals) are caught up over skipped cycles via advance_priority(), which
+// keeps the results bit-identical to a densely stepped run.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/bitops.hpp"
+#include "common/ring.hpp"
 #include "noc/channel.hpp"
+#include "noc/packet_arena.hpp"
 #include "noc/routing.hpp"
 #include "noc/types.hpp"
 #include "sa/speculative_switch_allocator.hpp"
@@ -62,7 +79,8 @@ struct RouterStats {
 
 class Router {
  public:
-  Router(int id, const RouterConfig& cfg, RoutingFunction& routing);
+  Router(int id, const RouterConfig& cfg, RoutingFunction& routing,
+         PacketArena& arena);
 
   int id() const { return id_; }
   std::size_t ports() const { return cfg_.ports; }
@@ -80,9 +98,15 @@ class Router {
   void attach_output(int port, Channel<Flit>* flits_out,
                      Channel<Credit>* credits_in, int downstream_router);
 
-  void transmit(Cycle now);
   void allocate(Cycle now);
   void receive(Cycle now);
+
+  /// True while the router can still make progress on its own: buffered
+  /// packets or in-flight items on its incoming channels. The Network's
+  /// active-set scheduler
+  /// retires a router from the dirty set when this is false; any later
+  /// channel send towards it re-wakes it via the channel consumer flag.
+  bool has_pending_work() const;
 
   /// Buffer slots claimed downstream of `out_port` (sum of consumed credits
   /// over its VCs) -- the congestion estimate UGAL reads.
@@ -100,7 +124,7 @@ class Router {
   enum class VcState : std::uint8_t { kIdle, kWaitVc, kActive };
 
   struct InputVc {
-    std::deque<Flit> buffer;
+    FixedRing<Flit> buffer;
     VcState state = VcState::kIdle;
     RouteInfo route;   // valid in kWaitVc/kActive
     int out_vc = -1;   // granted output VC (local index), valid in kActive
@@ -118,21 +142,31 @@ class Router {
     return output_vcs_[port * vcs_ + vc];
   }
 
+  /// Moves input VC `idx` to `state`, keeping the packed occupancy masks in
+  /// sync (bit idx of wait_mask_ iff kWaitVc, of active_mask_ iff kActive).
+  void set_vc_state(std::size_t idx, VcState state);
+
   /// Activates a waiting head: called when a head flit reaches the front of
   /// an idle VC's buffer.
-  void start_packet(InputVc& ivc, const Flit& head);
+  void start_packet(std::size_t idx, const Flit& head);
 
   /// Commits one switch grant: pops the flit, updates credits/VC state and
-  /// stages the flit in the crossbar register.
+  /// sends the flit into its output channel (plus the freed-slot credit
+  /// upstream).
   void commit_grant(std::size_t port, std::size_t vc, Cycle now);
 
   int id_;
   RouterConfig cfg_;
   RoutingFunction& routing_;
+  PacketArena* arena_;
   std::size_t vcs_;
 
   std::vector<InputVc> input_vcs_;    // [port * V + vc]
   std::vector<OutputVc> output_vcs_;  // [port * V + vc]
+
+  // Packed occupancy masks over input VC indices (port * V + vc).
+  std::vector<bits::Word> wait_mask_;    // state == kWaitVc
+  std::vector<bits::Word> active_mask_;  // state == kActive
 
   std::vector<Channel<Flit>*> flits_in_;
   std::vector<Channel<Credit>*> credits_out_;
@@ -140,9 +174,22 @@ class Router {
   std::vector<Channel<Credit>*> credits_in_;
   std::vector<int> downstream_;
 
-  // Crossbar register: flits granted in allocate(t), sent in transmit(t+1).
-  std::vector<std::vector<Flit>> xbar_;          // per output port
-  std::vector<std::vector<Credit>> credit_out_q_;  // per input port
+  // Member scratch for allocate(): request/grant vectors sized once and
+  // reused every cycle. Entries are cleared via the touched-index lists so
+  // cleanup is proportional to the cycle's traffic, not to ports * vcs.
+  std::vector<VcRequest> vreq_;
+  std::vector<int> vgrant_;
+  std::vector<SwitchRequest> nonspec_req_;
+  std::vector<SwitchRequest> spec_req_;
+  std::vector<SwitchGrant> sw_grants_;
+  std::vector<SpecSwitchGrant> spec_grants_;
+  std::vector<std::size_t> touched_wait_;
+  std::vector<std::size_t> touched_nonspec_;
+
+  // The cycle the next allocate() call is expected at. When the active-set
+  // scheduler skipped cycles, allocate() first advances the allocators'
+  // rotating priority state by the gap so results match a dense run.
+  Cycle next_alloc_cycle_ = 0;
 
   std::unique_ptr<VcAllocator> vc_alloc_;
   std::unique_ptr<SwitchAllocator> sw_alloc_;               // non-speculative

@@ -104,9 +104,9 @@ SimResult run_simulation(const SimConfig& cfg) {
     if (is_request(pkt.type)) {
       // The destination answers on the next cycle (Sec. 3.2); the reply
       // inherits the measured flag so transactions are tracked end to end.
-      auto reply = make_reply(pkt, now, reply_id++);
-      reply->measured = pkt.measured && measuring;
-      net_ptr->terminal(pkt.dst_terminal).enqueue_reply(std::move(reply));
+      Packet reply = make_reply(pkt, now, reply_id++);
+      reply.measured = pkt.measured && measuring;
+      net_ptr->terminal(pkt.dst_terminal).enqueue_reply(reply);
     }
     if (pkt.measured) {
       packet_latency.add(static_cast<double>(now - pkt.created));
@@ -137,6 +137,10 @@ SimResult run_simulation(const SimConfig& cfg) {
   // under steady-state conditions.
   for (std::size_t i = 0; i < cfg.drain_cycles; ++i) net.step();
 
+  // Every drained packet must have returned its arena slot; a leak here
+  // would eventually exhaust the arena in long sweeps.
+  if (net.in_flight() == 0) NOCALLOC_DCHECK(net.arena().live() == 0);
+
   SimResult result;
   result.avg_packet_latency = packet_latency.mean();
   result.avg_network_latency = network_latency.mean();
@@ -163,6 +167,10 @@ SimResult run_simulation(const SimConfig& cfg) {
         static_cast<double>(ugal->nonminimal_decisions()) /
         static_cast<double>(ugal->decisions());
   }
+  result.cycles_simulated = net.perf().cycles;
+  result.router_steps_total = net.perf().router_steps_total;
+  result.router_steps_skipped = net.perf().router_steps_skipped;
+  result.arena_high_water = net.arena().high_water();
   return result;
 }
 

@@ -67,6 +67,11 @@ struct SimResult {
   /// Fraction of UGAL decisions that chose the non-minimal path (fbfly
   /// only; 0 on the mesh).
   double ugal_nonminimal_fraction = 0.0;
+  // Work-proportionality counters (active-set scheduler + packet arena).
+  std::uint64_t cycles_simulated = 0;      // warmup + measure + drain
+  std::uint64_t router_steps_total = 0;    // routers x cycles
+  std::uint64_t router_steps_skipped = 0;  // skipped as quiescent
+  std::size_t arena_high_water = 0;        // peak live packets in the arena
 };
 
 /// Builds the V partition for a design point: M = 2 message classes, R = 1

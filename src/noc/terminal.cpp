@@ -8,7 +8,7 @@ namespace nocalloc::noc {
 
 Terminal::Terminal(int id, int router, const VcPartition& partition,
                    std::size_t buffer_depth, RoutingFunction& routing,
-                   std::unique_ptr<TrafficSource> source,
+                   std::unique_ptr<TrafficSource> source, PacketArena& arena,
                    EjectCallback on_eject)
     : id_(id),
       router_(router),
@@ -16,6 +16,7 @@ Terminal::Terminal(int id, int router, const VcPartition& partition,
       buffer_depth_(buffer_depth),
       routing_(routing),
       source_(std::move(source)),
+      arena_(&arena),
       on_eject_(std::move(on_eject)),
       credits_(partition.total_vcs(), buffer_depth) {
   NOCALLOC_CHECK(source_ != nullptr);
@@ -38,22 +39,24 @@ void Terminal::inject(Cycle now) {
   // (the source queue is unbounded; its waiting time is part of packet
   // latency, as in the paper's latency-vs-injection-rate curves).
   if (generate_) {
-    if (auto pkt = source_->maybe_generate(now, *next_id_)) {
-      pkt->measured = measuring_;
-      request_queue_.push_back(std::move(pkt));
+    if (source_->maybe_generate(now, *next_id_, scratch_)) {
+      scratch_.measured = measuring_;
+      const PacketHandle h = arena_->allocate();
+      arena_->get(h) = scratch_;
+      request_queue_.push_back(h);
     }
   }
 
-  if (!current_) {
+  if (current_ == kInvalidPacket) {
     // Replies take priority over new requests (Sec. 3.2).
-    std::deque<std::shared_ptr<Packet>>& q =
+    GrowRing<PacketHandle>& q =
         !reply_queue_.empty() ? reply_queue_ : request_queue_;
     if (q.empty()) return;
 
     // Pick the injection VC: the freest VC of the packet's starting class.
-    std::shared_ptr<Packet>& head = q.front();
-    const std::size_t klass = routing_.at_injection(router_, *head);
-    const std::size_t m = message_class_of(head->type);
+    Packet& head = arena_->get(q.front());
+    const std::size_t klass = routing_.at_injection(router_, head);
+    const std::size_t m = message_class_of(head.type);
     const std::size_t base = partition_.class_base(m, klass);
     int best_vc = -1;
     std::size_t best_credits = 0;
@@ -66,12 +69,12 @@ void Terminal::inject(Cycle now) {
     }
     if (best_vc < 0) return;  // all VCs of the class are backpressured
 
-    current_ = std::move(head);
+    current_ = q.front();
     q.pop_front();
     current_sent_ = 0;
     current_vc_ = best_vc;
     current_class_ = klass;
-    current_->injected = now;
+    head.injected = now;
   }
 
   if (credits_[static_cast<std::size_t>(current_vc_)] == 0) return;
@@ -79,23 +82,24 @@ void Terminal::inject(Cycle now) {
 }
 
 void Terminal::stage_flit(Cycle now) {
+  Packet& pkt = arena_->get(current_);
   Flit flit;
   flit.packet = current_;
   flit.index = current_sent_;
   flit.head = current_sent_ == 0;
-  flit.tail = current_sent_ + 1 == current_->length;
+  flit.tail = current_sent_ + 1 == pkt.length;
   flit.vc = current_vc_;
   if (flit.head) {
     // Lookahead route for the first router.
-    flit.route = routing_.route(router_, *current_, current_class_);
+    flit.route = routing_.route(router_, pkt, current_class_);
   }
 
   --credits_[static_cast<std::size_t>(current_vc_)];
   ++flits_injected_;
   to_router_->send(std::move(flit), now);
 
-  if (++current_sent_ == current_->length) {
-    current_.reset();
+  if (++current_sent_ == pkt.length) {
+    current_ = kInvalidPacket;
     current_vc_ = -1;
     current_sent_ = 0;
   }
@@ -103,18 +107,28 @@ void Terminal::stage_flit(Cycle now) {
 
 void Terminal::receive(Cycle now) {
   if (credits_from_router_ != nullptr) {
-    if (auto credit = credits_from_router_->receive(now)) {
+    if (const Credit* credit = credits_from_router_->peek(now)) {
       const auto vc = static_cast<std::size_t>(credit->vc);
-      NOCALLOC_CHECK(credits_[vc] < buffer_depth_);
+      NOCALLOC_DCHECK(credits_[vc] < buffer_depth_);
       ++credits_[vc];
+      credits_from_router_->pop();
     }
   }
   if (from_router_ != nullptr) {
-    if (auto flit = from_router_->receive(now)) {
+    if (const Flit* flit = from_router_->peek(now)) {
       // Ejection consumes the flit immediately and frees the slot.
       ++flits_ejected_;
       credits_to_router_->send(Credit{flit->vc}, now);
-      if (flit->tail) on_eject_(*flit->packet, now);
+      const bool tail = flit->tail;
+      const PacketHandle handle = flit->packet;
+      from_router_->pop();
+      if (tail) {
+        // Arena chunks have stable addresses, so this reference survives an
+        // allocation the eject handler may perform (e.g. enqueue_reply).
+        const Packet& pkt = arena_->get(handle);
+        on_eject_(pkt, now);
+        arena_->release(handle);
+      }
     }
   }
 }

@@ -4,11 +4,12 @@
 // requests, Sec. 3.2).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 
+#include "common/ring.hpp"
 #include "noc/channel.hpp"
+#include "noc/packet_arena.hpp"
 #include "noc/routing.hpp"
 #include "noc/traffic.hpp"
 #include "noc/types.hpp"
@@ -20,12 +21,15 @@ class InvariantChecker;
 
 class Terminal {
  public:
-  /// Invoked when a packet's tail flit is ejected at this terminal.
+  /// Invoked when a packet's tail flit is ejected at this terminal. The
+  /// packet reference is valid only for the duration of the call; the
+  /// terminal releases the arena slot afterwards.
   using EjectCallback = std::function<void(const Packet&, Cycle)>;
 
   Terminal(int id, int router, const VcPartition& partition,
            std::size_t buffer_depth, RoutingFunction& routing,
-           std::unique_ptr<TrafficSource> source, EjectCallback on_eject);
+           std::unique_ptr<TrafficSource> source, PacketArena& arena,
+           EjectCallback on_eject);
 
   int id() const { return id_; }
 
@@ -42,7 +46,7 @@ class Terminal {
   /// Packets waiting (or in flight) in the source queues.
   std::size_t queued_packets() const {
     return reply_queue_.size() + request_queue_.size() +
-           (current_ ? 1 : 0);
+           (current_ != kInvalidPacket ? 1 : 0);
   }
 
   /// Cumulative flits handed to the network.
@@ -58,9 +62,12 @@ class Terminal {
   void set_measuring(bool measuring) { measuring_ = measuring; }
 
   /// Queues a reply packet (served before new requests, Sec. 3.2). Called
-  /// by the eject handler when a request transaction completes here.
-  void enqueue_reply(std::shared_ptr<Packet> reply) {
-    reply_queue_.push_back(std::move(reply));
+  /// by the eject handler when a request transaction completes here; the
+  /// packet is copied into the simulation's arena.
+  void enqueue_reply(const Packet& reply) {
+    const PacketHandle h = arena_->allocate();
+    arena_->get(h) = reply;
+    reply_queue_.push_back(h);
   }
 
   /// Enables/disables new request generation (replies still flow). Used by
@@ -78,6 +85,7 @@ class Terminal {
   std::size_t buffer_depth_;
   RoutingFunction& routing_;
   std::unique_ptr<TrafficSource> source_;
+  PacketArena* arena_;
   EjectCallback on_eject_;
 
   Channel<Flit>* to_router_ = nullptr;
@@ -85,14 +93,16 @@ class Terminal {
   Channel<Flit>* from_router_ = nullptr;
   Channel<Credit>* credits_to_router_ = nullptr;
 
-  std::deque<std::shared_ptr<Packet>> request_queue_;
-  std::deque<std::shared_ptr<Packet>> reply_queue_;
+  GrowRing<PacketHandle> request_queue_;
+  GrowRing<PacketHandle> reply_queue_;
 
   // Packet currently being injected flit by flit.
-  std::shared_ptr<Packet> current_;
+  PacketHandle current_ = kInvalidPacket;
   std::size_t current_sent_ = 0;
   int current_vc_ = -1;
   std::size_t current_class_ = 0;
+
+  Packet scratch_;  // staging buffer for the traffic source's output
 
   std::vector<std::size_t> credits_;  // per router-input VC
 

@@ -81,21 +81,21 @@ TraceSource::TraceSource(int terminal, std::vector<TraceRecord> records)
   }
 }
 
-std::shared_ptr<Packet> TraceSource::maybe_generate(Cycle now,
-                                                    std::uint64_t& next_id) {
+bool TraceSource::maybe_generate(Cycle now, std::uint64_t& next_id,
+                                 Packet& out) {
   // At most one packet per poll; same-cycle records drain on consecutive
   // cycles (their recorded cycle is kept as the creation time, so queueing
   // delay is attributed to the packet, not silently dropped).
-  if (next_ >= records_.size() || records_[next_].cycle > now) return nullptr;
+  if (next_ >= records_.size() || records_[next_].cycle > now) return false;
   const TraceRecord& rec = records_[next_++];
-  auto pkt = std::make_shared<Packet>();
-  pkt->id = next_id++;
-  pkt->type = rec.type;
-  pkt->src_terminal = rec.src;
-  pkt->dst_terminal = rec.dst;
-  pkt->length = packet_length(rec.type);
-  pkt->created = rec.cycle;
-  return pkt;
+  out = Packet{};
+  out.id = next_id++;
+  out.type = rec.type;
+  out.src_terminal = rec.src;
+  out.dst_terminal = rec.dst;
+  out.length = packet_length(rec.type);
+  out.created = rec.cycle;
+  return true;
 }
 
 }  // namespace nocalloc::noc

@@ -63,8 +63,8 @@ class TraceSource final : public TrafficSource {
  public:
   TraceSource(int terminal, std::vector<TraceRecord> records);
 
-  std::shared_ptr<Packet> maybe_generate(Cycle now,
-                                         std::uint64_t& next_id) override;
+  bool maybe_generate(Cycle now, std::uint64_t& next_id,
+                      Packet& out) override;
 
   std::size_t remaining() const { return records_.size() - next_; }
 

@@ -54,33 +54,32 @@ int traffic_destination(TrafficPattern pattern, int src,
   NOCALLOC_CHECK(false);
 }
 
-std::shared_ptr<Packet> RequestGenerator::maybe_generate(
-    Cycle now, std::uint64_t& next_id) {
-  if (!rng_.next_bool(request_rate_)) return nullptr;
-  auto pkt = std::make_shared<Packet>();
-  pkt->id = next_id++;
-  pkt->type = rng_.next_bool(0.5) ? PacketType::kReadRequest
-                                  : PacketType::kWriteRequest;
-  pkt->src_terminal = terminal_;
-  pkt->dst_terminal =
+bool RequestGenerator::maybe_generate(Cycle now, std::uint64_t& next_id,
+                                      Packet& out) {
+  if (!rng_.next_bool(request_rate_)) return false;
+  out = Packet{};
+  out.id = next_id++;
+  out.type = rng_.next_bool(0.5) ? PacketType::kReadRequest
+                                 : PacketType::kWriteRequest;
+  out.src_terminal = terminal_;
+  out.dst_terminal =
       traffic_destination(pattern_, terminal_, num_terminals_, rng_);
-  pkt->length = packet_length(pkt->type);
-  pkt->created = now;
-  return pkt;
+  out.length = packet_length(out.type);
+  out.created = now;
+  return true;
 }
 
-std::shared_ptr<Packet> make_reply(const Packet& request, Cycle now,
-                                   std::uint64_t id) {
+Packet make_reply(const Packet& request, Cycle now, std::uint64_t id) {
   NOCALLOC_CHECK(is_request(request.type));
-  auto pkt = std::make_shared<Packet>();
-  pkt->id = id;
-  pkt->type = request.type == PacketType::kReadRequest
-                  ? PacketType::kReadReply
-                  : PacketType::kWriteReply;
-  pkt->src_terminal = request.dst_terminal;
-  pkt->dst_terminal = request.src_terminal;
-  pkt->length = packet_length(pkt->type);
-  pkt->created = now;
+  Packet pkt;
+  pkt.id = id;
+  pkt.type = request.type == PacketType::kReadRequest
+                 ? PacketType::kReadReply
+                 : PacketType::kWriteReply;
+  pkt.src_terminal = request.dst_terminal;
+  pkt.dst_terminal = request.src_terminal;
+  pkt.length = packet_length(pkt.type);
+  pkt.created = now;
   return pkt;
 }
 

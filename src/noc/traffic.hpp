@@ -31,15 +31,18 @@ int traffic_destination(TrafficPattern pattern, int src,
                         std::size_t num_terminals, Rng& rng);
 
 /// Source of request packets for one terminal. Polled once per cycle by
-/// the terminal; may return at most one new packet per poll.
+/// the terminal; may produce at most one new packet per poll.
 class TrafficSource {
  public:
   virtual ~TrafficSource() = default;
 
-  /// Returns a request packet created at (or before) `now`, or nullptr.
-  /// `next_id` supplies globally unique packet ids.
-  virtual std::shared_ptr<Packet> maybe_generate(Cycle now,
-                                                 std::uint64_t& next_id) = 0;
+  /// Fills `out` with a request packet created at (or before) `now` and
+  /// returns true, or returns false when no packet is generated this cycle.
+  /// `next_id` supplies globally unique packet ids. Sources write into a
+  /// caller-provided Packet (the terminal copies it into the simulation's
+  /// PacketArena) so the per-cycle poll never heap-allocates.
+  virtual bool maybe_generate(Cycle now, std::uint64_t& next_id,
+                              Packet& out) = 0;
 };
 
 /// Per-terminal request generator: Bernoulli injection at the configured
@@ -54,8 +57,8 @@ class RequestGenerator final : public TrafficSource {
         request_rate_(request_rate),
         rng_(rng) {}
 
-  std::shared_ptr<Packet> maybe_generate(Cycle now,
-                                         std::uint64_t& next_id) override;
+  bool maybe_generate(Cycle now, std::uint64_t& next_id,
+                      Packet& out) override;
 
  private:
   int terminal_;
@@ -66,8 +69,8 @@ class RequestGenerator final : public TrafficSource {
 };
 
 /// Builds the reply packet for a delivered request (read -> 5-flit read
-/// reply, write -> 1-flit write reply), created at `now`.
-std::shared_ptr<Packet> make_reply(const Packet& request, Cycle now,
-                                   std::uint64_t id);
+/// reply, write -> 1-flit write reply), created at `now`. Returned by value;
+/// Terminal::enqueue_reply copies it into the simulation's PacketArena.
+Packet make_reply(const Packet& request, Cycle now, std::uint64_t id);
 
 }  // namespace nocalloc::noc

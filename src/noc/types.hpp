@@ -7,11 +7,16 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 namespace nocalloc::noc {
 
 using Cycle = std::uint64_t;
+
+/// Index of a packet's metadata inside the simulation's PacketArena. Flits
+/// carry handles, not pointers: they stay trivially copyable and the arena
+/// keeps ownership explicit (released once, at tail-flit ejection).
+using PacketHandle = std::uint32_t;
+inline constexpr PacketHandle kInvalidPacket = 0xFFFFFFFFu;
 
 enum class PacketType : std::uint8_t {
   kReadRequest,   // 1 flit
@@ -75,7 +80,7 @@ struct RouteInfo {
 };
 
 struct Flit {
-  std::shared_ptr<Packet> packet;
+  PacketHandle packet = kInvalidPacket;
   bool head = false;
   bool tail = false;
   std::size_t index = 0;  // position within the packet

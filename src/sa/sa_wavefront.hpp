@@ -20,6 +20,9 @@ class SaWavefront final : public SwitchAllocator {
   void allocate(const std::vector<SwitchRequest>& req,
                 std::vector<SwitchGrant>& grant) override;
   void reset() override;
+  void advance_priority(std::uint64_t cycles) override {
+    core_.advance_priority(cycles);
+  }
   void set_reference_path(bool ref) override {
     SwitchAllocator::set_reference_path(ref);
     core_.set_reference_path(ref);

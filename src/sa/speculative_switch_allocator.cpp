@@ -29,21 +29,19 @@ void SpeculativeSwitchAllocator::allocate(
   const std::size_t p_count = ports();
   grant.assign(p_count, SpecSwitchGrant{});
 
-  std::vector<SwitchGrant> ns_gnt;
-  nonspec_->allocate(nonspec_req, ns_gnt);
-  std::vector<SwitchGrant> sp_gnt;
-  spec_->allocate(spec_req, sp_gnt);
+  nonspec_->allocate(nonspec_req, ns_gnt_);
+  spec_->allocate(spec_req, sp_gnt_);
 
   // Row/column conflict summaries. For spec_gnt these are reduction-ORs over
   // the non-speculative grant matrix; for spec_req they are ORs over the
   // request matrix, available without waiting for allocation.
-  std::vector<std::uint8_t> row_busy(p_count, 0);
-  std::vector<std::uint8_t> col_busy(p_count, 0);
+  row_busy_.assign(p_count, 0);
+  col_busy_.assign(p_count, 0);
   if (mode_ == SpecMode::kConservative) {
     for (std::size_t p = 0; p < p_count; ++p) {
-      if (ns_gnt[p].granted()) {
-        row_busy[p] = 1;
-        col_busy[static_cast<std::size_t>(ns_gnt[p].out_port)] = 1;
+      if (ns_gnt_[p].granted()) {
+        row_busy_[p] = 1;
+        col_busy_[static_cast<std::size_t>(ns_gnt_[p].out_port)] = 1;
       }
     }
   } else {
@@ -51,22 +49,22 @@ void SpeculativeSwitchAllocator::allocate(
       for (std::size_t v = 0; v < vcs(); ++v) {
         const SwitchRequest& r = nonspec_req[p * vcs() + v];
         if (r.valid) {
-          row_busy[p] = 1;
-          col_busy[static_cast<std::size_t>(r.out_port)] = 1;
+          row_busy_[p] = 1;
+          col_busy_[static_cast<std::size_t>(r.out_port)] = 1;
         }
       }
     }
   }
 
   for (std::size_t p = 0; p < p_count; ++p) {
-    grant[p].nonspec = ns_gnt[p];
-    if (!sp_gnt[p].granted()) continue;
-    const std::size_t o = static_cast<std::size_t>(sp_gnt[p].out_port);
-    if (row_busy[p] || col_busy[o]) {
+    grant[p].nonspec = ns_gnt_[p];
+    if (!sp_gnt_[p].granted()) continue;
+    const std::size_t o = static_cast<std::size_t>(sp_gnt_[p].out_port);
+    if (row_busy_[p] || col_busy_[o]) {
       ++masked_;
       continue;
     }
-    grant[p].spec = sp_gnt[p];
+    grant[p].spec = sp_gnt_[p];
   }
 }
 

@@ -68,6 +68,13 @@ class SpeculativeSwitchAllocator {
 
   void reset();
 
+  /// Forwards skipped-cycle priority catch-up to both internal allocators
+  /// (each runs one allocate() per cycle on a densely stepped router).
+  void advance_priority(std::uint64_t cycles) {
+    nonspec_->advance_priority(cycles);
+    spec_->advance_priority(cycles);
+  }
+
   /// Forwards the reference/fast path selection to both internal allocators.
   void set_reference_path(bool ref) {
     nonspec_->set_reference_path(ref);
@@ -83,6 +90,12 @@ class SpeculativeSwitchAllocator {
   std::unique_ptr<SwitchAllocator> nonspec_;
   std::unique_ptr<SwitchAllocator> spec_;
   std::uint64_t masked_ = 0;
+  // Per-call scratch, kept as members so the per-cycle path is allocation
+  // free once warm.
+  std::vector<SwitchGrant> ns_gnt_;
+  std::vector<SwitchGrant> sp_gnt_;
+  std::vector<std::uint8_t> row_busy_;
+  std::vector<std::uint8_t> col_busy_;
 };
 
 }  // namespace nocalloc

@@ -50,6 +50,13 @@ class VcAllocator {
   /// Resets priority state.
   virtual void reset() = 0;
 
+  /// Advances priority state as `cycles` empty-request allocate() calls
+  /// would; see Allocator::advance_priority. Default no-op (separable and
+  /// maximum-size architectures are grant-driven).
+  virtual void advance_priority(std::uint64_t cycles) {
+    static_cast<void>(cycles);
+  }
+
   /// Selects the byte-loop reference implementation over the word-parallel
   /// fast path; see Allocator::set_reference_path for the contract.
   virtual void set_reference_path(bool ref) { reference_path_ = ref; }

@@ -25,6 +25,11 @@ class VcWavefrontAllocator final : public VcAllocator {
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
   void reset() override;
+  /// Every core advances its diagonal once per allocate() call (all blocks
+  /// run each cycle), so skipped cycles advance every core equally.
+  void advance_priority(std::uint64_t cycles) override {
+    for (auto& c : cores_) c->advance_priority(cycles);
+  }
   void set_reference_path(bool ref) override {
     VcAllocator::set_reference_path(ref);
     for (auto& c : cores_) c->set_reference_path(ref);

@@ -32,8 +32,8 @@ struct Harness {
     ejected_flits += pkt.length;
     last_eject = now;
     if (is_request(pkt.type)) {
-      auto reply = make_reply(pkt, now, next_reply_id++);
-      net->terminal(pkt.dst_terminal).enqueue_reply(std::move(reply));
+      net->terminal(pkt.dst_terminal)
+          .enqueue_reply(make_reply(pkt, now, next_reply_id++));
     }
     // Routing correctness: the eject callback fires at the destination
     // terminal, so every delivery must be addressed to a valid terminal.

@@ -3,6 +3,8 @@
 // lifecycle and speculation behaviour in isolation.
 #include "noc/router.hpp"
 
+#include "noc/packet_arena.hpp"
+
 #include <gtest/gtest.h>
 
 namespace nocalloc::noc {
@@ -37,14 +39,13 @@ class RouterTest : public ::testing::Test {
   }
 
   void build(SpecMode spec) {
-    router_ = std::make_unique<Router>(0, config(spec), routing_);
+    router_ = std::make_unique<Router>(0, config(spec), routing_, arena_);
     router_->attach_input(0, &in_flits_, &in_credits_);
     router_->attach_output(1, &out_flits_, &out_credits_, /*downstream=*/-1);
   }
 
   /// Runs one router cycle and collects anything that comes out.
   void step() {
-    router_->transmit(now_);
     router_->allocate(now_);
     router_->receive(now_);
     if (auto flit = out_flits_.receive(now_)) egressed_.push_back(*flit);
@@ -53,12 +54,11 @@ class RouterTest : public ::testing::Test {
   }
 
   /// Sends a packet's flits back to back on input VC `vc`, starting now.
-  std::shared_ptr<Packet> send_packet(std::size_t length, int vc,
-                                      Cycle* when = nullptr) {
-    auto pkt = std::make_shared<Packet>();
-    pkt->id = next_id_++;
-    pkt->length = length;
-    pkt->type = PacketType::kReadRequest;  // message class 0
+  PacketHandle send_packet(std::size_t length, int vc, Cycle* when = nullptr) {
+    const PacketHandle pkt = arena_.allocate();
+    arena_.get(pkt).id = next_id_++;
+    arena_.get(pkt).length = length;
+    arena_.get(pkt).type = PacketType::kReadRequest;  // message class 0
     for (std::size_t i = 0; i < length; ++i) {
       Flit flit;
       flit.packet = pkt;
@@ -73,10 +73,13 @@ class RouterTest : public ::testing::Test {
   }
 
   FixedRouting routing_{1};
+  PacketArena arena_;
   std::unique_ptr<Router> router_;
+  // Router-driven channels (out_flits_, in_credits_) carry the folded ST
+  // stage, so their latency is 2; channels the test drives stay at 1.
   Channel<Flit> in_flits_{1};
-  Channel<Credit> in_credits_{1};
-  Channel<Flit> out_flits_{1};
+  Channel<Credit> in_credits_{2};
+  Channel<Flit> out_flits_{2};
   Channel<Credit> out_credits_{1};
   Cycle now_ = 0;
   std::uint64_t next_id_ = 1;
@@ -87,8 +90,9 @@ class RouterTest : public ::testing::Test {
 TEST_F(RouterTest, SpeculativeSingleFlitTraversesInThreeCycles) {
   build(SpecMode::kPessimistic);
   send_packet(1, 0);  // flit on the wire at t=0
-  // t=1: received; t=2: VA+SA (speculative, same cycle); t=3: ST; the flit
-  // is on the output wire at t=3 and readable at t=4.
+  // t=1: received; t=2: VA+SA (speculative, same cycle) and the grant goes
+  // straight onto the output wire (latency 2 carries the ST stage), so the
+  // flit is readable at t=4.
   for (int i = 0; i < 5; ++i) step();
   ASSERT_EQ(egressed_.size(), 1u);
   EXPECT_EQ(now_, 5u);
@@ -175,10 +179,10 @@ TEST_F(RouterTest, TailReleasesOutputVcForNextPacket) {
 TEST_F(RouterTest, TwoInputVcsShareOutputPortOneFlitPerCycle) {
   build(SpecMode::kPessimistic);
   // Different message classes on different input VCs, same output port.
-  auto pkt_b = std::make_shared<Packet>();
-  pkt_b->id = 99;
-  pkt_b->length = 1;
-  pkt_b->type = PacketType::kReadReply;  // message class 1 -> VC 1
+  const PacketHandle pkt_b = arena_.allocate();
+  arena_.get(pkt_b).id = 99;
+  arena_.get(pkt_b).length = 1;
+  arena_.get(pkt_b).type = PacketType::kReadReply;  // message class 1 -> VC 1
   Flit flit;
   flit.packet = pkt_b;
   flit.head = flit.tail = true;
@@ -200,10 +204,10 @@ TEST_F(RouterTest, MisspeculationCountedWhenVaFails) {
   // Packet A (head only, no tail yet to come) claims the only class-0
   // output VC and keeps it.
   Cycle when = 0;
-  auto pkt_a = std::make_shared<Packet>();
-  pkt_a->id = 1;
-  pkt_a->length = 2;
-  pkt_a->type = PacketType::kReadRequest;
+  const PacketHandle pkt_a = arena_.allocate();
+  arena_.get(pkt_a).id = 1;
+  arena_.get(pkt_a).length = 2;
+  arena_.get(pkt_a).type = PacketType::kReadRequest;
   Flit head_a;
   head_a.packet = pkt_a;
   head_a.head = true;
@@ -218,12 +222,12 @@ TEST_F(RouterTest, MisspeculationCountedWhenVaFails) {
   // the same output port: VC allocation must fail (VC taken), and its
   // speculative switch request becomes a misspeculation.
   Channel<Flit> in2{1};
-  Channel<Credit> in2_credits{1};
+  Channel<Credit> in2_credits{2};
   router_->attach_input(1, &in2, &in2_credits);
-  auto pkt_b = std::make_shared<Packet>();
-  pkt_b->id = 2;
-  pkt_b->length = 1;
-  pkt_b->type = PacketType::kReadRequest;
+  const PacketHandle pkt_b = arena_.allocate();
+  arena_.get(pkt_b).id = 2;
+  arena_.get(pkt_b).length = 1;
+  arena_.get(pkt_b).type = PacketType::kReadRequest;
   Flit head_b;
   head_b.packet = pkt_b;
   head_b.head = head_b.tail = true;
@@ -246,11 +250,11 @@ TEST_F(RouterTest, FlitsNeverReorderWithinAPacket) {
   for (int i = 0; i < 20; ++i) step();
   ASSERT_EQ(egressed_.size(), 8u);
   for (std::size_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(egressed_[i].packet->id, p1->id);
+    EXPECT_EQ(arena_.get(egressed_[i].packet).id, arena_.get(p1).id);
     EXPECT_EQ(egressed_[i].index, i);
   }
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(egressed_[5 + i].packet->id, p2->id);
+    EXPECT_EQ(arena_.get(egressed_[5 + i].packet).id, arena_.get(p2).id);
     EXPECT_EQ(egressed_[5 + i].index, i);
   }
 }
@@ -300,14 +304,12 @@ TEST_F(RouterTest, BufferedFlitCountTracksOccupancy) {
   EXPECT_EQ(router_->buffered_flits(), 0u);
   send_packet(5, 0);
   // Cycle 0: the first flit is still on the wire (latency 1).
-  router_->transmit(now_);
   router_->allocate(now_);
   router_->receive(now_);
   ++now_;
   EXPECT_EQ(router_->buffered_flits(), 0u);
   // Cycle 1: allocate runs before receive, so the flit that arrives this
   // cycle is buffered but not yet forwarded.
-  router_->transmit(now_);
   router_->allocate(now_);
   router_->receive(now_);
   ++now_;

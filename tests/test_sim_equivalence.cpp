@@ -1,0 +1,181 @@
+// Differential test pinning the simulator's statistics to recorded goldens.
+//
+// The zero-allocation data path (packet arena, ring-buffer flit queues,
+// active-set router scheduling) is required to be a pure performance
+// optimization: for every design point and seed it must produce bit-identical
+// latency/throughput statistics to the straightforward simulator it replaced.
+// The table below was recorded from the pre-optimization simulator at the
+// same design points; every field of SimResult is compared exactly (no
+// tolerances). The runs here also enable the invariant checker, so a pass
+// additionally proves that checked and unchecked runs agree and that the
+// active-set audit holds on every step.
+//
+// If a deliberate semantic change ever invalidates these goldens, re-record
+// them with the dump program documented in DESIGN.md (simulator memory
+// model), and justify the diff in the commit message.
+#include "noc/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocalloc::noc {
+namespace {
+
+struct GoldenPoint {
+  TopologyKind topo;
+  std::size_t vcs_per_class;
+  AllocatorKind vc_alloc;
+  AllocatorKind sw_alloc;
+  SpecMode spec;
+  double load;
+  std::uint64_t seed;
+  // Recorded statistics (exact, down to the last bit of every double).
+  std::size_t packets_measured;
+  double avg_packet_latency;
+  double avg_network_latency;
+  double p99_packet_latency;
+  double accepted_flit_rate;
+  std::uint64_t spec_grants_used;
+  std::uint64_t misspeculations;
+  double ugal_nonminimal_fraction;
+};
+
+// Short phases keep the whole table under a few seconds even with the
+// invariant checker attached; they still cover warmup, measurement, and a
+// full drain for every point.
+SimConfig config_for(const GoldenPoint& pt) {
+  SimConfig cfg;
+  cfg.topology = pt.topo;
+  cfg.vcs_per_class = pt.vcs_per_class;
+  cfg.vc_alloc = pt.vc_alloc;
+  cfg.sw_alloc = pt.sw_alloc;
+  cfg.spec = pt.spec;
+  cfg.injection_rate = pt.load;
+  cfg.seed = pt.seed;
+  cfg.warmup_cycles = 400;
+  cfg.measure_cycles = 800;
+  cfg.drain_cycles = 1200;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+const GoldenPoint kGoldens[] = {
+    {TopologyKind::kMesh8x8, 1u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kPessimistic,
+     0.050000000000000003, 1ull,
+     777u, 23.723294723294718, 23.118404118404136,
+     45, 0.04607421875, 15611ull, 26ull,
+     0},
+    {TopologyKind::kMesh8x8, 1u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kPessimistic,
+     0.050000000000000003, 2ull,
+     875u, 23.027428571428558, 22.421714285714287,
+     44, 0.052167968750000002, 15637ull, 35ull,
+     0},
+    {TopologyKind::kMesh8x8, 1u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kPessimistic,
+     0.29999999999999999, 3ull,
+     5173u, 41.675236806495228, 39.395901797796292,
+     118, 0.31027343750000003, 66353ull, 7925ull,
+     0},
+    {TopologyKind::kMesh8x8, 1u, AllocatorKind::kWavefront,
+     AllocatorKind::kWavefront, SpecMode::kPessimistic,
+     0.14999999999999999, 1ull,
+     2451u, 25.342717258261974, 24.495716034271769,
+     51, 0.14533203124999999, 44107ull, 418ull,
+     0},
+    {TopologyKind::kMesh8x8, 1u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kNonSpeculative,
+     0.14999999999999999, 2ull,
+     2494u, 31.805934242181195, 30.977145148356119,
+     63, 0.14919921875, 0ull, 0ull,
+     0},
+    {TopologyKind::kMesh8x8, 2u, AllocatorKind::kSeparableOutputFirst,
+     AllocatorKind::kSeparableOutputFirst, SpecMode::kConservative,
+     0.20000000000000001, 4ull,
+     3221u, 25.91555417572182, 24.989754734554488,
+     55, 0.19150390624999999, 52128ull, 158ull,
+     0},
+    {TopologyKind::kFbfly4x4, 1u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kPessimistic,
+     0.050000000000000003, 1ull,
+     784u, 12.653061224489806, 12.085459183673466,
+     21, 0.046230468750000003, 6486ull, 7ull,
+     0.052771855010660979},
+    {TopologyKind::kFbfly4x4, 1u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kPessimistic,
+     0.34999999999999998, 2ull,
+     5881u, 20.852916170719315, 19.009522190103748,
+     54, 0.34951171874999998, 30576ull, 4131ull,
+     0.16170212765957448},
+    {TopologyKind::kFbfly4x4, 2u, AllocatorKind::kWavefront,
+     AllocatorKind::kWavefront, SpecMode::kPessimistic,
+     0.20000000000000001, 3ull,
+     3518u, 15.409323479249574, 14.338828880045464,
+     35, 0.20744140624999999, 21994ull, 11ull,
+     0.14799899320412788},
+    {TopologyKind::kRing16, 1u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kPessimistic,
+     0.10000000000000001, 5ull,
+     425u, 19.503529411764696, 18.821176470588217,
+     35, 0.100859375, 6208ull, 39ull,
+     0},
+};
+
+std::string describe(const GoldenPoint& pt) {
+  return to_string(pt.topo) + " C=" + std::to_string(pt.vcs_per_class) +
+         " load=" + std::to_string(pt.load) +
+         " seed=" + std::to_string(pt.seed);
+}
+
+TEST(SimEquivalence, StatisticsMatchRecordedGoldens) {
+  for (const GoldenPoint& pt : kGoldens) {
+    SCOPED_TRACE(describe(pt));
+    const SimResult r = run_simulation(config_for(pt));
+    // Exact comparisons on doubles are deliberate: the optimization must not
+    // perturb a single arbitration decision, so every statistic is
+    // reproduced bit for bit.
+    EXPECT_EQ(r.packets_measured, pt.packets_measured);
+    EXPECT_EQ(r.avg_packet_latency, pt.avg_packet_latency);
+    EXPECT_EQ(r.avg_network_latency, pt.avg_network_latency);
+    EXPECT_EQ(r.p99_packet_latency, pt.p99_packet_latency);
+    EXPECT_EQ(r.accepted_flit_rate, pt.accepted_flit_rate);
+    EXPECT_EQ(r.spec_grants_used, pt.spec_grants_used);
+    EXPECT_EQ(r.misspeculations, pt.misspeculations);
+    EXPECT_EQ(r.ugal_nonminimal_fraction, pt.ugal_nonminimal_fraction);
+    EXPECT_FALSE(r.saturated);
+  }
+}
+
+TEST(SimEquivalence, CheckerOnAndOffAgree) {
+  // The active-set early exit takes a different code path depending on
+  // whether a checker is attached (checked runs still call the allocators on
+  // empty cycles so broken allocators are caught); both paths must yield the
+  // same statistics.
+  for (const GoldenPoint& pt : kGoldens) {
+    SCOPED_TRACE(describe(pt));
+    SimConfig cfg = config_for(pt);
+    cfg.check_invariants = false;
+    const SimResult r = run_simulation(cfg);
+    EXPECT_EQ(r.packets_measured, pt.packets_measured);
+    EXPECT_EQ(r.avg_packet_latency, pt.avg_packet_latency);
+    EXPECT_EQ(r.accepted_flit_rate, pt.accepted_flit_rate);
+    EXPECT_EQ(r.spec_grants_used, pt.spec_grants_used);
+    EXPECT_EQ(r.misspeculations, pt.misspeculations);
+  }
+}
+
+TEST(SimEquivalence, WorkProportionalityCountersArePlausible) {
+  // Low load on the mesh: a large fraction of router-steps must be skipped
+  // as quiescent, and the arena high-water mark stays far below the packet
+  // count (packets are recycled, not accumulated).
+  const SimResult r = run_simulation(config_for(kGoldens[0]));
+  EXPECT_EQ(r.cycles_simulated, 2400u);
+  EXPECT_EQ(r.router_steps_total, 2400u * 64u);
+  EXPECT_GT(r.router_steps_skipped, r.router_steps_total / 10);
+  EXPECT_LT(r.router_steps_skipped, r.router_steps_total);
+  EXPECT_GT(r.arena_high_water, 0u);
+  EXPECT_LT(r.arena_high_water, 2000u);
+}
+
+}  // namespace
+}  // namespace nocalloc::noc

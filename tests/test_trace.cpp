@@ -62,17 +62,16 @@ TEST(TraceSource, EmitsAtRecordedCycles) {
   TraceSource source(0, {{4, 0, 1, PacketType::kReadRequest},
                          {8, 0, 2, PacketType::kWriteRequest}});
   std::uint64_t id = 1;
+  Packet pkt;
   for (Cycle t = 0; t < 4; ++t) {
-    EXPECT_EQ(source.maybe_generate(t, id), nullptr) << t;
+    EXPECT_FALSE(source.maybe_generate(t, id, pkt)) << t;
   }
-  auto first = source.maybe_generate(4, id);
-  ASSERT_NE(first, nullptr);
-  EXPECT_EQ(first->dst_terminal, 1);
-  EXPECT_EQ(first->created, 4u);
-  EXPECT_EQ(source.maybe_generate(5, id), nullptr);
-  auto second = source.maybe_generate(8, id);
-  ASSERT_NE(second, nullptr);
-  EXPECT_EQ(second->type, PacketType::kWriteRequest);
+  ASSERT_TRUE(source.maybe_generate(4, id, pkt));
+  EXPECT_EQ(pkt.dst_terminal, 1);
+  EXPECT_EQ(pkt.created, 4u);
+  EXPECT_FALSE(source.maybe_generate(5, id, pkt));
+  ASSERT_TRUE(source.maybe_generate(8, id, pkt));
+  EXPECT_EQ(pkt.type, PacketType::kWriteRequest);
   EXPECT_EQ(source.remaining(), 0u);
 }
 
@@ -80,12 +79,11 @@ TEST(TraceSource, SameCycleRecordsDrainOnConsecutivePolls) {
   TraceSource source(0, {{4, 0, 1, PacketType::kReadRequest},
                          {4, 0, 2, PacketType::kReadRequest}});
   std::uint64_t id = 1;
-  auto a = source.maybe_generate(4, id);
-  auto b = source.maybe_generate(5, id);
-  ASSERT_NE(a, nullptr);
-  ASSERT_NE(b, nullptr);
+  Packet a, b;
+  ASSERT_TRUE(source.maybe_generate(4, id, a));
+  ASSERT_TRUE(source.maybe_generate(5, id, b));
   // The delayed one keeps its recorded creation time (queueing counts).
-  EXPECT_EQ(b->created, 4u);
+  EXPECT_EQ(b.created, 4u);
 }
 
 TEST(TraceSource, RejectsForeignRecords) {

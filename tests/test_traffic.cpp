@@ -102,10 +102,11 @@ TEST(TrafficDestination, PatternNames) {
 TEST(RequestGenerator, RateMatchesConfiguration) {
   RequestGenerator gen(3, 64, TrafficPattern::kUniform, 0.25, Rng(6));
   std::uint64_t id = 1;
+  Packet pkt;
   int generated = 0;
   constexpr int kCycles = 40000;
   for (int t = 0; t < kCycles; ++t) {
-    if (gen.maybe_generate(static_cast<Cycle>(t), id)) ++generated;
+    if (gen.maybe_generate(static_cast<Cycle>(t), id, pkt)) ++generated;
   }
   EXPECT_NEAR(static_cast<double>(generated) / kCycles, 0.25, 0.01);
 }
@@ -113,24 +114,25 @@ TEST(RequestGenerator, RateMatchesConfiguration) {
 TEST(RequestGenerator, ZeroRateGeneratesNothing) {
   RequestGenerator gen(0, 64, TrafficPattern::kUniform, 0.0, Rng(7));
   std::uint64_t id = 1;
+  Packet pkt;
   for (int t = 0; t < 1000; ++t) {
-    EXPECT_EQ(gen.maybe_generate(static_cast<Cycle>(t), id), nullptr);
+    EXPECT_FALSE(gen.maybe_generate(static_cast<Cycle>(t), id, pkt));
   }
 }
 
 TEST(RequestGenerator, PacketsAreWellFormed) {
   RequestGenerator gen(9, 64, TrafficPattern::kUniform, 1.0, Rng(8));
   std::uint64_t id = 1;
+  Packet pkt;
   int reads = 0, writes = 0;
   for (int t = 0; t < 2000; ++t) {
-    auto pkt = gen.maybe_generate(static_cast<Cycle>(t), id);
-    ASSERT_NE(pkt, nullptr);
-    EXPECT_EQ(pkt->src_terminal, 9);
-    EXPECT_NE(pkt->dst_terminal, 9);
-    EXPECT_EQ(pkt->created, static_cast<Cycle>(t));
-    EXPECT_EQ(pkt->length, packet_length(pkt->type));
-    EXPECT_TRUE(is_request(pkt->type));
-    (pkt->type == PacketType::kReadRequest ? reads : writes) += 1;
+    ASSERT_TRUE(gen.maybe_generate(static_cast<Cycle>(t), id, pkt));
+    EXPECT_EQ(pkt.src_terminal, 9);
+    EXPECT_NE(pkt.dst_terminal, 9);
+    EXPECT_EQ(pkt.created, static_cast<Cycle>(t));
+    EXPECT_EQ(pkt.length, packet_length(pkt.type));
+    EXPECT_TRUE(is_request(pkt.type));
+    (pkt.type == PacketType::kReadRequest ? reads : writes) += 1;
   }
   // 50/50 read/write mix.
   EXPECT_NEAR(static_cast<double>(reads) / (reads + writes), 0.5, 0.05);
@@ -145,18 +147,18 @@ TEST(MakeReply, SwapsEndpointsAndMapsTypes) {
   req.src_terminal = 3;
   req.dst_terminal = 11;
   req.length = 1;
-  auto reply = make_reply(req, 500, 1234);
-  EXPECT_EQ(reply->type, PacketType::kReadReply);
-  EXPECT_EQ(reply->src_terminal, 11);
-  EXPECT_EQ(reply->dst_terminal, 3);
-  EXPECT_EQ(reply->length, 5u);
-  EXPECT_EQ(reply->created, 500u);
-  EXPECT_EQ(reply->id, 1234u);
+  Packet reply = make_reply(req, 500, 1234);
+  EXPECT_EQ(reply.type, PacketType::kReadReply);
+  EXPECT_EQ(reply.src_terminal, 11);
+  EXPECT_EQ(reply.dst_terminal, 3);
+  EXPECT_EQ(reply.length, 5u);
+  EXPECT_EQ(reply.created, 500u);
+  EXPECT_EQ(reply.id, 1234u);
 
   req.type = PacketType::kWriteRequest;
   reply = make_reply(req, 501, 1235);
-  EXPECT_EQ(reply->type, PacketType::kWriteReply);
-  EXPECT_EQ(reply->length, 1u);
+  EXPECT_EQ(reply.type, PacketType::kWriteReply);
+  EXPECT_EQ(reply.length, 1u);
 }
 
 TEST(MakeReply, RejectsReplyInput) {
