@@ -4,12 +4,13 @@
 // fbfly's longest links (L = 3) a VC needs ~10 slots to stream a packet at
 // full rate -- shallower buffers throttle each VC and deeper ones buy little.
 //
-// Each (design point, depth) rate sweep is one task (early break at
-// saturation keeps it serial inside).
-#include <algorithm>
+// Each (design point, depth) rate sweep is one warm-fork CurveSpec (the
+// early break at saturation keeps it one serial task inside the engine).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/curve_util.hpp"
 #include "noc/sim.hpp"
 
 using namespace nocalloc;
@@ -30,24 +31,18 @@ constexpr Config kConfigs[] = {
 
 constexpr std::size_t kDepths[] = {2, 4, 8, 16, 32};
 
-std::string run_depth(const Config& c, std::size_t depth) {
+sweep::CurveSpec make_spec(const Config& c, std::size_t depth) {
   const bool fast = bench::fast_mode();
-  double zll = 0.0, sat = 0.0;
-  for (double rate = 0.05; rate <= 0.75; rate += 0.1) {
-    SimConfig cfg;
-    cfg.topology = c.topo;
-    cfg.vcs_per_class = c.c;
-    cfg.buffer_depth = depth;
-    cfg.injection_rate = rate;
-    cfg.warmup_cycles = fast ? 600 : 2000;
-    cfg.measure_cycles = fast ? 1200 : 4000;
-    cfg.drain_cycles = fast ? 1200 : 4000;
-    const SimResult r = run_simulation(cfg);
-    if (rate <= 0.05 + 1e-9) zll = r.avg_packet_latency;
-    sat = std::max(sat, r.accepted_flit_rate);
-    if (r.saturated) break;
-  }
-  return bench::strprintf("  %-8zu %-14.1f %-14.3f\n", depth, zll, sat);
+  sweep::CurveSpec spec;
+  spec.base.topology = c.topo;
+  spec.base.vcs_per_class = c.c;
+  spec.base.buffer_depth = depth;
+  spec.base.warmup_cycles = fast ? 600 : 2000;
+  spec.base.measure_cycles = fast ? 1200 : 4000;
+  spec.base.drain_cycles = fast ? 1200 : 4000;
+  spec.rates = bench::rate_grid(0.05, 0.75, 0.1);
+  spec.fork_warmup_cycles = fast ? 400 : 1000;
+  return spec;
 }
 
 }  // namespace
@@ -56,10 +51,21 @@ int main() {
   bench::heading("Ablation: input buffer depth per VC (Sec. 3.2 parameter)");
 
   const std::size_t depths = std::size(kDepths);
-  const auto rows = sweep::parallel_map(
-      bench::pool(), std::size(kConfigs) * depths, [&](std::size_t t) {
-        return run_depth(kConfigs[t / depths], kDepths[t % depths]);
-      });
+  const std::size_t total = std::size(kConfigs) * depths;
+
+  std::vector<sweep::CurveSpec> specs;
+  for (std::size_t t = 0; t < total; ++t) {
+    specs.push_back(make_spec(kConfigs[t / depths], kDepths[t % depths]));
+  }
+  const auto curves = sweep::run_warm_curves(bench::pool(), specs);
+
+  std::vector<std::string> rows(total);
+  for (std::size_t t = 0; t < total; ++t) {
+    const bench::CurveSummary s =
+        bench::summarize_curve(curves[t], /*sat_with_accepted=*/false);
+    rows[t] = bench::strprintf("  %-8zu %-14.1f %-14.3f\n", kDepths[t % depths],
+                               s.zero_load_latency, s.max_accepted);
+  }
 
   for (std::size_t ci = 0; ci < std::size(kConfigs); ++ci) {
     bench::subheading(kConfigs[ci].label);

@@ -5,11 +5,14 @@
 // with no bias, low-load latency rises (needless Valiant detours); with too
 // much, the saturation benefit of adaptivity erodes under adversarial load.
 //
-// Every (pattern, threshold, rate) simulation is an independent sweep task.
+// Every (pattern, threshold, rate) simulation is an independent batch
+// shard on the sweep pool (sweep::run_sim_batch).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "noc/sim.hpp"
+#include "sweep/sim_batch.hpp"
 
 using namespace nocalloc;
 using namespace nocalloc::noc;
@@ -21,7 +24,7 @@ constexpr TrafficPattern kPatterns[] = {TrafficPattern::kUniform,
 constexpr std::size_t kThresholds[] = {0, 1, 3, 8, 32};
 constexpr double kRates[] = {0.1, 0.3, 0.5};
 
-std::string run_point(TrafficPattern pattern, std::size_t threshold,
+SimConfig make_config(TrafficPattern pattern, std::size_t threshold,
                       double rate) {
   const bool fast = bench::fast_mode();
   SimConfig cfg;
@@ -33,7 +36,11 @@ std::string run_point(TrafficPattern pattern, std::size_t threshold,
   cfg.warmup_cycles = fast ? 600 : 2000;
   cfg.measure_cycles = fast ? 1200 : 4000;
   cfg.drain_cycles = fast ? 1200 : 4000;
-  const SimResult r = run_simulation(cfg);
+  return cfg;
+}
+
+std::string format_row(std::size_t threshold, double rate,
+                       const SimResult& r) {
   return bench::strprintf("  %-10zu %-6.2f %-12.1f %-12.3f %-10.1f%s\n",
                           threshold, rate, r.avg_packet_latency,
                           r.accepted_flit_rate,
@@ -49,14 +56,23 @@ int main() {
   const std::size_t thresholds = std::size(kThresholds);
   const std::size_t rates = std::size(kRates);
   const std::size_t per_pattern = thresholds * rates;
+  const std::size_t total = std::size(kPatterns) * per_pattern;
 
-  const auto rows = sweep::parallel_map(
-      bench::pool(), std::size(kPatterns) * per_pattern, [&](std::size_t t) {
-        const TrafficPattern pattern = kPatterns[t / per_pattern];
-        const std::size_t rest = t % per_pattern;
-        return run_point(pattern, kThresholds[rest / rates],
-                         kRates[rest % rates]);
-      });
+  std::vector<SimConfig> cfgs;
+  for (std::size_t t = 0; t < total; ++t) {
+    const std::size_t rest = t % per_pattern;
+    cfgs.push_back(make_config(kPatterns[t / per_pattern],
+                               kThresholds[rest / rates],
+                               kRates[rest % rates]));
+  }
+  const auto results = sweep::run_sim_batch(bench::pool(), cfgs);
+
+  std::vector<std::string> rows(total);
+  for (std::size_t t = 0; t < total; ++t) {
+    const std::size_t rest = t % per_pattern;
+    rows[t] = format_row(kThresholds[rest / rates], kRates[rest % rates],
+                         results[t]);
+  }
 
   const char* sections[] = {
       "uniform random traffic (benign: minimal is optimal)",

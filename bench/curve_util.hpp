@@ -1,0 +1,58 @@
+// Shared glue between the network-level benches and the warm-curve sweep
+// engine (sweep/sim_batch): rate grids and the standard "rate:latency ...
+// SAT" row format the figure benches print. Splitting this out keeps each
+// bench down to its design-point table plus the paper-comparison summary.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "sweep/sim_batch.hpp"
+
+namespace nocalloc::bench {
+
+/// Inclusive [lo, hi] grid with the given step (ascending, as CurveSpec
+/// requires).
+inline std::vector<double> rate_grid(double lo, double hi, double step) {
+  std::vector<double> rates;
+  for (double r = lo; r <= hi + 1e-9; r += step) rates.push_back(r);
+  return rates;
+}
+
+/// Headline numbers extracted from one latency-vs-load curve.
+struct CurveSummary {
+  std::string line;           // "    rate: r:lat r:lat ... r:SAT" row
+  double max_accepted = 0.0;  // saturation throughput estimate
+  double zero_load_latency = 0.0;
+};
+
+/// Formats a warm curve the way the figure benches print them. Points past
+/// the saturation stop are omitted (they were never run). When
+/// sat_with_accepted is true the saturated entry reads SAT(acc=...),
+/// otherwise just SAT.
+inline CurveSummary summarize_curve(const sweep::Curve& curve,
+                                    bool sat_with_accepted) {
+  CurveSummary out;
+  out.line = "    rate:";
+  for (std::size_t p = 0; p < curve.points.size(); ++p) {
+    const sweep::CurvePoint& point = curve.points[p];
+    if (!point.run) break;
+    out.max_accepted =
+        std::max(out.max_accepted, point.result.accepted_flit_rate);
+    if (p == 0) out.zero_load_latency = point.result.avg_packet_latency;
+    if (point.result.saturated) {
+      out.line += sat_with_accepted
+                      ? strprintf(" %.2f:SAT(acc=%.2f)", point.rate,
+                                  point.result.accepted_flit_rate)
+                      : strprintf(" %.2f:SAT", point.rate);
+      break;
+    }
+    out.line +=
+        strprintf(" %.2f:%.1f", point.rate, point.result.avg_packet_latency);
+  }
+  return out;
+}
+
+}  // namespace nocalloc::bench

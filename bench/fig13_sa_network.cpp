@@ -3,14 +3,16 @@
 // Also prints the paper's conclusion-level numbers: the wavefront vs
 // separable-input-first saturation gap on the flattened butterfly.
 //
-// Each (design point, allocator kind) latency curve is one sweep task; the
-// within-curve rate loop stays serial because it stops early at saturation.
+// Each (design point, allocator kind) latency curve is one CurveSpec for
+// the warm-fork sweep engine: the design point is warmed once at the lowest
+// rate, and every load point forks from that snapshot instead of paying a
+// cold warmup. Curves stop at saturation, so each runs as one task.
 // Simulations are pure functions of their SimConfig, so the parallel run
 // reproduces the serial output byte for byte.
-#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "bench/curve_util.hpp"
 #include "noc/sim.hpp"
 
 using namespace nocalloc;
@@ -38,37 +40,19 @@ constexpr Config kConfigs[] = {
     {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
 };
 
-struct Sweep {
-  std::string line;            // "    rate: ..." row for this curve
-  double max_accepted = 0.0;   // saturation throughput estimate
-  double zero_load_latency = 0.0;
-};
-
-Sweep sweep_curve(TopologyKind topo, std::size_t c, AllocatorKind sa,
-                  double max_rate) {
+sweep::CurveSpec make_spec(TopologyKind topo, std::size_t c, AllocatorKind sa,
+                           double max_rate) {
   const bool fast = bench::fast_mode();
-  Sweep sweep;
-  sweep.line = "    rate:";
-  for (double rate = 0.05; rate <= max_rate + 1e-9; rate += 0.05) {
-    SimConfig cfg;
-    cfg.topology = topo;
-    cfg.vcs_per_class = c;
-    cfg.sw_alloc = sa;
-    cfg.injection_rate = rate;
-    cfg.warmup_cycles = fast ? 600 : 2000;
-    cfg.measure_cycles = fast ? 1200 : 5000;
-    cfg.drain_cycles = fast ? 1200 : 5000;
-    const SimResult r = run_simulation(cfg);
-    sweep.max_accepted = std::max(sweep.max_accepted, r.accepted_flit_rate);
-    if (rate <= 0.05 + 1e-9) sweep.zero_load_latency = r.avg_packet_latency;
-    if (r.saturated) {
-      sweep.line +=
-          bench::strprintf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
-      break;
-    }
-    sweep.line += bench::strprintf(" %.2f:%.1f", rate, r.avg_packet_latency);
-  }
-  return sweep;
+  sweep::CurveSpec spec;
+  spec.base.topology = topo;
+  spec.base.vcs_per_class = c;
+  spec.base.sw_alloc = sa;
+  spec.base.warmup_cycles = fast ? 600 : 2000;
+  spec.base.measure_cycles = fast ? 1200 : 5000;
+  spec.base.drain_cycles = fast ? 1200 : 5000;
+  spec.rates = bench::rate_grid(0.05, max_rate, 0.05);
+  spec.fork_warmup_cycles = fast ? 400 : 1000;
+  return spec;
 }
 
 }  // namespace
@@ -82,11 +66,17 @@ int main() {
   const std::size_t kinds = std::size(kKinds);
   const std::size_t configs = std::size(kConfigs);
 
-  const auto results = sweep::parallel_map(
-      bench::pool(), configs * kinds, [&](std::size_t t) {
-        const Config& c = kConfigs[t / kinds];
-        return sweep_curve(c.topo, c.c, kKinds[t % kinds], c.max_rate);
-      });
+  std::vector<sweep::CurveSpec> specs;
+  for (std::size_t t = 0; t < configs * kinds; ++t) {
+    const Config& c = kConfigs[t / kinds];
+    specs.push_back(make_spec(c.topo, c.c, kKinds[t % kinds], c.max_rate));
+  }
+  const auto curves = sweep::run_warm_curves(bench::pool(), specs);
+
+  std::vector<bench::CurveSummary> results(curves.size());
+  for (std::size_t t = 0; t < curves.size(); ++t) {
+    results[t] = bench::summarize_curve(curves[t], /*sat_with_accepted=*/true);
+  }
 
   for (std::size_t ci = 0; ci < configs; ++ci) {
     bench::subheading(kConfigs[ci].label);

@@ -2,12 +2,12 @@
 // speculation policies (nonspec, conventional spec_gnt, pessimistic
 // spec_req), using a separable input-first switch allocator (Sec. 5.3.3).
 //
-// Each (design point, speculation mode) latency curve is one sweep task;
-// see fig13 for the determinism argument.
-#include <algorithm>
+// Each (design point, speculation mode) latency curve is one warm-fork
+// CurveSpec; see fig13 for the sharding and determinism argument.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "bench/curve_util.hpp"
 #include "noc/sim.hpp"
 
 using namespace nocalloc;
@@ -35,37 +35,19 @@ constexpr Config kConfigs[] = {
     {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
 };
 
-struct Sweep {
-  std::string line;
-  double max_accepted = 0.0;
-  double zero_load_latency = 0.0;
-};
-
-Sweep sweep_curve(TopologyKind topo, std::size_t c, SpecMode mode,
-                  double max_rate) {
+sweep::CurveSpec make_spec(TopologyKind topo, std::size_t c, SpecMode mode,
+                           double max_rate) {
   const bool fast = bench::fast_mode();
-  Sweep sweep;
-  sweep.line = "    rate:";
-  for (double rate = 0.05; rate <= max_rate + 1e-9; rate += 0.05) {
-    SimConfig cfg;
-    cfg.topology = topo;
-    cfg.vcs_per_class = c;
-    cfg.spec = mode;
-    cfg.injection_rate = rate;
-    cfg.warmup_cycles = fast ? 600 : 2000;
-    cfg.measure_cycles = fast ? 1200 : 5000;
-    cfg.drain_cycles = fast ? 1200 : 5000;
-    const SimResult r = run_simulation(cfg);
-    sweep.max_accepted = std::max(sweep.max_accepted, r.accepted_flit_rate);
-    if (rate <= 0.05 + 1e-9) sweep.zero_load_latency = r.avg_packet_latency;
-    if (r.saturated) {
-      sweep.line +=
-          bench::strprintf(" %.2f:SAT(acc=%.2f)", rate, r.accepted_flit_rate);
-      break;
-    }
-    sweep.line += bench::strprintf(" %.2f:%.1f", rate, r.avg_packet_latency);
-  }
-  return sweep;
+  sweep::CurveSpec spec;
+  spec.base.topology = topo;
+  spec.base.vcs_per_class = c;
+  spec.base.spec = mode;
+  spec.base.warmup_cycles = fast ? 600 : 2000;
+  spec.base.measure_cycles = fast ? 1200 : 5000;
+  spec.base.drain_cycles = fast ? 1200 : 5000;
+  spec.rates = bench::rate_grid(0.05, max_rate, 0.05);
+  spec.fork_warmup_cycles = fast ? 400 : 1000;
+  return spec;
 }
 
 }  // namespace
@@ -78,11 +60,17 @@ int main() {
   const std::size_t modes = std::size(kModes);
   const std::size_t configs = std::size(kConfigs);
 
-  const auto results = sweep::parallel_map(
-      bench::pool(), configs * modes, [&](std::size_t t) {
-        const Config& c = kConfigs[t / modes];
-        return sweep_curve(c.topo, c.c, kModes[t % modes], c.max_rate);
-      });
+  std::vector<sweep::CurveSpec> specs;
+  for (std::size_t t = 0; t < configs * modes; ++t) {
+    const Config& c = kConfigs[t / modes];
+    specs.push_back(make_spec(c.topo, c.c, kModes[t % modes], c.max_rate));
+  }
+  const auto curves = sweep::run_warm_curves(bench::pool(), specs);
+
+  std::vector<bench::CurveSummary> results(curves.size());
+  for (std::size_t t = 0; t < curves.size(); ++t) {
+    results[t] = bench::summarize_curve(curves[t], /*sat_with_accepted=*/true);
+  }
 
   for (std::size_t ci = 0; ci < configs; ++ci) {
     bench::subheading(kConfigs[ci].label);
@@ -94,9 +82,9 @@ int main() {
 
   bench::subheading("summary vs paper (Sec. 5.3.3)");
   for (std::size_t ci = 0; ci < configs; ++ci) {
-    const Sweep& ns = results[ci * modes + 0];
-    const Sweep& sg = results[ci * modes + 1];
-    const Sweep& sr = results[ci * modes + 2];
+    const bench::CurveSummary& ns = results[ci * modes + 0];
+    const bench::CurveSummary& sg = results[ci * modes + 1];
+    const bench::CurveSummary& sr = results[ci * modes + 2];
     std::printf(
         "%-12s zero-load: nonspec %5.1f, spec %5.1f (-%4.1f%%)   saturation: "
         "nonspec %.3f, spec_gnt %.3f (+%4.1f%%), spec_req %.3f (%+.1f%% vs "

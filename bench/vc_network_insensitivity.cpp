@@ -4,11 +4,13 @@
 // allocator architectures on the most VC-rich design points, where
 // differences would be largest if they existed.
 //
-// Each (design point, VC allocator kind) curve is one sweep task.
+// Each (design point, VC allocator kind) curve is one warm-fork CurveSpec
+// on the sweep engine (warm once at the lowest rate, fork per load point).
 #include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "bench/curve_util.hpp"
 #include "noc/sim.hpp"
 
 using namespace nocalloc;
@@ -32,39 +34,18 @@ constexpr Config kConfigs[] = {
     {"fbfly 2x2x4", TopologyKind::kFbfly4x4, 4, 0.80},
 };
 
-struct Curve {
-  std::string text;  // full per-kind block including the per-curve summary
-  double sat = 0.0;
-  double zll = 0.0;
-};
-
-Curve run_curve(const Config& c, AllocatorKind kind) {
+sweep::CurveSpec make_spec(const Config& c, AllocatorKind kind) {
   const bool fast = bench::fast_mode();
-  Curve out;
-  out.text = bench::strprintf("  vc_alloc=%s\n    rate:",
-                              to_string(kind).c_str());
-  for (double rate = 0.05; rate <= c.max_rate + 1e-9; rate += 0.1) {
-    SimConfig cfg;
-    cfg.topology = c.topo;
-    cfg.vcs_per_class = c.c;
-    cfg.vc_alloc = kind;
-    cfg.injection_rate = rate;
-    cfg.warmup_cycles = fast ? 600 : 2000;
-    cfg.measure_cycles = fast ? 1200 : 4000;
-    cfg.drain_cycles = fast ? 1200 : 4000;
-    const SimResult r = run_simulation(cfg);
-    out.sat = std::max(out.sat, r.accepted_flit_rate);
-    if (rate <= 0.05 + 1e-9) out.zll = r.avg_packet_latency;
-    if (r.saturated) {
-      out.text += bench::strprintf(" %.2f:SAT", rate);
-      break;
-    }
-    out.text += bench::strprintf(" %.2f:%.1f", rate, r.avg_packet_latency);
-  }
-  out.text += bench::strprintf("\n    zero-load %.1f cycles, saturation %.3f "
-                               "flits/terminal/cycle\n",
-                               out.zll, out.sat);
-  return out;
+  sweep::CurveSpec spec;
+  spec.base.topology = c.topo;
+  spec.base.vcs_per_class = c.c;
+  spec.base.vc_alloc = kind;
+  spec.base.warmup_cycles = fast ? 600 : 2000;
+  spec.base.measure_cycles = fast ? 1200 : 4000;
+  spec.base.drain_cycles = fast ? 1200 : 4000;
+  spec.rates = bench::rate_grid(0.05, c.max_rate, 0.1);
+  spec.fork_warmup_cycles = fast ? 400 : 1000;
+  return spec;
 }
 
 }  // namespace
@@ -76,22 +57,28 @@ int main() {
   const std::size_t kinds = std::size(kKinds);
   const std::size_t configs = std::size(kConfigs);
 
-  const auto curves = sweep::parallel_map(
-      bench::pool(), configs * kinds, [&](std::size_t t) {
-        return run_curve(kConfigs[t / kinds], kKinds[t % kinds]);
-      });
+  std::vector<sweep::CurveSpec> specs;
+  for (std::size_t t = 0; t < configs * kinds; ++t) {
+    specs.push_back(make_spec(kConfigs[t / kinds], kKinds[t % kinds]));
+  }
+  const auto curves = sweep::run_warm_curves(bench::pool(), specs);
 
   for (std::size_t ci = 0; ci < configs; ++ci) {
     bench::subheading(kConfigs[ci].label);
     double min_sat = 1e9, max_sat = 0.0;
     double min_zll = 1e9, max_zll = 0.0;
     for (std::size_t k = 0; k < kinds; ++k) {
-      const Curve& c = curves[ci * kinds + k];
-      std::printf("%s", c.text.c_str());
-      min_sat = std::min(min_sat, c.sat);
-      max_sat = std::max(max_sat, c.sat);
-      min_zll = std::min(min_zll, c.zll);
-      max_zll = std::max(max_zll, c.zll);
+      const bench::CurveSummary s = bench::summarize_curve(
+          curves[ci * kinds + k], /*sat_with_accepted=*/false);
+      std::printf("  vc_alloc=%s\n%s\n", to_string(kKinds[k]).c_str(),
+                  s.line.c_str());
+      std::printf("    zero-load %.1f cycles, saturation %.3f "
+                  "flits/terminal/cycle\n",
+                  s.zero_load_latency, s.max_accepted);
+      min_sat = std::min(min_sat, s.max_accepted);
+      max_sat = std::max(max_sat, s.max_accepted);
+      min_zll = std::min(min_zll, s.zero_load_latency);
+      max_zll = std::max(max_zll, s.zero_load_latency);
     }
     std::printf("  spread across VC allocators: zero-load %.1f%%, saturation "
                 "%.1f%%\n",

@@ -57,6 +57,13 @@ class Allocator {
   virtual void set_reference_path(bool ref) { reference_path_ = ref; }
   bool reference_path() const { return reference_path_; }
 
+  /// Serializes / restores the priority state for warm snapshot/restore.
+  /// Defaults are no-ops for stateless architectures (maximum-size); every
+  /// stateful architecture overrides both. load_state must consume bytes an
+  /// identically configured allocator saved.
+  virtual void save_state(StateWriter& w) const { static_cast<void>(w); }
+  virtual void load_state(StateReader& r) { static_cast<void>(r); }
+
  protected:
   /// Validates the request matrix shape and clears the grant matrix.
   void prepare(const BitMatrix& req, BitMatrix& gnt) const {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "common/snapshot.hpp"
 
 namespace nocalloc {
 
@@ -55,6 +56,11 @@ class Arbiter {
 
   /// Resets priority state to the post-construction value.
   virtual void reset() = 0;
+
+  /// Serializes the priority state for warm snapshot/restore. load_state
+  /// must consume bytes produced by an identically configured arbiter.
+  virtual void save_state(StateWriter& w) const = 0;
+  virtual void load_state(StateReader& r) = 0;
 };
 
 /// Arbiter architectures evaluated in the paper (suffixes /rr and /m).

@@ -20,6 +20,14 @@ class MatrixArbiter final : public Arbiter {
   int pick_words(const bits::Word* req) const override;
   void update(int winner) override;
   void reset() override;
+  void save_state(StateWriter& w) const override {
+    w.u64(prio_.size());
+    w.pod_array(prio_.data(), prio_.size());
+  }
+  void load_state(StateReader& r) override {
+    NOCALLOC_CHECK(r.u64() == prio_.size());
+    r.pod_array(prio_.data(), prio_.size());
+  }
 
   /// Priority relation (exposed for tests): true if i beats j.
   bool has_priority(std::size_t i, std::size_t j) const;

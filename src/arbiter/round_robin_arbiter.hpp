@@ -18,6 +18,11 @@ class RoundRobinArbiter final : public Arbiter {
   int pick_words(const bits::Word* req) const override;
   void update(int winner) override;
   void reset() override { pointer_ = 0; }
+  void save_state(StateWriter& w) const override { w.u64(pointer_); }
+  void load_state(StateReader& r) override {
+    pointer_ = static_cast<std::size_t>(r.u64());
+    NOCALLOC_CHECK(pointer_ <= size_);
+  }
 
   /// Current priority pointer (exposed for tests).
   std::size_t pointer() const { return pointer_; }

@@ -26,6 +26,14 @@ class TreeArbiter final : public Arbiter {
   int pick_words(const bits::Word* req) const override;
   void update(int winner) override;
   void reset() override;
+  void save_state(StateWriter& w) const override {
+    top_->save_state(w);
+    for (const auto& local : local_) local->save_state(w);
+  }
+  void load_state(StateReader& r) override {
+    top_->load_state(r);
+    for (auto& local : local_) local->load_state(r);
+  }
 
   std::size_t groups() const { return groups_; }
   std::size_t group_size() const { return group_size_; }

@@ -69,6 +69,12 @@ class FixedRing {
     --size_;
   }
 
+  /// Discards all elements; capacity (and storage) is untouched.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
   /// Visits every element, oldest first, without consuming it.
   template <typename F>
   void for_each(F&& visit) const {
@@ -123,6 +129,19 @@ class GrowRing {
     NOCALLOC_DCHECK(size_ > 0);
     head_ = head_ + 1 == cap_ ? 0 : head_ + 1;
     --size_;
+  }
+
+  /// Discards all elements; capacity (and storage) is untouched.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Grows (by the usual doubling) until at least `capacity` slots exist.
+  /// Restoring a snapshot pre-grows rings to their saved high-water capacity
+  /// so the post-restore steady state allocates nothing.
+  void reserve(std::size_t capacity) {
+    while (cap_ < capacity) grow();
   }
 
   template <typename F>

@@ -42,6 +42,16 @@ class Rng {
   /// through splitmix64 decorrelates sibling streams.
   Rng split(std::uint64_t label);
 
+  /// Raw 256-bit state access for warm snapshot/restore: save_state copies
+  /// the state out, load_state resumes the stream exactly where the saved
+  /// generator left off.
+  void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void load_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   std::uint64_t s_[4];
 };

@@ -1,0 +1,104 @@
+// Plain-data state serialization for warm snapshot/restore.
+//
+// A warmed-up network simulation is worth real wall-clock time: a
+// latency-vs-load sweep re-simulates thousands of warmup cycles per load
+// point that differ only in offered load. Snapshot/restore captures every
+// piece of mutable simulation state -- arena slabs, ring buffers, credit
+// counters, allocator rotating priorities, RNG streams -- as a flat byte
+// buffer so a warm state can be saved once per design point and forked per
+// load point (including across sweep-shard threads: the buffer is a value).
+//
+// The format is a raw little-endian-of-the-host memcpy stream: snapshots are
+// process-lifetime objects handed between threads of one process, never
+// persisted or exchanged across builds, so no portability layer is needed.
+// Every writer section starts with a 32-bit tag that the reader verifies;
+// a tag mismatch (restoring into a differently-configured object) aborts
+// via NOCALLOC_CHECK instead of silently misinterpreting bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nocalloc {
+
+class StateWriter {
+ public:
+  /// Appends to `out` (which is not cleared; callers compose sections).
+  explicit StateWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  /// Writes a trivially copyable value verbatim.
+  template <typename T>
+  void pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    out_->insert(out_->end(), bytes, bytes + sizeof(T));
+  }
+
+  /// Writes `count` trivially copyable values verbatim (no length prefix;
+  /// pair with u64() when the count is dynamic).
+  template <typename T>
+  void pod_array(const T* values, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(values);
+    out_->insert(out_->end(), bytes, bytes + count * sizeof(T));
+  }
+
+  void u64(std::uint64_t value) { pod(value); }
+
+  /// Section marker; the matching StateReader::tag() call must see the same
+  /// value, which pins writer and reader to the same object structure.
+  void tag(std::uint32_t value) { pod(value); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class StateReader {
+ public:
+  StateReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit StateReader(const std::vector<std::uint8_t>& bytes)
+      : StateReader(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  void pod(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NOCALLOC_CHECK(pos_ + sizeof(T) <= size_);
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+  }
+
+  template <typename T>
+  void pod_array(T* values, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NOCALLOC_CHECK(pos_ + count * sizeof(T) <= size_);
+    std::memcpy(values, data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    pod(value);
+    return value;
+  }
+
+  /// Consumes a section marker and aborts on mismatch.
+  void tag(std::uint32_t expected) {
+    std::uint32_t value = 0;
+    pod(value);
+    NOCALLOC_CHECK(value == expected);
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nocalloc

@@ -22,6 +22,7 @@
 
 #include "common/check.hpp"
 #include "common/ring.hpp"
+#include "common/snapshot.hpp"
 #include "noc/types.hpp"
 
 namespace nocalloc::noc {
@@ -78,6 +79,26 @@ class Channel {
   template <typename F>
   void for_each(F&& visit) const {
     pipe_.for_each([&](const Slot& slot) { visit(slot.item); });
+  }
+
+  /// Serializes the in-flight slots (absolute send cycles included; the
+  /// network restores now_ alongside, so arrival arithmetic is unchanged)
+  /// plus the ring's grown capacity, restored via reserve() so the
+  /// post-restore steady state allocates nothing.
+  void save_state(StateWriter& w) const {
+    w.u64(pipe_.capacity());
+    w.u64(pipe_.size());
+    pipe_.for_each([&](const Slot& slot) { w.pod(slot); });
+  }
+  void load_state(StateReader& r) {
+    pipe_.clear();
+    pipe_.reserve(static_cast<std::size_t>(r.u64()));
+    const std::size_t n = static_cast<std::size_t>(r.u64());
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot slot;
+      r.pod(slot);
+      pipe_.push_back(slot);
+    }
   }
 
  private:

@@ -172,4 +172,62 @@ std::size_t Network::output_congestion(int router, int out_port) const {
       out_port);
 }
 
+bool Network::set_request_rate(double rate) {
+  bool ok = true;
+  for (auto& term : terminals_) ok = term->set_request_rate(rate) && ok;
+  return ok;
+}
+
+void Network::snapshot(NetworkSnapshot& out) const {
+  out.bytes.clear();
+  StateWriter w(out.bytes);
+
+  // Structure fingerprint: restoring into a differently shaped network is a
+  // setup error and aborts at the reader's tag/size checks.
+  w.tag(0x4E0C5AFEu);
+  w.u64(routers_.size());
+  w.u64(terminals_.size());
+  w.u64(flit_channels_.size());
+  w.u64(credit_channels_.size());
+
+  w.u64(now_);
+  w.u64(next_packet_id_);
+  w.pod(perf_);
+  w.pod_array(router_active_.data(), router_active_.size());
+  w.pod_array(terminal_active_.data(), terminal_active_.size());
+
+  arena_.save_state(w);
+  routing_->save_state(w);
+  for (const auto& r : routers_) r->save_state(w);
+  for (const auto& term : terminals_) term->save_state(w);
+  for (const auto& ch : flit_channels_) ch->save_state(w);
+  for (const auto& ch : credit_channels_) ch->save_state(w);
+  w.tag(0x4E0C5AFFu);
+}
+
+void Network::restore(const NetworkSnapshot& snap) {
+  StateReader r(snap.bytes);
+
+  r.tag(0x4E0C5AFEu);
+  NOCALLOC_CHECK(r.u64() == routers_.size());
+  NOCALLOC_CHECK(r.u64() == terminals_.size());
+  NOCALLOC_CHECK(r.u64() == flit_channels_.size());
+  NOCALLOC_CHECK(r.u64() == credit_channels_.size());
+
+  now_ = r.u64();
+  next_packet_id_ = r.u64();
+  r.pod(perf_);
+  r.pod_array(router_active_.data(), router_active_.size());
+  r.pod_array(terminal_active_.data(), terminal_active_.size());
+
+  arena_.load_state(r);
+  routing_->load_state(r);
+  for (auto& rt : routers_) rt->load_state(r);
+  for (auto& term : terminals_) term->load_state(r);
+  for (auto& ch : flit_channels_) ch->load_state(r);
+  for (auto& ch : credit_channels_) ch->load_state(r);
+  r.tag(0x4E0C5AFFu);
+  NOCALLOC_CHECK(r.remaining() == 0);
+}
+
 }  // namespace nocalloc::noc

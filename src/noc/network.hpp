@@ -39,6 +39,17 @@ struct NetworkPerfCounters {
   std::uint64_t router_steps_skipped = 0; // router-steps skipped as quiescent
 };
 
+/// Warm-state snapshot of a Network: a flat byte buffer holding every piece
+/// of mutable simulation state (arena slabs, ring buffers, allocator
+/// priorities, credit counters, RNG streams, active-set flags). A value
+/// type: copyable across threads, restorable into any Network built from an
+/// identical (topology, config) pair -- a structure fingerprint at the head
+/// of the buffer aborts mismatched restores. Process-lifetime only; never
+/// persisted across builds.
+struct NetworkSnapshot {
+  std::vector<std::uint8_t> bytes;
+};
+
 class Network final : public CongestionOracle {
  public:
   /// `routing_factory` builds the routing function once the oracle (this
@@ -73,6 +84,23 @@ class Network final : public CongestionOracle {
 
   /// Enables/disables request generation at every terminal.
   void set_generation_enabled(bool enabled);
+
+  /// Updates every terminal's offered request rate (packets per cycle).
+  /// Returns false when the traffic sources have no rate knob (trace
+  /// replay). The knob is what makes warm forking useful: restore a warm
+  /// snapshot, set the fork's load point, keep simulating.
+  bool set_request_rate(double rate);
+
+  /// Captures the complete mutable state into `out` (replacing its
+  /// contents). The snapshot composes with SimInstance-level state (latency
+  /// accumulators, checker counters), which the caller owns.
+  void snapshot(NetworkSnapshot& out) const;
+
+  /// Restores state captured by snapshot() on a structurally identical
+  /// network. Ring buffers and arena slabs are pre-grown to their saved
+  /// high-water capacities, so the post-restore steady state performs no
+  /// heap allocations.
+  void restore(const NetworkSnapshot& snap);
 
   /// Total flits injected by all terminals so far.
   std::uint64_t flits_injected() const;

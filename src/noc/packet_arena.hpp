@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/snapshot.hpp"
 #include "noc/types.hpp"
 
 namespace nocalloc::noc {
@@ -74,6 +75,52 @@ class PacketArena {
   std::size_t high_water() const { return high_water_; }
 
   std::size_t capacity() const { return chunks_.size() * kChunkSize; }
+
+  /// Serializes every slab verbatim plus the free list, so handle values
+  /// embedded in snapshotted flits stay valid after restore.
+  void save_state(StateWriter& w) const {
+    w.u64(capacity());
+    for (const auto& chunk : chunks_) w.pod_array(chunk.get(), kChunkSize);
+    w.u64(free_.size());
+    w.pod_array(free_.data(), free_.size());
+    w.u64(live_);
+    w.u64(high_water_);
+  }
+
+  /// Restores into this arena, which may already be larger than the snapshot
+  /// (a reused shard). Capacity only ever grows to cover the snapshot; slots
+  /// beyond the snapshot's capacity are placed at the FRONT of the free list
+  /// in descending order, so pop_back yields them ascending -- exactly the
+  /// order grow() would have produced them in an uninterrupted run once the
+  /// saved free list drains.
+  void load_state(StateReader& r) {
+    const std::size_t snap_cap = static_cast<std::size_t>(r.u64());
+    NOCALLOC_CHECK(snap_cap % kChunkSize == 0);
+    while (capacity() < snap_cap) grow();
+    for (std::size_t c = 0; c < snap_cap / kChunkSize; ++c) {
+      r.pod_array(chunks_[c].get(), kChunkSize);
+    }
+    const std::size_t n_free = static_cast<std::size_t>(r.u64());
+    NOCALLOC_CHECK(n_free <= snap_cap);
+    free_.clear();
+    free_.reserve(capacity());
+    for (std::size_t h = capacity(); h-- > snap_cap;) {
+      free_.push_back(static_cast<PacketHandle>(h));
+    }
+    const std::size_t extras = free_.size();
+    free_.resize(extras + n_free);
+    r.pod_array(free_.data() + extras, n_free);
+    live_ = static_cast<std::size_t>(r.u64());
+    high_water_ = static_cast<std::size_t>(r.u64());
+    NOCALLOC_CHECK(live_ + n_free == snap_cap);
+#if NOCALLOC_DCHECK_ENABLED
+    live_flag_.assign(capacity(), 1);
+    for (const PacketHandle h : free_) {
+      NOCALLOC_CHECK(h < capacity());
+      live_flag_[h] = 0;
+    }
+#endif
+  }
 
  private:
   static constexpr std::size_t kChunkSize = 512;

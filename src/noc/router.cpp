@@ -343,4 +343,58 @@ std::size_t Router::buffered_flits() const {
   return n;
 }
 
+void Router::save_state(StateWriter& w) const {
+  w.tag(0x40517E40u);
+  for (const InputVc& ivc : input_vcs_) {
+    w.u64(ivc.buffer.size());
+    ivc.buffer.for_each([&](const Flit& flit) { w.pod(flit); });
+    w.pod(ivc.state);
+    w.pod(ivc.route);
+    w.pod(ivc.out_vc);
+  }
+  for (const OutputVc& ovc : output_vcs_) {
+    w.pod(ovc.allocated);
+    w.u64(ovc.credits);
+  }
+  w.u64(next_alloc_cycle_);
+  w.pod(stats_);
+  vc_alloc_->save_state(w);
+  if (sw_alloc_ != nullptr) sw_alloc_->save_state(w);
+  if (spec_alloc_ != nullptr) spec_alloc_->save_state(w);
+}
+
+void Router::load_state(StateReader& r) {
+  r.tag(0x40517E40u);
+  // The occupancy masks are a pure function of the per-VC states; zero them
+  // and let set_vc_state() rebuild each bit.
+  std::fill(wait_mask_.begin(), wait_mask_.end(), bits::Word{0});
+  std::fill(active_mask_.begin(), active_mask_.end(), bits::Word{0});
+  for (std::size_t idx = 0; idx < input_vcs_.size(); ++idx) {
+    InputVc& ivc = input_vcs_[idx];
+    ivc.buffer.clear();
+    const std::size_t n = static_cast<std::size_t>(r.u64());
+    NOCALLOC_CHECK(n <= ivc.buffer.capacity());
+    for (std::size_t i = 0; i < n; ++i) {
+      Flit flit;
+      r.pod(flit);
+      ivc.buffer.push_back(flit);
+    }
+    VcState state = VcState::kIdle;
+    r.pod(state);
+    set_vc_state(idx, state);
+    r.pod(ivc.route);
+    r.pod(ivc.out_vc);
+  }
+  for (OutputVc& ovc : output_vcs_) {
+    r.pod(ovc.allocated);
+    ovc.credits = static_cast<std::size_t>(r.u64());
+    NOCALLOC_CHECK(ovc.credits <= cfg_.buffer_depth);
+  }
+  next_alloc_cycle_ = r.u64();
+  r.pod(stats_);
+  vc_alloc_->load_state(r);
+  if (sw_alloc_ != nullptr) sw_alloc_->load_state(r);
+  if (spec_alloc_ != nullptr) spec_alloc_->load_state(r);
+}
+
 }  // namespace nocalloc::noc

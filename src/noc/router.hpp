@@ -119,6 +119,12 @@ class Router {
   /// to it before committing. Null detaches.
   void set_invariant_checker(InvariantChecker* checker) { checker_ = checker; }
 
+  /// Serializes / restores the router's mutable state: input VC buffers and
+  /// state machines, output VC credit counters, allocator priorities, the
+  /// catch-up cycle, and statistics. The occupancy masks are rebuilt on load.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
  private:
   friend class InvariantChecker;  // audits VC state and credit counters
   enum class VcState : std::uint8_t { kIdle, kWaitVc, kActive };

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "noc/topology.hpp"
 #include "noc/types.hpp"
 
@@ -42,6 +43,12 @@ class RoutingFunction {
   /// output. May update pkt's phase state (e.g. leaving the intermediate).
   virtual RouteInfo route(int router, Packet& pkt,
                           std::size_t arriving_class) = 0;
+
+  /// Serializes / restores mutable routing state (UGAL's RNG stream and
+  /// decision counters) for warm snapshot/restore. The oblivious routing
+  /// functions are stateless, so the defaults are no-ops.
+  virtual void save_state(StateWriter& w) const { static_cast<void>(w); }
+  virtual void load_state(StateReader& r) { static_cast<void>(r); }
 };
 
 /// Dimension-order (x then y) routing on a mesh; a single resource class.
@@ -141,6 +148,21 @@ class UgalFbflyRouting final : public RoutingFunction {
 
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t nonminimal_decisions() const { return nonminimal_; }
+
+  void save_state(StateWriter& w) const override {
+    std::uint64_t s[4];
+    rng_.save_state(s);
+    w.pod_array(s, 4);
+    w.u64(decisions_);
+    w.u64(nonminimal_);
+  }
+  void load_state(StateReader& r) override {
+    std::uint64_t s[4];
+    r.pod_array(s, 4);
+    rng_.load_state(s);
+    decisions_ = r.u64();
+    nonminimal_ = r.u64();
+  }
 
  private:
   /// Network hop count of the minimal path between two routers (0-2).

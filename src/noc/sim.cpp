@@ -36,142 +36,169 @@ VcPartition partition_for(TopologyKind kind, std::size_t vcs_per_class) {
   NOCALLOC_CHECK(false);
 }
 
-SimResult run_simulation(const SimConfig& cfg) {
-  MeshTopology mesh(8);
-  FlattenedButterflyTopology fbfly(4, 4);
-  RingTopology ring(16);
-  TorusTopology torus(8);
-  const Topology* selected = nullptr;
-  switch (cfg.topology) {
+SimInstance::SimInstance(const SimConfig& cfg) : cfg_(cfg) {
+  switch (cfg_.topology) {
     case TopologyKind::kMesh8x8:
-      selected = &mesh;
+      mesh_ = std::make_unique<MeshTopology>(8);
+      topo_ = mesh_.get();
       break;
     case TopologyKind::kFbfly4x4:
-      selected = &fbfly;
+      fbfly_ = std::make_unique<FlattenedButterflyTopology>(4, 4);
+      topo_ = fbfly_.get();
       break;
     case TopologyKind::kRing16:
-      selected = &ring;
+      ring_ = std::make_unique<RingTopology>(16);
+      topo_ = ring_.get();
       break;
     case TopologyKind::kTorus8x8:
-      selected = &torus;
+      torus_ = std::make_unique<TorusTopology>(8);
+      topo_ = torus_.get();
       break;
   }
-  const Topology& topology = *selected;
+  NOCALLOC_CHECK(topo_ != nullptr);
 
   NetworkConfig net_cfg;
-  net_cfg.router.ports = topology.ports();
-  net_cfg.router.partition = partition_for(cfg.topology, cfg.vcs_per_class);
-  net_cfg.router.buffer_depth = cfg.buffer_depth;
-  net_cfg.router.vc_alloc_kind = cfg.vc_alloc;
-  net_cfg.router.vc_arb = cfg.vc_arb;
-  net_cfg.router.sw_alloc_kind = cfg.sw_alloc;
-  net_cfg.router.sw_arb = cfg.sw_arb;
-  net_cfg.router.spec = cfg.spec;
-  net_cfg.pattern = cfg.pattern;
+  net_cfg.router.ports = topo_->ports();
+  net_cfg.router.partition = partition_for(cfg_.topology, cfg_.vcs_per_class);
+  net_cfg.router.buffer_depth = cfg_.buffer_depth;
+  net_cfg.router.vc_alloc_kind = cfg_.vc_alloc;
+  net_cfg.router.vc_arb = cfg_.vc_arb;
+  net_cfg.router.sw_alloc_kind = cfg_.sw_alloc;
+  net_cfg.router.sw_arb = cfg_.sw_arb;
+  net_cfg.router.spec = cfg_.spec;
+  net_cfg.pattern = cfg_.pattern;
   // Each transaction contributes six flits network-wide, three per side on
   // average, so the request rate is one sixth of the offered flit rate.
-  net_cfg.request_rate = cfg.injection_rate / 6.0;
-  net_cfg.seed = cfg.seed;
+  net_cfg.request_rate = cfg_.injection_rate / 6.0;
+  net_cfg.seed = cfg_.seed;
 
-  UgalFbflyRouting* ugal = nullptr;
   Network::RoutingFactory factory =
       [&](const CongestionOracle& oracle) -> std::unique_ptr<RoutingFunction> {
-    if (cfg.topology == TopologyKind::kMesh8x8) {
-      return std::make_unique<DorMeshRouting>(mesh);
+    if (cfg_.topology == TopologyKind::kMesh8x8) {
+      return std::make_unique<DorMeshRouting>(*mesh_);
     }
-    if (cfg.topology == TopologyKind::kRing16) {
-      return std::make_unique<DatelineRingRouting>(ring);
+    if (cfg_.topology == TopologyKind::kRing16) {
+      return std::make_unique<DatelineRingRouting>(*ring_);
     }
-    if (cfg.topology == TopologyKind::kTorus8x8) {
-      return std::make_unique<DorTorusDatelineRouting>(torus);
+    if (cfg_.topology == TopologyKind::kTorus8x8) {
+      return std::make_unique<DorTorusDatelineRouting>(*torus_);
     }
     auto routing = std::make_unique<UgalFbflyRouting>(
-        fbfly, oracle, Rng(cfg.seed ^ 0xCAFEF00Dull));
-    routing->set_threshold(cfg.ugal_threshold);
-    ugal = routing.get();
+        *fbfly_, oracle, Rng(cfg_.seed ^ 0xCAFEF00Dull));
+    routing->set_threshold(cfg_.ugal_threshold);
+    ugal_ = routing.get();
     return routing;
   };
 
-  StatAccumulator packet_latency;
-  StatAccumulator network_latency;
-  Histogram latency_hist(4096);
-  bool measuring = false;
-
-  Network* net_ptr = nullptr;
-  std::uint64_t reply_id = 1ull << 62;  // id space disjoint from requests
-
-  Terminal::EjectCallback on_eject = [&](const Packet& pkt, Cycle now) {
+  Terminal::EjectCallback on_eject = [this](const Packet& pkt, Cycle now) {
     if (is_request(pkt.type)) {
       // The destination answers on the next cycle (Sec. 3.2); the reply
       // inherits the measured flag so transactions are tracked end to end.
-      Packet reply = make_reply(pkt, now, reply_id++);
-      reply.measured = pkt.measured && measuring;
-      net_ptr->terminal(pkt.dst_terminal).enqueue_reply(reply);
+      Packet reply = make_reply(pkt, now, reply_id_++);
+      reply.measured = pkt.measured && measuring_;
+      net_->terminal(pkt.dst_terminal).enqueue_reply(reply);
     }
     if (pkt.measured) {
-      packet_latency.add(static_cast<double>(now - pkt.created));
-      network_latency.add(static_cast<double>(now - pkt.injected));
-      latency_hist.add(static_cast<std::size_t>(now - pkt.created));
+      packet_latency_.add(static_cast<double>(now - pkt.created));
+      network_latency_.add(static_cast<double>(now - pkt.injected));
+      latency_hist_.add(static_cast<std::size_t>(now - pkt.created));
     }
   };
 
-  Network net(topology, net_cfg, factory, on_eject);
-  net_ptr = &net;
+  net_ = std::make_unique<Network>(*topo_, net_cfg, factory, on_eject);
+  if (cfg_.check_invariants) net_->attach_invariant_checker(&checker_);
+}
 
-  InvariantChecker checker;
-  if (cfg.check_invariants) net.attach_invariant_checker(&checker);
+void SimInstance::run_cycles(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) net_->step();
+}
 
-  for (std::size_t i = 0; i < cfg.warmup_cycles; ++i) net.step();
+void SimInstance::set_injection_rate(double rate) {
+  cfg_.injection_rate = rate;
+  net_->set_request_rate(rate / 6.0);
+}
+
+SimResult SimInstance::measure_and_drain() {
+  packet_latency_.reset();
+  network_latency_.reset();
+  latency_hist_.reset();
 
   // Measurement window: packets created here are tracked; the accepted
   // throughput is the flit injection rate the terminals sustain.
-  net.set_measuring(true);
-  measuring = true;
-  const std::uint64_t flits_before = net.flits_injected();
-  for (std::size_t i = 0; i < cfg.measure_cycles; ++i) net.step();
-  const std::uint64_t flits_after = net.flits_injected();
-  net.set_measuring(false);
-  measuring = false;
+  net_->set_measuring(true);
+  measuring_ = true;
+  const std::uint64_t flits_before = net_->flits_injected();
+  run_cycles(cfg_.measure_cycles);
+  const std::uint64_t flits_after = net_->flits_injected();
+  net_->set_measuring(false);
+  measuring_ = false;
 
   // Drain: unmeasured traffic keeps flowing so measured packets finish
   // under steady-state conditions.
-  for (std::size_t i = 0; i < cfg.drain_cycles; ++i) net.step();
+  run_cycles(cfg_.drain_cycles);
 
   // Every drained packet must have returned its arena slot; a leak here
   // would eventually exhaust the arena in long sweeps.
-  if (net.in_flight() == 0) NOCALLOC_DCHECK(net.arena().live() == 0);
+  if (net_->in_flight() == 0) NOCALLOC_DCHECK(net_->arena().live() == 0);
 
   SimResult result;
-  result.avg_packet_latency = packet_latency.mean();
-  result.avg_network_latency = network_latency.mean();
-  result.p99_packet_latency = static_cast<double>(latency_hist.quantile(0.99));
-  result.packets_measured = packet_latency.count();
-  result.offered_flit_rate = cfg.injection_rate;
+  result.avg_packet_latency = packet_latency_.mean();
+  result.avg_network_latency = network_latency_.mean();
+  result.p99_packet_latency =
+      static_cast<double>(latency_hist_.quantile(0.99));
+  result.packets_measured = packet_latency_.count();
+  result.offered_flit_rate = cfg_.injection_rate;
   result.accepted_flit_rate =
       static_cast<double>(flits_after - flits_before) /
-      (static_cast<double>(cfg.measure_cycles) *
-       static_cast<double>(net.num_terminals()));
+      (static_cast<double>(cfg_.measure_cycles) *
+       static_cast<double>(net_->num_terminals()));
   // Saturation: sources cannot inject at the offered rate (queues grow
   // without bound). The 8% slack absorbs the sampling noise of short
   // measurement windows; genuinely saturated runs fall far below it.
   result.saturated =
       result.accepted_flit_rate < 0.92 * result.offered_flit_rate;
 
-  for (std::size_t r = 0; r < topology.num_routers(); ++r) {
-    const RouterStats& rs = net.router(static_cast<int>(r)).stats();
+  for (std::size_t r = 0; r < topo_->num_routers(); ++r) {
+    const RouterStats& rs = net_->router(static_cast<int>(r)).stats();
     result.spec_grants_used += rs.spec_grants_used;
     result.misspeculations += rs.misspeculations;
   }
-  if (ugal != nullptr && ugal->decisions() > 0) {
+  if (ugal_ != nullptr && ugal_->decisions() > 0) {
     result.ugal_nonminimal_fraction =
-        static_cast<double>(ugal->nonminimal_decisions()) /
-        static_cast<double>(ugal->decisions());
+        static_cast<double>(ugal_->nonminimal_decisions()) /
+        static_cast<double>(ugal_->decisions());
   }
-  result.cycles_simulated = net.perf().cycles;
-  result.router_steps_total = net.perf().router_steps_total;
-  result.router_steps_skipped = net.perf().router_steps_skipped;
-  result.arena_high_water = net.arena().high_water();
+  result.cycles_simulated = net_->perf().cycles;
+  result.router_steps_total = net_->perf().router_steps_total;
+  result.router_steps_skipped = net_->perf().router_steps_skipped;
+  result.arena_high_water = net_->arena().high_water();
   return result;
+}
+
+void SimInstance::snapshot(SimSnapshot& out) const {
+  net_->snapshot(out.network);
+  out.driver.clear();
+  StateWriter w(out.driver);
+  w.tag(0x51A05AFEu);
+  w.pod(measuring_);
+  w.u64(reply_id_);
+  checker_.save_state(w);
+}
+
+void SimInstance::restore(const SimSnapshot& snap) {
+  net_->restore(snap.network);
+  StateReader r(snap.driver);
+  r.tag(0x51A05AFEu);
+  r.pod(measuring_);
+  reply_id_ = r.u64();
+  checker_.load_state(r);
+  NOCALLOC_CHECK(r.remaining() == 0);
+}
+
+SimResult run_simulation(const SimConfig& cfg) {
+  SimInstance sim(cfg);
+  sim.warmup();
+  return sim.measure_and_drain();
 }
 
 }  // namespace nocalloc::noc

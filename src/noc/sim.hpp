@@ -1,10 +1,18 @@
 // Simulation driver (Sec. 3.2): builds the network for one of the paper's
 // design points, runs warm-up / measurement / drain phases, and reports
 // average packet latency and accepted throughput.
+//
+// The phases are exposed individually through SimInstance so sweep engines
+// can compose them: warm up once per design point, snapshot the warm state,
+// and fork it across load points (restore + set_injection_rate + a short
+// fork warmup + measure), amortizing the long cold warmup across a whole
+// latency-vs-load curve.
 #pragma once
 
 #include <string>
 
+#include "common/stats.hpp"
+#include "noc/invariants.hpp"
 #include "noc/network.hpp"
 
 namespace nocalloc::noc {
@@ -77,6 +85,73 @@ struct SimResult {
 /// Builds the V partition for a design point: M = 2 message classes, R = 1
 /// (mesh) or 2 (fbfly) resource classes, C VCs per class.
 VcPartition partition_for(TopologyKind kind, std::size_t vcs_per_class);
+
+/// Warm-state snapshot of a SimInstance: the network's byte buffer plus the
+/// driver-side state (reply-id counter, measuring flag, invariant-checker
+/// counters). A value type, copyable across sweep-shard threads. The offered
+/// injection rate is deliberately NOT captured, so one warm snapshot forks
+/// across load points.
+struct SimSnapshot {
+  NetworkSnapshot network;
+  std::vector<std::uint8_t> driver;
+};
+
+/// One simulation, with its phases exposed so sweep engines can compose
+/// them. Owns the topology, the network, the invariant checker, and the
+/// latency accumulators; non-copyable (the network holds pointers into it).
+class SimInstance {
+ public:
+  explicit SimInstance(const SimConfig& cfg);
+  SimInstance(const SimInstance&) = delete;
+  SimInstance& operator=(const SimInstance&) = delete;
+
+  const SimConfig& config() const { return cfg_; }
+  Network& network() { return *net_; }
+  const Network& network() const { return *net_; }
+  InvariantChecker& checker() { return checker_; }
+
+  /// Advances `n` cycles without measuring.
+  void run_cycles(std::size_t n);
+
+  /// The cold warmup phase (cfg.warmup_cycles).
+  void warmup() { run_cycles(cfg_.warmup_cycles); }
+
+  /// Re-points the offered load (flits per terminal per cycle) for
+  /// subsequent cycles; used after restore() to fork a warm state across
+  /// load points.
+  void set_injection_rate(double rate);
+
+  /// Measurement + drain phases. Resets the latency accumulators on entry,
+  /// so the result covers exactly this call's measurement window (which is
+  /// what makes accumulators snapshot-free: a fork never resumes a
+  /// half-finished measurement).
+  SimResult measure_and_drain();
+
+  /// Captures / restores the complete warm state. restore() may be called
+  /// on any SimInstance built from the same SimConfig shape (rates may
+  /// differ); the restored instance then evolves bit-identically to the
+  /// snapshotted one under the same subsequent calls.
+  void snapshot(SimSnapshot& out) const;
+  void restore(const SimSnapshot& snap);
+
+ private:
+  SimConfig cfg_;
+  // Only the selected topology is instantiated; concrete pointers are kept
+  // because the routing functions bind to concrete topology types.
+  std::unique_ptr<MeshTopology> mesh_;
+  std::unique_ptr<FlattenedButterflyTopology> fbfly_;
+  std::unique_ptr<RingTopology> ring_;
+  std::unique_ptr<TorusTopology> torus_;
+  const Topology* topo_ = nullptr;
+  InvariantChecker checker_;
+  std::unique_ptr<Network> net_;
+  UgalFbflyRouting* ugal_ = nullptr;
+  StatAccumulator packet_latency_;
+  StatAccumulator network_latency_;
+  Histogram latency_hist_{4096};
+  bool measuring_ = false;
+  std::uint64_t reply_id_ = 1ull << 62;  // id space disjoint from requests
+};
 
 /// Runs one simulation to completion.
 SimResult run_simulation(const SimConfig& cfg);

@@ -74,6 +74,17 @@ class Terminal {
   /// drain phases and conservation tests.
   void set_generation_enabled(bool enabled) { generate_ = enabled; }
 
+  /// Forwards a new offered rate to the traffic source; returns false when
+  /// the source has no rate knob (trace replay).
+  bool set_request_rate(double rate) { return source_->set_request_rate(rate); }
+
+  /// Serializes / restores the terminal's mutable state: source queues, the
+  /// packet mid-injection, per-VC credits, flit counters, flags, and the
+  /// traffic source's own state. Channel contents are owned (and
+  /// serialized) by the Network.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
  private:
   friend class InvariantChecker;  // audits credits_ for conservation checks
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "noc/types.hpp"
 
 namespace nocalloc::noc {
@@ -43,6 +44,20 @@ class TrafficSource {
   /// PacketArena) so the per-cycle poll never heap-allocates.
   virtual bool maybe_generate(Cycle now, std::uint64_t& next_id,
                               Packet& out) = 0;
+
+  /// Updates the offered request rate; returns false if this source has no
+  /// rate knob (trace replay). The rate is deliberately NOT part of
+  /// save_state: a warm snapshot forked across load points carries the RNG
+  /// stream and queue state while each fork sets its own rate.
+  virtual bool set_request_rate(double rate) {
+    static_cast<void>(rate);
+    return false;
+  }
+
+  /// Serializes / restores the source's mutable state (RNG stream, replay
+  /// cursor) for warm snapshot/restore. Defaults are no-ops.
+  virtual void save_state(StateWriter& w) const { static_cast<void>(w); }
+  virtual void load_state(StateReader& r) { static_cast<void>(r); }
 };
 
 /// Per-terminal request generator: Bernoulli injection at the configured
@@ -59,6 +74,21 @@ class RequestGenerator final : public TrafficSource {
 
   bool maybe_generate(Cycle now, std::uint64_t& next_id,
                       Packet& out) override;
+
+  bool set_request_rate(double rate) override {
+    request_rate_ = rate;
+    return true;
+  }
+  void save_state(StateWriter& w) const override {
+    std::uint64_t s[4];
+    rng_.save_state(s);
+    w.pod_array(s, 4);
+  }
+  void load_state(StateReader& r) override {
+    std::uint64_t s[4];
+    r.pod_array(s, 4);
+    rng_.load_state(s);
+  }
 
  private:
   int terminal_;

@@ -22,6 +22,14 @@ class SaSeparableInputFirst final : public SwitchAllocator {
   void allocate(const std::vector<SwitchRequest>& req,
                 std::vector<SwitchGrant>& grant) override;
   void reset() override;
+  void save_state(StateWriter& w) const override {
+    for (const auto& a : vc_arb_) a->save_state(w);
+    for (const auto& a : out_arb_) a->save_state(w);
+  }
+  void load_state(StateReader& r) override {
+    for (auto& a : vc_arb_) a->load_state(r);
+    for (auto& a : out_arb_) a->load_state(r);
+  }
 
  private:
   void allocate_mask(const std::vector<SwitchRequest>& req,
@@ -46,6 +54,14 @@ class SaSeparableOutputFirst final : public SwitchAllocator {
   void allocate(const std::vector<SwitchRequest>& req,
                 std::vector<SwitchGrant>& grant) override;
   void reset() override;
+  void save_state(StateWriter& w) const override {
+    for (const auto& a : out_arb_) a->save_state(w);
+    for (const auto& a : vc_arb_) a->save_state(w);
+  }
+  void load_state(StateReader& r) override {
+    for (auto& a : out_arb_) a->load_state(r);
+    for (auto& a : vc_arb_) a->load_state(r);
+  }
 
  private:
   void allocate_mask(const std::vector<SwitchRequest>& req,

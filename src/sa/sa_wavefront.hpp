@@ -27,6 +27,14 @@ class SaWavefront final : public SwitchAllocator {
     SwitchAllocator::set_reference_path(ref);
     core_.set_reference_path(ref);
   }
+  void save_state(StateWriter& w) const override {
+    core_.save_state(w);
+    for (const auto& a : presel_) a->save_state(w);
+  }
+  void load_state(StateReader& r) override {
+    core_.load_state(r);
+    for (auto& a : presel_) a->load_state(r);
+  }
 
  private:
   WavefrontAllocator core_;

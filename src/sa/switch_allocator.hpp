@@ -61,6 +61,12 @@ class SwitchAllocator {
   virtual void set_reference_path(bool ref) { reference_path_ = ref; }
   bool reference_path() const { return reference_path_; }
 
+  /// Serializes / restores priority state for warm snapshot/restore; see
+  /// Allocator::save_state. Defaults are no-ops (maximum-size and test
+  /// doubles are stateless); stateful architectures override both.
+  virtual void save_state(StateWriter& w) const { static_cast<void>(w); }
+  virtual void load_state(StateReader& r) { static_cast<void>(r); }
+
  protected:
   void prepare(const std::vector<SwitchRequest>& req,
                std::vector<SwitchGrant>& grant) const;

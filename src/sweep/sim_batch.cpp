@@ -1,0 +1,133 @@
+#include "sweep/sim_batch.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace nocalloc::sweep {
+
+std::vector<noc::SimResult> run_sim_batch(
+    ThreadPool& pool, const std::vector<noc::SimConfig>& cfgs) {
+  return parallel_map(pool, cfgs.size(), [&](std::size_t i) {
+    return noc::run_simulation(cfgs[i]);
+  });
+}
+
+std::vector<noc::SimResult> run_sim_batch_seeded(
+    ThreadPool& pool, std::vector<noc::SimConfig> cfgs,
+    std::uint64_t base_seed) {
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i].seed = task_seed(base_seed, i);
+  }
+  return run_sim_batch(pool, cfgs);
+}
+
+namespace {
+
+/// Runs one fork of a warm curve: restore, switch the offered load, let the
+/// queues adjust, then measure. Pure function of (instance state, spec,
+/// rate), so forks are reproducible wherever they run.
+noc::SimResult fork_point(noc::SimInstance& sim, const noc::SimSnapshot& warm,
+                          const CurveSpec& spec, double rate) {
+  sim.restore(warm);
+  sim.set_injection_rate(rate);
+  sim.run_cycles(spec.fork_warmup_cycles);
+  return sim.measure_and_drain();
+}
+
+/// Warms one design point at its lowest rate and captures the warm state.
+void warm_spec(const CurveSpec& spec, noc::SimSnapshot& out) {
+  noc::SimConfig cfg = spec.base;
+  cfg.injection_rate = spec.rates.front();
+  noc::SimInstance sim(cfg);
+  sim.warmup();
+  sim.snapshot(out);
+}
+
+/// One curve as a single serial task: warm once, fork every rate in order,
+/// stop at the first saturated point.
+Curve run_curve_serial(const CurveSpec& spec) {
+  Curve curve;
+  curve.points.resize(spec.rates.size());
+  for (std::size_t p = 0; p < spec.rates.size(); ++p) {
+    curve.points[p].rate = spec.rates[p];
+  }
+  if (spec.rates.empty()) return curve;
+
+  noc::SimConfig cfg = spec.base;
+  cfg.injection_rate = spec.rates.front();
+  noc::SimInstance sim(cfg);
+  sim.warmup();
+  noc::SimSnapshot warm;
+  sim.snapshot(warm);
+
+  for (std::size_t p = 0; p < spec.rates.size(); ++p) {
+    CurvePoint& point = curve.points[p];
+    point.result = fork_point(sim, warm, spec, spec.rates[p]);
+    point.run = true;
+    if (spec.stop_at_saturation && point.result.saturated) break;
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::vector<Curve> run_warm_curves(ThreadPool& pool,
+                                   const std::vector<CurveSpec>& specs) {
+  for (const CurveSpec& spec : specs) {
+    for (std::size_t p = 1; p < spec.rates.size(); ++p) {
+      NOCALLOC_CHECK(spec.rates[p - 1] <= spec.rates[p]);
+    }
+  }
+
+  // Saturation-stopped curves run whole (the early exit is inherently
+  // sequential); the rest shard per (spec, rate). Both kinds coexist in one
+  // call: phase 1 handles whole curves and the warm snapshots of sharded
+  // ones, phase 2 fans out the sharded curves' load points.
+  std::vector<Curve> curves(specs.size());
+  std::vector<std::size_t> sharded;  // spec indices sharded per point
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
+      sharded.push_back(s);
+    }
+  }
+
+  // Phase 1: one task per spec -- a full serial curve, or (for sharded
+  // specs) just the cold warmup + snapshot.
+  std::vector<noc::SimSnapshot> warm(specs.size());
+  pool.run_indexed(specs.size(), [&](std::size_t s) {
+    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
+      warm_spec(specs[s], warm[s]);
+    } else {
+      curves[s] = run_curve_serial(specs[s]);
+    }
+  });
+
+  // Phase 2: every (sharded spec, rate) pair is its own task with a fresh
+  // SimInstance restored from the spec's warm snapshot.
+  struct PointTask {
+    std::size_t spec = 0;
+    std::size_t point = 0;
+  };
+  std::vector<PointTask> tasks;
+  for (const std::size_t s : sharded) {
+    curves[s].points.resize(specs[s].rates.size());
+    for (std::size_t p = 0; p < specs[s].rates.size(); ++p) {
+      curves[s].points[p].rate = specs[s].rates[p];
+      tasks.push_back(PointTask{s, p});
+    }
+  }
+  pool.run_indexed(tasks.size(), [&](std::size_t i) {
+    const CurveSpec& spec = specs[tasks[i].spec];
+    const double rate = spec.rates[tasks[i].point];
+    noc::SimConfig cfg = spec.base;
+    cfg.injection_rate = spec.rates.front();
+    noc::SimInstance sim(cfg);
+    CurvePoint& point = curves[tasks[i].spec].points[tasks[i].point];
+    point.result = fork_point(sim, warm[tasks[i].spec], spec, rate);
+    point.run = true;
+  });
+  return curves;
+}
+
+}  // namespace nocalloc::sweep

@@ -1,0 +1,75 @@
+// Sharded multi-simulation engine.
+//
+// The paper's network figures are built from dozens of independent
+// (design point, offered load, seed) simulations. run_sim_batch runs each
+// one as its own task on the work-stealing pool; run_warm_curves goes
+// further and amortizes warmup across a latency-vs-load curve: the design
+// point is warmed once at the curve's lowest rate, the warm state is
+// captured with SimInstance::snapshot(), and every load point forks from
+// that snapshot (restore + set rate + a short fork warmup + measure)
+// instead of re-simulating thousands of cold warmup cycles.
+//
+// Isolation and determinism: every task owns a full SimInstance -- its own
+// PacketArena, rings, allocator state, and RNG streams (seeded from the
+// config, or counter-based via task_seed in the seeded variant) -- so
+// shards share nothing and results are bit-identical for every thread
+// count, 1 included.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/sim.hpp"
+#include "sweep/sweep.hpp"
+
+namespace nocalloc::sweep {
+
+/// Runs every config as an independent shard on the pool; results are in
+/// input order and bit-identical across thread counts.
+std::vector<noc::SimResult> run_sim_batch(
+    ThreadPool& pool, const std::vector<noc::SimConfig>& cfgs);
+
+/// Same, but replaces each config's seed with task_seed(base_seed, i) --
+/// the counter-based scheme that keeps multi-seed sweeps reproducible
+/// without any shared RNG.
+std::vector<noc::SimResult> run_sim_batch_seeded(
+    ThreadPool& pool, std::vector<noc::SimConfig> cfgs,
+    std::uint64_t base_seed);
+
+/// One latency-vs-load curve over a fixed design point.
+struct CurveSpec {
+  /// Design point; its injection_rate is ignored (rates[] drives it) and
+  /// its warmup_cycles are paid exactly once, at rates.front().
+  noc::SimConfig base;
+  /// Offered flit rates, lowest first (the warmup point).
+  std::vector<double> rates;
+  /// Cycles simulated after forking the warm state at a new rate, before
+  /// measurement starts: long enough for queues to adjust from the warmup
+  /// rate's steady state to the fork's offered load.
+  std::size_t fork_warmup_cycles = 1000;
+  /// When true, the curve stops at its first saturated point (the paper's
+  /// curves end at saturation) and runs as ONE task, forking rates in
+  /// order within it. When false, every (design point, rate) pair becomes
+  /// its own shard: phase 1 warms and snapshots each design point in
+  /// parallel, phase 2 forks all load points in parallel.
+  bool stop_at_saturation = true;
+};
+
+struct CurvePoint {
+  double rate = 0.0;
+  /// False when the point was skipped past saturation (stop_at_saturation).
+  bool run = false;
+  noc::SimResult result;
+};
+
+/// Results for one CurveSpec, points in rates[] order.
+struct Curve {
+  std::vector<CurvePoint> points;
+};
+
+/// Warm-fork sweep over several curves; see CurveSpec for the sharding
+/// granularity. Results are bit-identical across thread counts.
+std::vector<Curve> run_warm_curves(ThreadPool& pool,
+                                   const std::vector<CurveSpec>& specs);
+
+}  // namespace nocalloc::sweep

@@ -24,6 +24,14 @@ class VcSeparableInputFirstAllocator final : public VcAllocator {
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
   void reset() override;
+  void save_state(StateWriter& w) const override {
+    for (const auto& a : input_arb_) a->save_state(w);
+    for (const auto& a : output_arb_) a->save_state(w);
+  }
+  void load_state(StateReader& r) override {
+    for (auto& a : input_arb_) a->load_state(r);
+    for (auto& a : output_arb_) a->load_state(r);
+  }
 
  private:
   void allocate_mask(const std::vector<VcRequest>& req, std::vector<int>& grant);
@@ -46,6 +54,14 @@ class VcSeparableOutputFirstAllocator final : public VcAllocator {
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
   void reset() override;
+  void save_state(StateWriter& w) const override {
+    for (const auto& a : output_arb_) a->save_state(w);
+    for (const auto& a : input_arb_) a->save_state(w);
+  }
+  void load_state(StateReader& r) override {
+    for (auto& a : output_arb_) a->load_state(r);
+    for (auto& a : input_arb_) a->load_state(r);
+  }
 
  private:
   void allocate_mask(const std::vector<VcRequest>& req, std::vector<int>& grant);

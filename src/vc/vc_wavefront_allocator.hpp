@@ -34,6 +34,12 @@ class VcWavefrontAllocator final : public VcAllocator {
     VcAllocator::set_reference_path(ref);
     for (auto& c : cores_) c->set_reference_path(ref);
   }
+  void save_state(StateWriter& w) const override {
+    for (const auto& c : cores_) c->save_state(w);
+  }
+  void load_state(StateReader& r) override {
+    for (auto& c : cores_) c->load_state(r);
+  }
 
   bool sparse() const { return sparse_; }
 

@@ -7,11 +7,13 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "noc/sim.hpp"
 #include "quality/quality.hpp"
+#include "sweep/sim_batch.hpp"
 #include "sweep/sweep.hpp"
 
 namespace nocalloc::sweep {
@@ -164,6 +166,107 @@ TEST(SimSweep, ParallelSimulationsDeterministicUnderInvariantChecker) {
         << "point " << i;
     EXPECT_EQ(got[i].accepted_flit_rate, expected[i].accepted_flit_rate)
         << "point " << i;
+  }
+}
+
+void expect_result_eq(const noc::SimResult& got, const noc::SimResult& want,
+                      const std::string& where) {
+  EXPECT_EQ(got.avg_packet_latency, want.avg_packet_latency) << where;
+  EXPECT_EQ(got.p99_packet_latency, want.p99_packet_latency) << where;
+  EXPECT_EQ(got.packets_measured, want.packets_measured) << where;
+  EXPECT_EQ(got.accepted_flit_rate, want.accepted_flit_rate) << where;
+  EXPECT_EQ(got.saturated, want.saturated) << where;
+  EXPECT_EQ(got.spec_grants_used, want.spec_grants_used) << where;
+}
+
+// run_sim_batch is the sharded engine's flat entry point: a mixed bag of
+// design points must produce identical results on 1 and N threads.
+TEST(SimBatch, BatchIdenticalAcrossPoolSizes) {
+  std::vector<noc::SimConfig> cfgs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    noc::SimConfig cfg;
+    cfg.topology = (i % 2) == 0 ? noc::TopologyKind::kMesh8x8
+                                : noc::TopologyKind::kFbfly4x4;
+    cfg.sw_alloc = (i / 2) == 0 ? AllocatorKind::kSeparableInputFirst
+                                : AllocatorKind::kWavefront;
+    cfg.injection_rate = 0.05 + 0.05 * static_cast<double>(i % 3);
+    cfg.warmup_cycles = 200;
+    cfg.measure_cycles = 400;
+    cfg.drain_cycles = 1000;
+    cfgs.push_back(cfg);
+  }
+  ThreadPool serial(1);
+  const auto expected = run_sim_batch_seeded(serial, cfgs, 0xFACE);
+  ThreadPool pool(4);
+  const auto got = run_sim_batch_seeded(pool, cfgs, 0xFACE);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_result_eq(got[i], expected[i], "point " + std::to_string(i));
+  }
+}
+
+CurveSpec small_curve(noc::TopologyKind topo, bool stop_at_saturation) {
+  CurveSpec spec;
+  spec.base.topology = topo;
+  spec.base.warmup_cycles = 300;
+  spec.base.measure_cycles = 400;
+  spec.base.drain_cycles = 1200;
+  spec.base.seed = 0xC0FFEE;
+  spec.rates = {0.06, 0.12, 0.18};
+  spec.fork_warmup_cycles = 200;
+  spec.stop_at_saturation = stop_at_saturation;
+  return spec;
+}
+
+// Warm-fork curves must be bit-identical across thread counts in both
+// sharding modes: whole-curve tasks (stop_at_saturation) and fully
+// per-point shards.
+TEST(SimBatch, WarmCurvesIdenticalAcrossPoolSizes) {
+  for (const bool stop : {true, false}) {
+    const std::vector<CurveSpec> specs = {
+        small_curve(noc::TopologyKind::kMesh8x8, stop),
+        small_curve(noc::TopologyKind::kFbfly4x4, stop),
+    };
+    ThreadPool serial(1);
+    const auto expected = run_warm_curves(serial, specs);
+    ThreadPool pool(4);
+    const auto got = run_warm_curves(pool, specs);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      ASSERT_EQ(got[s].points.size(), expected[s].points.size());
+      for (std::size_t p = 0; p < got[s].points.size(); ++p) {
+        const std::string where = "stop=" + std::to_string(stop) + " curve " +
+                                  std::to_string(s) + " point " +
+                                  std::to_string(p);
+        EXPECT_EQ(got[s].points[p].rate, expected[s].points[p].rate) << where;
+        ASSERT_EQ(got[s].points[p].run, expected[s].points[p].run) << where;
+        if (got[s].points[p].run) {
+          expect_result_eq(got[s].points[p].result, expected[s].points[p].result,
+                           where);
+        }
+      }
+    }
+  }
+}
+
+// The two sharding modes agree with each other on unsaturated curves (no
+// early exit to differ on): per-point forks from a fresh instance match the
+// whole-curve task's in-place forks.
+TEST(SimBatch, ShardingModesAgreeBelowSaturation) {
+  ThreadPool pool(4);
+  const auto serial_mode =
+      run_warm_curves(pool, {small_curve(noc::TopologyKind::kMesh8x8, true)});
+  const auto sharded_mode =
+      run_warm_curves(pool, {small_curve(noc::TopologyKind::kMesh8x8, false)});
+  ASSERT_EQ(serial_mode.size(), 1u);
+  ASSERT_EQ(sharded_mode.size(), 1u);
+  ASSERT_EQ(serial_mode[0].points.size(), sharded_mode[0].points.size());
+  for (std::size_t p = 0; p < serial_mode[0].points.size(); ++p) {
+    ASSERT_TRUE(serial_mode[0].points[p].run);
+    ASSERT_TRUE(sharded_mode[0].points[p].run);
+    expect_result_eq(sharded_mode[0].points[p].result,
+                     serial_mode[0].points[p].result,
+                     "point " + std::to_string(p));
   }
 }
 
