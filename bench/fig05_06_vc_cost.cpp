@@ -102,6 +102,37 @@ int main() {
     }
   }
 
+  // Opt-in measured-activity power model: re-synthesize a representative
+  // subset with per-net switching activity measured by the compiled
+  // bit-parallel engine (random vectors, activity-0.5 inputs like the
+  // paper's assumption). The figure tables above are untouched; this
+  // subsection reports the delta. See EXPERIMENTS.md, "Measured switching
+  // activity".
+  bench::subheading("measured switching activity (opt-in power model)");
+  {
+    ActivityOptions act;
+    act.vectors = bench::fast_mode() ? 1024 : 4096;
+    std::printf("  %zu random vectors per netlist; constant-0.5 column is the "
+                "Fig. 6 number\n", act.vectors);
+    for (const bench::DesignPoint& pt : bench::paper_design_points()) {
+      for (bool sparse : {false, true}) {
+        VcAllocGenConfig cfg;
+        cfg.ports = pt.ports;
+        cfg.partition = pt.partition;
+        cfg.kind = AllocatorKind::kSeparableInputFirst;
+        cfg.arb = ArbiterKind::kRoundRobin;
+        cfg.sparse = sparse;
+        const SynthesisResult r =
+            synthesize_vc_allocator(cfg, ProcessParams{}, &act);
+        if (!r.ok || r.measured_power_mw <= 0) continue;
+        std::printf("  %-14s sep_if/rr %-6s const %7.2f mW  measured %7.2f mW"
+                    "  (eff. activity %.3f)\n",
+                    pt.label, sparse ? "sparse" : "dense", r.power_mw,
+                    r.measured_power_mw, r.measured_activity);
+      }
+    }
+  }
+
   bench::subheading("summary vs paper (Sec. 4.3.1)");
   std::printf("max sparse savings measured: delay %.0f%%, area %.0f%%, power "
               "%.0f%%\n",

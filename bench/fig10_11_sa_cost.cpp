@@ -80,6 +80,35 @@ int main() {
     }
   }
 
+  // Opt-in measured-activity power model for the non-speculative variants;
+  // the Fig. 11 tables above keep the paper's constant-0.5 assumption. See
+  // EXPERIMENTS.md, "Measured switching activity".
+  bench::subheading("measured switching activity (opt-in power model)");
+  {
+    ActivityOptions act;
+    act.vectors = bench::fast_mode() ? 1024 : 4096;
+    std::printf("  %zu random vectors per netlist; constant-0.5 column is the "
+                "Fig. 11 number\n", act.vectors);
+    for (const bench::DesignPoint& pt : bench::paper_design_points()) {
+      for (const Variant& v : kVariants) {
+        if (v.arb != ArbiterKind::kRoundRobin) continue;
+        SaGenConfig cfg;
+        cfg.ports = pt.ports;
+        cfg.vcs = pt.partition.total_vcs();
+        cfg.kind = v.kind;
+        cfg.arb = v.arb;
+        cfg.spec = SpecMode::kNonSpeculative;
+        const SynthesisResult r =
+            synthesize_switch_allocator(cfg, ProcessParams{}, &act);
+        if (!r.ok || r.measured_power_mw <= 0) continue;
+        std::printf("  %-14s %-10s const %7.2f mW  measured %7.2f mW"
+                    "  (eff. activity %.3f)\n",
+                    pt.label, v.label, r.power_mw, r.measured_power_mw,
+                    r.measured_activity);
+      }
+    }
+  }
+
   bench::subheading("summary vs paper (Sec. 5.3.1)");
   std::printf("max pessimistic delay saving: %.0f%% overall, %.0f%% for the "
               "wavefront allocator\n",

@@ -1,10 +1,13 @@
 #include "hw/analysis.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
+#include "hw/netlist_program.hpp"
 
 namespace nocalloc::hw {
 namespace {
@@ -20,12 +23,67 @@ constexpr double kOutputPinCapFf = 4.0;
 
 }  // namespace
 
-SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process) {
+ActivityProfile measure_switching_activity(const Netlist& netlist,
+                                           const ActivityOptions& options) {
+  const std::size_t n = netlist.size();
+  ActivityProfile profile;
+  profile.node_activity.assign(n, 0.0);
+  if (n == 0) return profile;
+
+  NetlistProgram program(netlist);
+  BatchNetlistSimulator sim(program);
+  const std::size_t lanes = BatchNetlistSimulator::kLanes;
+  // Each pass evaluates 64 vectors; transitions are counted between
+  // consecutive cycles within a lane, so T passes give 64*(T-1) samples.
+  const std::size_t passes =
+      std::max<std::size_t>(2, (options.vectors + lanes - 1) / lanes);
+
+  Rng rng(options.seed);
+  std::vector<std::uint64_t> in(program.num_inputs());
+  std::vector<std::uint64_t> out(program.num_outputs());
+  std::vector<std::uint64_t> prev(n, 0);
+  std::vector<std::uint64_t> toggles(n, 0);
+
+  for (std::size_t t = 0; t < passes; ++t) {
+    // Uniform random lane words: every input bit flips with probability 0.5
+    // per cycle per lane -- the paper's input activity factor.
+    for (std::uint64_t& w : in) w = rng.next();
+    sim.evaluate(in, out);
+    if (t > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t cur = sim.node_word(static_cast<NodeId>(i));
+        toggles[i] += static_cast<std::uint64_t>(std::popcount(cur ^ prev[i]));
+        prev[i] = cur;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        prev[i] = sim.node_word(static_cast<NodeId>(i));
+      }
+    }
+    sim.clock();
+  }
+
+  const double samples = static_cast<double>(lanes * (passes - 1));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    profile.node_activity[i] = static_cast<double>(toggles[i]) / samples;
+    sum += profile.node_activity[i];
+  }
+  profile.mean_activity = sum / static_cast<double>(n);
+  profile.vectors = lanes * passes;
+  return profile;
+}
+
+SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process,
+                        const ActivityProfile* activity) {
   SynthesisResult result;
   result.node_count = netlist.size();
   if (result.node_count > process.synthesis_node_limit) {
     result.ok = false;
     return result;
+  }
+  if (activity != nullptr) {
+    NOCALLOC_CHECK(activity->node_activity.size() == netlist.size());
   }
 
   const std::size_t n = netlist.size();
@@ -55,12 +113,18 @@ SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process) {
   double max_arrival = 0.0;
   double area = 0.0;
   double switched_cap_ff = 0.0;
+  // Activity-weighted switched capacitance: each net's load scaled by its
+  // measured toggle rate instead of the constant internal activity.
+  double measured_cap_ff = 0.0;
 
   for (std::size_t i = 0; i < n; ++i) {
     const Node& node = netlist.node(static_cast<NodeId>(i));
     const CellParams& params = cell_params(node.kind);
+    const double node_activity =
+        activity != nullptr ? activity->node_activity[i] : 0.0;
     area += params.area_um2;
     switched_cap_ff += load_ff[i];
+    measured_cap_ff += node_activity * load_ff[i];
 
     if (node.kind == CellKind::kInput || node.kind == CellKind::kConst) {
       arrival[i] = 0.0;
@@ -89,6 +153,8 @@ SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process) {
           std::ceil(load_ff[i] / (kBufferStageEffort * buf_cin));
       area += leaf_bufs * cell_params(CellKind::kBuf).area_um2 * 1.5;
       switched_cap_ff += leaf_bufs * buf_cin * 1.5;
+      // Inferred buffers toggle with their driving net.
+      measured_cap_ff += node_activity * leaf_bufs * buf_cin * 1.5;
       h = kMaxStageEffort;
     }
 
@@ -123,6 +189,14 @@ SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process) {
   // P = alpha * C * V^2 * f; switched_cap is the total load capacitance.
   result.power_mw = process.internal_activity * switched_cap_ff * 1e-15 *
                     process.vdd * process.vdd * freq_hz * 1e3;
+  if (activity != nullptr) {
+    // Same P = alpha*C*V^2*f, but alpha*C is summed per net from measured
+    // toggle rates rather than one global constant.
+    result.measured_power_mw =
+        measured_cap_ff * 1e-15 * process.vdd * process.vdd * freq_hz * 1e3;
+    result.measured_activity =
+        switched_cap_ff > 0.0 ? measured_cap_ff / switched_cap_ff : 0.0;
+  }
   return result;
 }
 

@@ -7,6 +7,15 @@
 // same three quantities for the generated netlists, plus a synthesis-failure
 // flag for netlists exceeding the configured resource limit (modelling DC
 // running out of memory on the largest configurations).
+//
+// Power comes in two flavours. The paper-faithful default multiplies the
+// total switched capacitance by a constant internal activity factor
+// (ProcessParams::internal_activity, calibrated for activity-0.5 inputs).
+// Opt-in, measure_switching_activity() runs random activity-0.5 vectors
+// through the compiled bit-parallel engine (netlist_program.hpp) and counts
+// per-net toggles, giving a measured per-net activity profile; passing that
+// profile to analyze() fills measured_power_mw alongside the unchanged
+// constant-activity power_mw.
 #pragma once
 
 #include "hw/netlist.hpp"
@@ -19,13 +28,47 @@ struct SynthesisResult {
   double delay_ns = 0.0;    // minimum cycle time
   double area_um2 = 0.0;    // total cell area incl. inferred fanout buffers
   double power_mw = 0.0;    // dynamic power at f = 1 / delay_ns
+  // Filled only when analyze() is given an ActivityProfile; zero otherwise,
+  // so the default outputs are unchanged.
+  double measured_power_mw = 0.0;  // dynamic power from per-net toggle counts
+  double measured_activity = 0.0;  // capacitance-weighted mean toggle rate
 };
+
+/// Per-net switching activity measured by simulation.
+struct ActivityProfile {
+  /// Toggle probability per cycle for every netlist node, indexed by
+  /// NodeId. Primary inputs sit near the driving activity (0.5); logic
+  /// attenuates or amplifies it structurally.
+  std::vector<double> node_activity;
+  /// Plain mean over all nodes (pseudo-cells included; they drive load).
+  double mean_activity = 0.0;
+  /// Total vectors that contributed transition samples.
+  std::size_t vectors = 0;
+};
+
+struct ActivityOptions {
+  /// Total random vectors to simulate, rounded up to whole 64-lane passes.
+  /// Each lane is an independent stimulus stream; transitions are counted
+  /// between consecutive cycles within a lane.
+  std::size_t vectors = 4096;
+  std::uint64_t seed = 0x5EEDAC71;
+};
+
+/// Drives random activity-0.5 input vectors through the compiled
+/// bit-parallel engine and returns per-net toggle rates. Sequential
+/// elements are exercised: each cycle is a step(), so priority registers
+/// and their downstream cones switch as they would in operation.
+ActivityProfile measure_switching_activity(const Netlist& netlist,
+                                           const ActivityOptions& options = {});
 
 /// Analyzes `netlist` under `process`. Never fails structurally; ok is false
 /// only when the node count exceeds process.synthesis_node_limit, in which
 /// case the numeric fields are left zero (matching the paper's missing data
-/// points).
-SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process);
+/// points). When `activity` is non-null (and sized to the netlist), the
+/// measured_* fields are additionally filled from the per-net profile; the
+/// default delay/area/power outputs are identical either way.
+SynthesisResult analyze(const Netlist& netlist, const ProcessParams& process,
+                        const ActivityProfile* activity = nullptr);
 
 /// Per-scope cost attribution (see Netlist::begin_scope). Sorted by
 /// descending area. Counts instantiated cells only: the fanout buffers

@@ -1,0 +1,315 @@
+#include "hw/netlist_program.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nocalloc::hw {
+
+NetlistProgram::NetlistProgram(const Netlist& netlist) : netlist_(netlist) {
+  NOCALLOC_CHECK(netlist.states().size() == netlist.captures().size());
+  const std::size_t n = netlist.size();
+  num_slots_ = n + 1;  // slot 0 is the reserved constant-zero word
+  levels_.assign(n, 0);
+
+  // Pass 1: levelize and collect the I/O and state maps. Ids are
+  // topologically ordered by construction, so one forward sweep assigns
+  // every node 1 + max(fanin levels); the fanin < id check rejects graphs
+  // produced by inject_fault_fanin.
+  std::size_t op_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = netlist.node(static_cast<NodeId>(i));
+    std::uint32_t level = 0;
+    for (std::uint8_t k = 0; k < node.fanin_count; ++k) {
+      const NodeId f = node.fanin[k];
+      NOCALLOC_CHECK(f >= 0 && static_cast<std::size_t>(f) < i);
+      level = std::max(level, levels_[static_cast<std::size_t>(f)] + 1);
+    }
+    switch (node.kind) {
+      case CellKind::kInput:
+        input_slots_.push_back(static_cast<std::uint32_t>(i) + 1);
+        break;
+      case CellKind::kConst:
+        constants_.emplace_back(static_cast<std::uint32_t>(i) + 1,
+                                node.value ? 1 : 0);
+        break;
+      case CellKind::kDff:
+        // Q starts a new timing path: level 0, no op. The D slot is filled
+        // in pass 2 once the capture pairing is walked.
+        level = 0;
+        flop_slots_.push_back(static_cast<std::uint32_t>(i) + 1);
+        flop_init_.push_back(node.value ? 1 : 0);
+        break;
+      default:
+        ++op_count;
+        break;
+    }
+    levels_[i] = level;
+  }
+
+  // Pass 2: close the register loops. The k-th fanin-less kDff pairs with
+  // the k-th capture() (the Netlist invariant); dff(d) flops carry D inline.
+  std::size_t next_capture = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = netlist.node(static_cast<NodeId>(i));
+    if (node.kind != CellKind::kDff) continue;
+    const NodeId d = node.fanin_count == 0 ? netlist.captures()[next_capture++]
+                                           : node.fanin[0];
+    flop_d_slots_.push_back(static_cast<std::uint32_t>(d) + 1);
+  }
+  NOCALLOC_CHECK(next_capture == netlist.captures().size());
+
+  // Pass 3: emit the tape in level order (stable within a level, so the
+  // order is still a topological order of the gate nodes). Counting sort by
+  // level keeps compilation O(n).
+  std::uint32_t max_level = 0;
+  for (std::uint32_t l : levels_) max_level = std::max(max_level, l);
+  std::vector<std::uint32_t> level_start(max_level + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CellKind kind = netlist.node(static_cast<NodeId>(i)).kind;
+    if (kind == CellKind::kInput || kind == CellKind::kConst ||
+        kind == CellKind::kDff) {
+      continue;
+    }
+    ++level_start[levels_[i] + 1];
+  }
+  for (std::size_t l = 1; l < level_start.size(); ++l) {
+    level_start[l] += level_start[l - 1];
+  }
+  ops_.resize(op_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = netlist.node(static_cast<NodeId>(i));
+    if (node.kind == CellKind::kInput || node.kind == CellKind::kConst ||
+        node.kind == CellKind::kDff) {
+      continue;
+    }
+    NetOp& op = ops_[level_start[levels_[i]]++];
+    op.kind = node.kind;
+    op.dst = static_cast<std::uint32_t>(i) + 1;
+    for (int k = 0; k < 3; ++k) {
+      op.src[k] = k < node.fanin_count
+                      ? static_cast<std::uint32_t>(node.fanin[k]) + 1
+                      : 0;  // reserved zero slot
+    }
+  }
+
+  output_slots_.reserve(netlist.outputs().size());
+  for (NodeId o : netlist.outputs()) {
+    output_slots_.push_back(static_cast<std::uint32_t>(o) + 1);
+  }
+}
+
+void NetlistProgram::reset_slots(std::span<std::uint64_t> slots) const {
+  NOCALLOC_CHECK(slots.size() == num_slots_);
+  std::fill(slots.begin(), slots.end(), 0);
+  for (const auto& [slot, value] : constants_) {
+    slots[slot] = value ? ~0ull : 0ull;
+  }
+  for (std::size_t f = 0; f < flop_slots_.size(); ++f) {
+    slots[flop_slots_[f]] = flop_init_[f] ? ~0ull : 0ull;
+  }
+}
+
+void NetlistProgram::run(std::uint64_t* s) const {
+  for (const NetOp& op : ops_) {
+    const std::uint64_t a = s[op.src[0]];
+    const std::uint64_t b = s[op.src[1]];
+    const std::uint64_t c = s[op.src[2]];
+    std::uint64_t v = 0;
+    switch (op.kind) {
+      case CellKind::kInv:
+        v = ~a;
+        break;
+      case CellKind::kBuf:
+        v = a;
+        break;
+      case CellKind::kNand2:
+        v = ~(a & b);
+        break;
+      case CellKind::kNor2:
+        v = ~(a | b);
+        break;
+      case CellKind::kAnd2:
+        v = a & b;
+        break;
+      case CellKind::kOr2:
+        v = a | b;
+        break;
+      case CellKind::kXor2:
+        v = a ^ b;
+        break;
+      case CellKind::kMux2:
+        v = (a & b) | (~a & c);
+        break;
+      case CellKind::kAoi21:
+        v = ~((a & b) | c);
+        break;
+      case CellKind::kInhibit:
+        v = c & ~(a & b);
+        break;
+      default:
+        // kInput/kConst/kDff never appear on the tape.
+        NOCALLOC_CHECK(false);
+    }
+    s[op.dst] = v;
+  }
+}
+
+// ---- BatchNetlistSimulator --------------------------------------------------
+
+BatchNetlistSimulator::BatchNetlistSimulator(const Netlist& netlist)
+    : owned_program_(std::make_unique<NetlistProgram>(netlist)) {
+  program_ = owned_program_.get();
+  slots_.resize(program_->num_slots());
+  capture_.resize(program_->num_flops());
+  program_->reset_slots(slots_);
+}
+
+BatchNetlistSimulator::BatchNetlistSimulator(const NetlistProgram& program)
+    : program_(&program) {
+  slots_.resize(program_->num_slots());
+  capture_.resize(program_->num_flops());
+  program_->reset_slots(slots_);
+}
+
+void BatchNetlistSimulator::reset() {
+  program_->reset_slots(slots_);
+  if (oracle_) oracle_->reset();
+}
+
+void BatchNetlistSimulator::load_inputs(std::span<const std::uint64_t> inputs) {
+  NOCALLOC_CHECK(inputs.size() == program_->num_inputs());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    slots_[program_->input_slot(i)] = inputs[i];
+  }
+}
+
+void BatchNetlistSimulator::evaluate(std::span<const std::uint64_t> inputs,
+                                     std::span<std::uint64_t> outputs) {
+  NOCALLOC_CHECK(outputs.size() == program_->num_outputs());
+  if (reference_path_) {
+    evaluate_reference(inputs, outputs, /*clock_edge=*/false);
+    return;
+  }
+  load_inputs(inputs);
+  program_->run(slots_.data());
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    outputs[o] = slots_[program_->output_slot(o)];
+  }
+}
+
+void BatchNetlistSimulator::clock() {
+  // Capture phase: read every D word while all Q slots still hold the old
+  // state, then commit -- flop-to-flop transfers latch pre-edge values.
+  const std::size_t f_count = program_->num_flops();
+  for (std::size_t f = 0; f < f_count; ++f) {
+    capture_[f] = slots_[program_->flop_d_slot(f)];
+  }
+  for (std::size_t f = 0; f < f_count; ++f) {
+    slots_[program_->flop_slot(f)] = capture_[f];
+  }
+}
+
+void BatchNetlistSimulator::step(std::span<const std::uint64_t> inputs,
+                                 std::span<std::uint64_t> outputs) {
+  if (reference_path_) {
+    evaluate_reference(inputs, outputs, /*clock_edge=*/true);
+    return;
+  }
+  evaluate(inputs, outputs);
+  clock();
+}
+
+std::uint64_t BatchNetlistSimulator::flop_word(std::size_t f) const {
+  NOCALLOC_CHECK(f < program_->num_flops());
+  return slots_[program_->flop_slot(f)];
+}
+
+void BatchNetlistSimulator::save_flops(std::vector<std::uint64_t>& out) const {
+  out.resize(program_->num_flops());
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    out[f] = slots_[program_->flop_slot(f)];
+  }
+}
+
+void BatchNetlistSimulator::restore_flops(std::span<const std::uint64_t> in) {
+  NOCALLOC_CHECK(in.size() == program_->num_flops());
+  for (std::size_t f = 0; f < in.size(); ++f) {
+    slots_[program_->flop_slot(f)] = in[f];
+  }
+}
+
+void BatchNetlistSimulator::set_reference_path(bool ref) {
+  reference_path_ = ref;
+  if (ref && !oracle_) {
+    oracle_ = std::make_unique<NetlistSimulator>(program_->netlist());
+    oracle_in_.resize(program_->num_inputs());
+  }
+}
+
+void BatchNetlistSimulator::evaluate_reference(
+    std::span<const std::uint64_t> inputs, std::span<std::uint64_t> outputs,
+    bool clock_edge) {
+  NOCALLOC_CHECK(inputs.size() == program_->num_inputs());
+  const std::size_t f_count = program_->num_flops();
+  std::fill(outputs.begin(), outputs.end(), 0);
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    const std::uint64_t bit = 1ull << lane;
+    // Seed the oracle with this lane's flop state, run it one vector at a
+    // time, and scatter the results back into the lane words.
+    for (std::size_t f = 0; f < f_count; ++f) {
+      oracle_->set_flop(f, (slots_[program_->flop_slot(f)] & bit) != 0);
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      oracle_in_[i] = (inputs[i] & bit) != 0;
+    }
+    const std::vector<bool>& out =
+        clock_edge ? oracle_->step(oracle_in_) : oracle_->evaluate(oracle_in_);
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      if (out[o]) outputs[o] |= bit;
+    }
+    if (clock_edge) {
+      for (std::size_t f = 0; f < f_count; ++f) {
+        capture_[f] = (capture_[f] & ~bit) |
+                      (oracle_->flop(f) ? bit : 0ull);
+      }
+    }
+  }
+  if (clock_edge) {
+    for (std::size_t f = 0; f < f_count; ++f) {
+      slots_[program_->flop_slot(f)] = capture_[f];
+    }
+  }
+}
+
+// ---- Transpose helpers ------------------------------------------------------
+
+std::vector<std::uint64_t> pack_lanes(
+    const std::vector<std::vector<bool>>& rows, std::size_t width) {
+  NOCALLOC_CHECK(rows.size() <= BatchNetlistSimulator::kLanes);
+  std::vector<std::uint64_t> words(width, 0);
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    NOCALLOC_CHECK(rows[v].size() == width);
+    const std::uint64_t bit = 1ull << v;
+    for (std::size_t i = 0; i < width; ++i) {
+      if (rows[v][i]) words[i] |= bit;
+    }
+  }
+  return words;
+}
+
+std::vector<std::vector<bool>> unpack_lanes(
+    std::span<const std::uint64_t> words, std::size_t count) {
+  NOCALLOC_CHECK(count <= BatchNetlistSimulator::kLanes);
+  std::vector<std::vector<bool>> rows(count,
+                                      std::vector<bool>(words.size(), false));
+  for (std::size_t v = 0; v < count; ++v) {
+    const std::uint64_t bit = 1ull << v;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      rows[v][i] = (words[i] & bit) != 0;
+    }
+  }
+  return rows;
+}
+
+}  // namespace nocalloc::hw

@@ -15,6 +15,7 @@ NetlistSimulator::NetlistSimulator(const Netlist& netlist)
       flops_.push_back(static_cast<NodeId>(i));
     }
   }
+  out_.resize(netlist_.outputs().size());
   reset();
 }
 
@@ -29,6 +30,11 @@ void NetlistSimulator::reset() {
 bool NetlistSimulator::flop(std::size_t index) const {
   NOCALLOC_CHECK(index < flop_state_.size());
   return flop_state_[index] != 0;
+}
+
+void NetlistSimulator::set_flop(std::size_t index, bool value) {
+  NOCALLOC_CHECK(index < flop_state_.size());
+  flop_state_[index] = value ? 1 : 0;
 }
 
 void NetlistSimulator::propagate(const std::vector<bool>& inputs) {
@@ -87,18 +93,19 @@ void NetlistSimulator::propagate(const std::vector<bool>& inputs) {
   }
 }
 
-std::vector<bool> NetlistSimulator::evaluate(const std::vector<bool>& inputs) {
+const std::vector<bool>& NetlistSimulator::evaluate(
+    const std::vector<bool>& inputs) {
   propagate(inputs);
-  std::vector<bool> out;
-  out.reserve(netlist_.outputs().size());
-  for (NodeId o : netlist_.outputs()) {
-    out.push_back(value_[static_cast<std::size_t>(o)] != 0);
+  const std::vector<NodeId>& outputs = netlist_.outputs();
+  for (std::size_t k = 0; k < outputs.size(); ++k) {
+    out_[k] = value_[static_cast<std::size_t>(outputs[k])] != 0;
   }
-  return out;
+  return out_;
 }
 
-std::vector<bool> NetlistSimulator::step(const std::vector<bool>& inputs) {
-  std::vector<bool> out = evaluate(inputs);
+const std::vector<bool>& NetlistSimulator::step(
+    const std::vector<bool>& inputs) {
+  const std::vector<bool>& out = evaluate(inputs);
 
   // Clock edge: latch D values. state() flops (no fanin) take the paired
   // capture signal, dff(d) flops take their inline fanin.

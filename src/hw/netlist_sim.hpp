@@ -29,16 +29,23 @@ class NetlistSimulator {
 
   /// Combinationally evaluates the netlist for the given primary-input
   /// values (in input-creation order) and returns the marked outputs (in
-  /// mark_output order). Does not advance state.
-  std::vector<bool> evaluate(const std::vector<bool>& inputs);
+  /// mark_output order). Does not advance state. The returned reference
+  /// aliases a member buffer valid until the next evaluate()/step(), so
+  /// repeated evaluation performs no heap allocation.
+  const std::vector<bool>& evaluate(const std::vector<bool>& inputs);
 
   /// evaluate() followed by a clock edge: every state element latches its
   /// D value (captures and inline dff() fanins).
-  std::vector<bool> step(const std::vector<bool>& inputs);
+  const std::vector<bool>& step(const std::vector<bool>& inputs);
 
   /// Current value of a state element (by state()/dff() creation order
   /// within all flops); exposed for tests.
   bool flop(std::size_t index) const;
+
+  /// Overwrites a state element, bypassing the clock. This is how
+  /// BatchNetlistSimulator's reference path seeds the oracle with one
+  /// lane's flop state before replaying that lane's vector.
+  void set_flop(std::size_t index, bool value);
 
   /// Resets all flops to their power-on values.
   void reset();
@@ -51,6 +58,7 @@ class NetlistSimulator {
   std::vector<NodeId> flops_;   // all kDff nodes in creation order
   std::vector<char> value_;     // last propagated value per node
   std::vector<char> flop_state_;
+  std::vector<bool> out_;       // reused output buffer (allocation-free reuse)
 };
 
 }  // namespace nocalloc::hw

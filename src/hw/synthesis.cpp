@@ -1,19 +1,34 @@
 #include "hw/synthesis.hpp"
 
 namespace nocalloc::hw {
+namespace {
+
+SynthesisResult analyze_with_optional_activity(const Netlist& nl,
+                                               const ProcessParams& process,
+                                               const ActivityOptions* activity) {
+  if (activity == nullptr || nl.size() > process.synthesis_node_limit) {
+    return analyze(nl, process);
+  }
+  const ActivityProfile profile = measure_switching_activity(nl, *activity);
+  return analyze(nl, process, &profile);
+}
+
+}  // namespace
 
 SynthesisResult synthesize_vc_allocator(const VcAllocGenConfig& cfg,
-                                        const ProcessParams& process) {
+                                        const ProcessParams& process,
+                                        const ActivityOptions* activity) {
   Netlist nl;
   gen_vc_allocator(nl, cfg);
-  return analyze(nl, process);
+  return analyze_with_optional_activity(nl, process, activity);
 }
 
 SynthesisResult synthesize_switch_allocator(const SaGenConfig& cfg,
-                                            const ProcessParams& process) {
+                                            const ProcessParams& process,
+                                            const ActivityOptions* activity) {
   Netlist nl;
   gen_switch_allocator(nl, cfg);
-  return analyze(nl, process);
+  return analyze_with_optional_activity(nl, process, activity);
 }
 
 }  // namespace nocalloc::hw

@@ -8,12 +8,17 @@
 
 namespace nocalloc::hw {
 
-/// Synthesizes a VC allocator design point.
+/// Synthesizes a VC allocator design point. When `activity` is non-null and
+/// the netlist fits the resource limit, per-net switching activity is
+/// measured through the compiled bit-parallel engine and the result's
+/// measured_* fields are filled; the default outputs are unchanged.
 SynthesisResult synthesize_vc_allocator(const VcAllocGenConfig& cfg,
-                                        const ProcessParams& process = {});
+                                        const ProcessParams& process = {},
+                                        const ActivityOptions* activity = nullptr);
 
-/// Synthesizes a switch allocator design point.
+/// Synthesizes a switch allocator design point (same activity contract).
 SynthesisResult synthesize_switch_allocator(const SaGenConfig& cfg,
-                                            const ProcessParams& process = {});
+                                            const ProcessParams& process = {},
+                                            const ActivityOptions* activity = nullptr);
 
 }  // namespace nocalloc::hw

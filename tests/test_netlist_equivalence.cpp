@@ -1,9 +1,17 @@
 // Functional equivalence between the generated gate-level netlists and the
 // behavioural allocator models -- the reproduction's substitute for RTL
-// simulation of the paper's Verilog. Every test drives identical stimulus
-// through a generated circuit (via NetlistSimulator) and the corresponding
-// behavioural object, and requires bit-identical grants.
+// simulation of the paper's Verilog.
+//
+// Stimulus is driven in 64-wide batches through the compiled bit-parallel
+// engine (hw/netlist_program.hpp): lane v of every word is an independent
+// request stream with its own behavioural reference instance. Every batch
+// additionally runs the same words through a second engine pinned to the
+// scalar NetlistSimulator oracle (set_reference_path), so each design point
+// gets a full packed-vs-scalar differential check -- outputs AND flop state
+// -- on top of the behavioural equivalence.
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "alloc/wavefront_allocator.hpp"
 #include "arbiter/matrix_arbiter.hpp"
@@ -11,7 +19,7 @@
 #include "arbiter/tree_arbiter.hpp"
 #include "common/rng.hpp"
 #include "hw/arbiter_gen.hpp"
-#include "hw/netlist_sim.hpp"
+#include "hw/netlist_program.hpp"
 #include "hw/sa_gen.hpp"
 #include "hw/vc_alloc_gen.hpp"
 #include "hw/wavefront_gen.hpp"
@@ -22,48 +30,56 @@
 namespace nocalloc::hw {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Arbiters: multi-cycle equivalence including priority updates.
+constexpr std::size_t kLanes = BatchNetlistSimulator::kLanes;
 
-struct ArbiterHarness {
-  Netlist nl;
-  std::vector<NodeId> req;
-  std::unique_ptr<NetlistSimulator> sim;
-  std::size_t n;
-
-  ArbiterHarness(ArbiterKind kind, std::size_t width, std::size_t groups = 1)
-      : n(width) {
-    req = nl.inputs(width);
-    const NodeId enable = nl.input();
-    ArbiterCircuit circuit =
-        groups == 1 ? gen_arbiter(nl, kind, req, enable)
-                    : gen_tree_arbiter(nl, kind, req, groups, enable);
-    for (NodeId g : circuit.gnt) nl.mark_output(g);
-    sim = std::make_unique<NetlistSimulator>(nl);
+/// Differential harness: the same lane words go through the compiled fast
+/// path and the scalar-oracle reference path; outputs and flop words must be
+/// bit-identical before the behavioural comparison even starts.
+class BatchDiff {
+ public:
+  explicit BatchDiff(const Netlist& nl)
+      : program_(nl), fast_(program_), ref_(program_) {
+    ref_.set_reference_path(true);
+    out_fast_.resize(program_.num_outputs());
+    out_ref_.resize(program_.num_outputs());
   }
 
-  /// One clocked round: returns the granted index or -1. The enable is
-  /// asserted exactly when a grant exists (the on-success rule; in these
-  /// single-arbiter tests every grant is "successful").
-  int round(const ReqVector& requests) {
-    std::vector<bool> in(n + 1, false);
-    bool any = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      in[i] = requests[i] != 0;
-      any = any || in[i];
-    }
-    in[n] = any;  // update enable
-    const std::vector<bool> gnt = sim->step(in);
-    int winner = -1;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (gnt[i]) {
-        EXPECT_EQ(winner, -1) << "multiple grants";
-        winner = static_cast<int>(i);
-      }
-    }
-    return winner;
+  std::size_t num_inputs() const { return program_.num_inputs(); }
+
+  const std::vector<std::uint64_t>& evaluate(
+      const std::vector<std::uint64_t>& in) {
+    return run(in, /*clock_edge=*/false);
   }
+  const std::vector<std::uint64_t>& step(const std::vector<std::uint64_t>& in) {
+    return run(in, /*clock_edge=*/true);
+  }
+
+ private:
+  const std::vector<std::uint64_t>& run(const std::vector<std::uint64_t>& in,
+                                        bool clock_edge) {
+    if (clock_edge) {
+      fast_.step(in, out_fast_);
+      ref_.step(in, out_ref_);
+    } else {
+      fast_.evaluate(in, out_fast_);
+      ref_.evaluate(in, out_ref_);
+    }
+    EXPECT_EQ(out_fast_, out_ref_) << "packed vs scalar outputs diverge";
+    for (std::size_t f = 0; f < program_.num_flops(); ++f) {
+      EXPECT_EQ(fast_.flop_word(f), ref_.flop_word(f))
+          << "packed vs scalar flop state diverges at flop " << f;
+    }
+    return out_fast_;
+  }
+
+  NetlistProgram program_;
+  BatchNetlistSimulator fast_, ref_;
+  std::vector<std::uint64_t> out_fast_, out_ref_;
 };
+
+// ---------------------------------------------------------------------------
+// Arbiters: multi-cycle equivalence including priority updates; each lane is
+// an independent request stream with its own behavioural arbiter.
 
 struct ArbiterEquivParam {
   ArbiterKind kind;
@@ -76,20 +92,57 @@ class ArbiterEquivalenceTest
 
 TEST_P(ArbiterEquivalenceTest, MatchesBehaviouralModelOverManyCycles) {
   const ArbiterEquivParam& p = GetParam();
-  ArbiterHarness hw(p.kind, p.width, p.groups);
-  std::unique_ptr<Arbiter> sw =
-      p.groups == 1
-          ? make_arbiter(p.kind, p.width)
-          : std::make_unique<TreeArbiter>(p.kind, p.groups,
-                                          p.width / p.groups);
-  Rng rng(0xE0 + p.width);
-  ReqVector req(p.width, 0);
-  for (int cycle = 0; cycle < 500; ++cycle) {
-    for (auto& r : req) r = rng.next_bool(0.45) ? 1 : 0;
-    const int expected = sw->pick(req);
-    const int actual = hw.round(req);
-    ASSERT_EQ(actual, expected) << "cycle " << cycle;
-    if (expected >= 0) sw->update(expected);
+  const std::size_t n = p.width;
+
+  Netlist nl;
+  const std::vector<NodeId> req_nodes = nl.inputs(n);
+  const NodeId enable = nl.input();
+  ArbiterCircuit circuit =
+      p.groups == 1 ? gen_arbiter(nl, p.kind, req_nodes, enable)
+                    : gen_tree_arbiter(nl, p.kind, req_nodes, p.groups, enable);
+  for (NodeId g : circuit.gnt) nl.mark_output(g);
+  BatchDiff hw(nl);
+
+  // One behavioural arbiter and one RNG stream per lane.
+  std::vector<std::unique_ptr<Arbiter>> sw;
+  std::vector<Rng> rng;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    sw.push_back(p.groups == 1
+                     ? make_arbiter(p.kind, n)
+                     : std::make_unique<TreeArbiter>(p.kind, p.groups,
+                                                     n / p.groups));
+    rng.emplace_back(0xE0 + p.width * kLanes + lane);
+  }
+
+  std::vector<std::vector<bool>> rows(kLanes, std::vector<bool>(n + 1));
+  std::vector<ReqVector> req(kLanes, ReqVector(n, 0));
+  for (int cycle = 0; cycle < 48; ++cycle) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      bool any = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool bit = rng[lane].next_bool(0.45);
+        req[lane][i] = bit ? 1 : 0;
+        rows[lane][i] = bit;
+        any = any || bit;
+      }
+      // The enable is asserted exactly when a grant exists (the on-success
+      // rule; in these single-arbiter tests every grant is "successful").
+      rows[lane][n] = any;
+    }
+    const std::vector<std::uint64_t>& gnt = hw.step(pack_lanes(rows, n + 1));
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      const std::uint64_t bit = 1ull << lane;
+      int winner = -1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (gnt[i] & bit) {
+          ASSERT_EQ(winner, -1) << "multiple grants, lane " << lane;
+          winner = static_cast<int>(i);
+        }
+      }
+      const int expected = sw[lane]->pick(req[lane]);
+      ASSERT_EQ(winner, expected) << "cycle " << cycle << " lane " << lane;
+      if (expected >= 0) sw[lane]->update(expected);
+    }
   }
 }
 
@@ -124,26 +177,37 @@ TEST(WavefrontEquivalence, MatchesBehaviouralModelOverManyCycles) {
   for (const auto& row : circuit.gnt) {
     for (NodeId g : row) nl.mark_output(g);
   }
-  NetlistSimulator sim(nl);
+  BatchDiff hw(nl);
 
-  WavefrontAllocator sw(kN, kN);
-  Rng rng(77);
-  BitMatrix reqs(kN, kN), expected;
-  std::vector<bool> in(kN * kN);
-  for (int cycle = 0; cycle < 300; ++cycle) {
-    for (std::size_t i = 0; i < kN; ++i) {
-      for (std::size_t j = 0; j < kN; ++j) {
-        const bool bit = rng.next_bool(0.4);
-        reqs.set(i, j, bit);
-        in[i * kN + j] = bit;
+  std::vector<WavefrontAllocator> sw(kLanes, WavefrontAllocator(kN, kN));
+  std::vector<Rng> rng;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    rng.emplace_back(77 * kLanes + lane);
+  }
+
+  std::vector<std::vector<bool>> rows(kLanes, std::vector<bool>(kN * kN));
+  std::vector<BitMatrix> reqs(kLanes, BitMatrix(kN, kN));
+  BitMatrix expected;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t j = 0; j < kN; ++j) {
+          const bool bit = rng[lane].next_bool(0.4);
+          reqs[lane].set(i, j, bit);
+          rows[lane][i * kN + j] = bit;
+        }
       }
     }
-    sw.allocate(reqs, expected);
-    const std::vector<bool> gnt = sim.step(in);
-    for (std::size_t i = 0; i < kN; ++i) {
-      for (std::size_t j = 0; j < kN; ++j) {
-        ASSERT_EQ(gnt[i * kN + j], expected.get(i, j))
-            << "cycle " << cycle << " cell (" << i << "," << j << ")";
+    const std::vector<std::uint64_t>& gnt = hw.step(pack_lanes(rows, kN * kN));
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      const std::uint64_t bit = 1ull << lane;
+      sw[lane].allocate(reqs[lane], expected);
+      for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t j = 0; j < kN; ++j) {
+          ASSERT_EQ((gnt[i * kN + j] & bit) != 0, expected.get(i, j))
+              << "cycle " << cycle << " lane " << lane << " cell (" << i << ","
+              << j << ")";
+        }
       }
     }
   }
@@ -155,9 +219,13 @@ TEST(WavefrontEquivalence, SparseBlockMatchesWithTrimmedTiles) {
   constexpr std::size_t kN = 5;
   Netlist nl;
   std::vector<std::vector<NodeId>> req(kN, std::vector<NodeId>(kN, kNoNode));
+  std::size_t present = 0;
   for (std::size_t i = 0; i < kN; ++i) {
     for (std::size_t j = 0; j < kN; ++j) {
-      if ((i + j) % 2 == 0) req[i][j] = nl.input();
+      if ((i + j) % 2 == 0) {
+        req[i][j] = nl.input();
+        ++present;
+      }
     }
   }
   WavefrontCircuit circuit = gen_wavefront(nl, req);
@@ -166,30 +234,42 @@ TEST(WavefrontEquivalence, SparseBlockMatchesWithTrimmedTiles) {
       if (circuit.gnt[i][j] != kNoNode) nl.mark_output(circuit.gnt[i][j]);
     }
   }
-  NetlistSimulator sim(nl);
+  BatchDiff hw(nl);
 
-  WavefrontAllocator sw(kN, kN);
-  Rng rng(78);
-  BitMatrix reqs(kN, kN), expected;
-  for (int cycle = 0; cycle < 200; ++cycle) {
-    std::vector<bool> in;
-    reqs.clear();
-    for (std::size_t i = 0; i < kN; ++i) {
-      for (std::size_t j = 0; j < kN; ++j) {
-        if ((i + j) % 2 != 0) continue;
-        const bool bit = rng.next_bool(0.5);
-        reqs.set(i, j, bit);
-        in.push_back(bit);
+  std::vector<WavefrontAllocator> sw(kLanes, WavefrontAllocator(kN, kN));
+  std::vector<Rng> rng;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    rng.emplace_back(78 * kLanes + lane);
+  }
+
+  std::vector<std::vector<bool>> rows(kLanes, std::vector<bool>(present));
+  std::vector<BitMatrix> reqs(kLanes, BitMatrix(kN, kN));
+  BitMatrix expected;
+  for (int cycle = 0; cycle < 32; ++cycle) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      reqs[lane].clear();
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t j = 0; j < kN; ++j) {
+          if ((i + j) % 2 != 0) continue;
+          const bool bit = rng[lane].next_bool(0.5);
+          reqs[lane].set(i, j, bit);
+          rows[lane][k++] = bit;
+        }
       }
     }
-    sw.allocate(reqs, expected);
-    const std::vector<bool> gnt = sim.step(in);
-    std::size_t out_idx = 0;
-    for (std::size_t i = 0; i < kN; ++i) {
-      for (std::size_t j = 0; j < kN; ++j) {
-        if ((i + j) % 2 != 0) continue;
-        ASSERT_EQ(gnt[out_idx++], expected.get(i, j))
-            << "cycle " << cycle << " cell (" << i << "," << j << ")";
+    const std::vector<std::uint64_t>& gnt = hw.step(pack_lanes(rows, present));
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      const std::uint64_t bit = 1ull << lane;
+      sw[lane].allocate(reqs[lane], expected);
+      std::size_t out_idx = 0;
+      for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t j = 0; j < kN; ++j) {
+          if ((i + j) % 2 != 0) continue;
+          ASSERT_EQ((gnt[out_idx++] & bit) != 0, expected.get(i, j))
+              << "cycle " << cycle << " lane " << lane << " cell (" << i << ","
+              << j << ")";
+        }
       }
     }
   }
@@ -198,64 +278,25 @@ TEST(WavefrontEquivalence, SparseBlockMatchesWithTrimmedTiles) {
 // ---------------------------------------------------------------------------
 // Switch allocators: single-cycle (fresh-state) equivalence. Enables are
 // free inputs on the netlist side and stay 0, so the circuit's priority
-// state never advances; each vector is compared against a fresh behavioural
+// state never advances; each lane is compared against a fresh behavioural
 // instance.
 
-struct SaHarness {
-  Netlist nl;
-  std::unique_ptr<NetlistSimulator> sim;
-  std::size_t ports, vcs;
-  std::size_t request_inputs;  // inputs belonging to one request block
-
-  explicit SaHarness(const SaGenConfig& cfg)
-      : ports(cfg.ports), vcs(cfg.vcs) {
-    gen_switch_allocator(nl, cfg);
-    sim = std::make_unique<NetlistSimulator>(nl);
-    request_inputs = ports * vcs + ports * vcs * ports;
-  }
-
-  /// Packs one request block in make_request_inputs order: per port, V
-  /// valid bits, then per VC a P-wide destination one-hot.
-  static void pack(std::vector<bool>& in, std::size_t base,
+/// Packs one request block in make_request_inputs order: per port, V valid
+/// bits, then per VC a P-wide destination one-hot.
+void pack_sa_block(std::vector<bool>& row, std::size_t base,
                    const std::vector<SwitchRequest>& req, std::size_t ports,
                    std::size_t vcs) {
-    std::size_t k = base;
-    for (std::size_t p = 0; p < ports; ++p) {
-      for (std::size_t v = 0; v < vcs; ++v) in[k++] = req[p * vcs + v].valid;
-      for (std::size_t v = 0; v < vcs; ++v) {
-        for (std::size_t o = 0; o < ports; ++o) {
-          in[k++] = req[p * vcs + v].valid &&
-                    req[p * vcs + v].out_port == static_cast<int>(o);
-        }
-      }
-    }
-  }
-
-  /// Evaluates one non-speculative request vector; returns the P x P
-  /// crossbar matrix and the per-port winning VC.
-  void run(const std::vector<SwitchRequest>& req, BitMatrix& xbar,
-           std::vector<int>& win_vc) {
-    std::vector<bool> in(sim->num_inputs(), false);
-    pack(in, 0, req, ports, vcs);
-    const std::vector<bool> out = sim->evaluate(in);
-    xbar.resize(ports, ports);
-    std::size_t k = 0;
-    for (std::size_t p = 0; p < ports; ++p) {
+  std::size_t k = base;
+  for (std::size_t p = 0; p < ports; ++p) {
+    for (std::size_t v = 0; v < vcs; ++v) row[k++] = req[p * vcs + v].valid;
+    for (std::size_t v = 0; v < vcs; ++v) {
       for (std::size_t o = 0; o < ports; ++o) {
-        xbar.set(p, o, out[k++]);
-      }
-    }
-    win_vc.assign(ports, -1);
-    for (std::size_t p = 0; p < ports; ++p) {
-      for (std::size_t v = 0; v < vcs; ++v) {
-        if (out[k++]) {
-          EXPECT_EQ(win_vc[p], -1);
-          win_vc[p] = static_cast<int>(v);
-        }
+        row[k++] = req[p * vcs + v].valid &&
+                   req[p * vcs + v].out_port == static_cast<int>(o);
       }
     }
   }
-};
+}
 
 std::vector<SwitchRequest> random_sa_requests(std::size_t ports,
                                               std::size_t vcs, double rate,
@@ -283,28 +324,54 @@ TEST_P(SaEquivalenceTest, NetlistMatchesBehaviouralAllocator) {
   cfg.kind = p.kind;
   cfg.arb = ArbiterKind::kRoundRobin;
   cfg.spec = SpecMode::kNonSpeculative;
-  SaHarness hw(cfg);
+  Netlist nl;
+  gen_switch_allocator(nl, cfg);
+  BatchDiff hw(nl);
 
   Rng rng(0xAB);
-  BitMatrix xbar;
-  std::vector<int> win_vc;
+  std::vector<std::vector<bool>> rows(
+      kLanes, std::vector<bool>(hw.num_inputs(), false));
+  std::vector<std::vector<SwitchRequest>> req(kLanes);
   std::vector<SwitchGrant> expected;
-  for (int vec = 0; vec < 200; ++vec) {
-    const auto req = random_sa_requests(p.ports, p.vcs, 0.45, rng);
-    // Fresh behavioural instance: initial priority state, like the
-    // netlist whose enables are held low.
-    auto sw = make_switch_allocator(
-        {p.ports, p.vcs, p.kind, ArbiterKind::kRoundRobin});
-    sw->allocate(req, expected);
-    hw.run(req, xbar, win_vc);
-    for (std::size_t port = 0; port < p.ports; ++port) {
-      const SwitchGrant& g = expected[port];
-      ASSERT_EQ(win_vc[port], g.vc) << "vector " << vec << " port " << port;
-      for (std::size_t o = 0; o < p.ports; ++o) {
-        const bool expect_bit =
-            g.granted() && g.out_port == static_cast<int>(o);
-        ASSERT_EQ(xbar.get(port, o), expect_bit)
-            << "vector " << vec << " xbar (" << port << "," << o << ")";
+  for (int batch = 0; batch < 4; ++batch) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      req[lane] = random_sa_requests(p.ports, p.vcs, 0.45, rng);
+      std::fill(rows[lane].begin(), rows[lane].end(), false);
+      pack_sa_block(rows[lane], 0, req[lane], p.ports, p.vcs);
+    }
+    const std::vector<std::uint64_t>& out =
+        hw.evaluate(pack_lanes(rows, hw.num_inputs()));
+
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      const std::uint64_t bit = 1ull << lane;
+      // Fresh behavioural instance: initial priority state, like the
+      // netlist whose enables are held low.
+      auto sw = make_switch_allocator(
+          {p.ports, p.vcs, p.kind, ArbiterKind::kRoundRobin});
+      sw->allocate(req[lane], expected);
+
+      // Output order: P x P crossbar matrix, then per-port winning VC.
+      std::size_t k = 0;
+      for (std::size_t port = 0; port < p.ports; ++port) {
+        const SwitchGrant& g = expected[port];
+        for (std::size_t o = 0; o < p.ports; ++o) {
+          const bool expect_bit =
+              g.granted() && g.out_port == static_cast<int>(o);
+          ASSERT_EQ((out[k++] & bit) != 0, expect_bit)
+              << "batch " << batch << " lane " << lane << " xbar (" << port
+              << "," << o << ")";
+        }
+      }
+      for (std::size_t port = 0; port < p.ports; ++port) {
+        int win_vc = -1;
+        for (std::size_t v = 0; v < p.vcs; ++v) {
+          if (out[k++] & bit) {
+            ASSERT_EQ(win_vc, -1) << "lane " << lane;
+            win_vc = static_cast<int>(v);
+          }
+        }
+        ASSERT_EQ(win_vc, expected[port].vc)
+            << "batch " << batch << " lane " << lane << " port " << port;
       }
     }
   }
@@ -339,44 +406,53 @@ TEST(SpecSaEquivalence, MaskedSpecGrantsMatchBehaviouralWrapper) {
     cfg.spec = mode;
     Netlist nl;
     gen_switch_allocator(nl, cfg);
-    NetlistSimulator sim(nl);
+    BatchDiff hw(nl);
     const std::size_t block = kP * kV + kP * kV * kP;
 
     Rng rng(0xCD + static_cast<std::uint64_t>(mode));
-    for (int vec = 0; vec < 200; ++vec) {
-      std::vector<SwitchRequest> nonspec =
-          random_sa_requests(kP, kV, 0.3, rng);
-      std::vector<SwitchRequest> spec = random_sa_requests(kP, kV, 0.3, rng);
-
-      SwitchAllocatorConfig base{kP, kV, cfg.kind, cfg.arb};
-      SpeculativeSwitchAllocator sw(base, mode);
-      std::vector<SpecSwitchGrant> expected;
-      sw.allocate(nonspec, spec, expected);
-
-      std::vector<bool> in(sim.num_inputs(), false);
-      SaHarness::pack(in, 0, nonspec, kP, kV);
-      SaHarness::pack(in, block, spec, kP, kV);
-      const std::vector<bool> out = sim.evaluate(in);
-
-      // Output order: nonspec xbar (PxP), nonspec vc_gnt (PxV), masked
-      // spec xbar (PxP), spec vc_gnt (PxV).
-      std::size_t k = 0;
-      for (std::size_t p = 0; p < kP; ++p) {
-        for (std::size_t o = 0; o < kP; ++o) {
-          const bool expect_bit =
-              expected[p].nonspec.granted() &&
-              expected[p].nonspec.out_port == static_cast<int>(o);
-          ASSERT_EQ(out[k++], expect_bit) << "nonspec xbar " << p << "," << o;
-        }
+    std::vector<std::vector<bool>> rows(
+        kLanes, std::vector<bool>(hw.num_inputs(), false));
+    std::vector<std::vector<SwitchRequest>> nonspec(kLanes), spec(kLanes);
+    for (int batch = 0; batch < 3; ++batch) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        nonspec[lane] = random_sa_requests(kP, kV, 0.3, rng);
+        spec[lane] = random_sa_requests(kP, kV, 0.3, rng);
+        std::fill(rows[lane].begin(), rows[lane].end(), false);
+        pack_sa_block(rows[lane], 0, nonspec[lane], kP, kV);
+        pack_sa_block(rows[lane], block, spec[lane], kP, kV);
       }
-      k += kP * kV;  // nonspec winning-VC vector checked via xbar already
-      for (std::size_t p = 0; p < kP; ++p) {
-        for (std::size_t o = 0; o < kP; ++o) {
-          const bool expect_bit =
-              expected[p].spec.granted() &&
-              expected[p].spec.out_port == static_cast<int>(o);
-          ASSERT_EQ(out[k++], expect_bit)
-              << to_string(mode) << " spec xbar " << p << "," << o;
+      const std::vector<std::uint64_t>& out =
+          hw.evaluate(pack_lanes(rows, hw.num_inputs()));
+
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t bit = 1ull << lane;
+        SwitchAllocatorConfig base{kP, kV, cfg.kind, cfg.arb};
+        SpeculativeSwitchAllocator sw(base, mode);
+        std::vector<SpecSwitchGrant> expected;
+        sw.allocate(nonspec[lane], spec[lane], expected);
+
+        // Output order: nonspec xbar (PxP), nonspec vc_gnt (PxV), masked
+        // spec xbar (PxP), spec vc_gnt (PxV).
+        std::size_t k = 0;
+        for (std::size_t p = 0; p < kP; ++p) {
+          for (std::size_t o = 0; o < kP; ++o) {
+            const bool expect_bit =
+                expected[p].nonspec.granted() &&
+                expected[p].nonspec.out_port == static_cast<int>(o);
+            ASSERT_EQ((out[k++] & bit) != 0, expect_bit)
+                << "lane " << lane << " nonspec xbar " << p << "," << o;
+          }
+        }
+        k += kP * kV;  // nonspec winning-VC vector checked via xbar already
+        for (std::size_t p = 0; p < kP; ++p) {
+          for (std::size_t o = 0; o < kP; ++o) {
+            const bool expect_bit =
+                expected[p].spec.granted() &&
+                expected[p].spec.out_port == static_cast<int>(o);
+            ASSERT_EQ((out[k++] & bit) != 0, expect_bit)
+                << to_string(mode) << " lane " << lane << " spec xbar " << p
+                << "," << o;
+          }
         }
       }
     }
@@ -414,7 +490,7 @@ TEST_P(VcEquivalenceTest, NetlistMatchesBehaviouralAllocator) {
   cfg.sparse = p.sparse;
   Netlist nl;
   gen_vc_allocator(nl, cfg);
-  NetlistSimulator sim(nl);
+  BatchDiff hw(nl);
 
   // Per input VC: candidate classes in the order the generator enumerates
   // them (ascending successor classes x C). Dense candidates are all V VCs.
@@ -435,72 +511,84 @@ TEST_P(VcEquivalenceTest, NetlistMatchesBehaviouralAllocator) {
   };
 
   Rng rng(0xEF);
-  for (int vec = 0; vec < 120; ++vec) {
-    // Random legal request set (class-granular, like the router produces).
-    std::vector<VcRequest> req(total);
-    for (std::size_t i = 0; i < total; ++i) {
-      if (!rng.next_bool(0.5)) continue;
-      VcRequest& r = req[i];
-      r.valid = true;
-      r.out_port = static_cast<int>(rng.next_below(p.ports));
-      const std::size_t m = part.message_class_of(i % V);
-      const auto succ = part.successors(part.resource_class_of(i % V));
-      const std::size_t r2 = succ[rng.next_below(succ.size())];
-      r.vc_mask.assign(V, 0);
-      const std::size_t base = part.class_base(m, r2);
-      for (std::size_t c = 0; c < part.vcs_per_class(); ++c) {
-        r.vc_mask[base + c] = 1;
-      }
-    }
-
-    // Behavioural reference on fresh state.
-    VcAllocatorConfig sw_cfg;
-    sw_cfg.ports = p.ports;
-    sw_cfg.partition = part;
-    sw_cfg.kind = p.kind;
-    sw_cfg.sparse = p.sparse;
-    auto sw = make_vc_allocator(sw_cfg);
-    std::vector<int> expected;
-    sw->allocate(req, expected);
-
-    // Pack netlist inputs: per input VC, dest one-hot then the candidate
-    // mask (class-granular when sparse). Remaining inputs are enables (0).
-    std::vector<bool> in(sim.num_inputs(), false);
-    std::size_t k = 0;
-    for (std::size_t i = 0; i < total; ++i) {
-      const VcRequest& r = req[i];
-      for (std::size_t port = 0; port < p.ports; ++port) {
-        in[k++] = r.valid && r.out_port == static_cast<int>(port);
-      }
-      if (p.sparse) {
-        const auto succ = part.successors(part.resource_class_of(i % V));
+  std::vector<std::vector<bool>> rows(
+      kLanes, std::vector<bool>(hw.num_inputs(), false));
+  std::vector<std::vector<VcRequest>> req(kLanes);
+  for (int batch = 0; batch < 2; ++batch) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      // Random legal request set (class-granular, like the router produces).
+      req[lane].assign(total, VcRequest{});
+      for (std::size_t i = 0; i < total; ++i) {
+        if (!rng.next_bool(0.5)) continue;
+        VcRequest& r = req[lane][i];
+        r.valid = true;
+        r.out_port = static_cast<int>(rng.next_below(p.ports));
         const std::size_t m = part.message_class_of(i % V);
-        for (std::size_t s = 0; s < succ.size(); ++s) {
-          in[k++] = r.valid && r.vc_mask[part.class_base(m, succ[s])];
+        const auto succ = part.successors(part.resource_class_of(i % V));
+        const std::size_t r2 = succ[rng.next_below(succ.size())];
+        r.vc_mask.assign(V, 0);
+        const std::size_t base = part.class_base(m, r2);
+        for (std::size_t c = 0; c < part.vcs_per_class(); ++c) {
+          r.vc_mask[base + c] = 1;
         }
-      } else {
-        for (std::size_t w = 0; w < V; ++w) {
-          in[k++] = r.valid && r.vc_mask[w];
+      }
+
+      // Pack netlist inputs: per input VC, dest one-hot then the candidate
+      // mask (class-granular when sparse). Remaining inputs are enables (0).
+      std::fill(rows[lane].begin(), rows[lane].end(), false);
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < total; ++i) {
+        const VcRequest& r = req[lane][i];
+        for (std::size_t port = 0; port < p.ports; ++port) {
+          rows[lane][k++] = r.valid && r.out_port == static_cast<int>(port);
+        }
+        if (p.sparse) {
+          const auto succ = part.successors(part.resource_class_of(i % V));
+          const std::size_t m = part.message_class_of(i % V);
+          for (std::size_t s = 0; s < succ.size(); ++s) {
+            rows[lane][k++] =
+                r.valid && !r.vc_mask.empty() &&
+                r.vc_mask[part.class_base(m, succ[s])];
+          }
+        } else {
+          for (std::size_t w = 0; w < V; ++w) {
+            rows[lane][k++] = r.valid && !r.vc_mask.empty() && r.vc_mask[w];
+          }
         }
       }
     }
 
-    const std::vector<bool> out = sim.evaluate(in);
+    const std::vector<std::uint64_t>& out =
+        hw.evaluate(pack_lanes(rows, hw.num_inputs()));
 
-    // Decode: per input VC, one output bit per candidate.
-    std::size_t o = 0;
-    for (std::size_t i = 0; i < total; ++i) {
-      int granted = -1;
-      for (std::size_t cand : candidates(i)) {
-        if (out[o++]) {
-          ASSERT_EQ(granted, -1) << "double grant at input VC " << i;
-          granted = static_cast<int>(cand);
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      const std::uint64_t bit = 1ull << lane;
+      // Behavioural reference on fresh state.
+      VcAllocatorConfig sw_cfg;
+      sw_cfg.ports = p.ports;
+      sw_cfg.partition = part;
+      sw_cfg.kind = p.kind;
+      sw_cfg.sparse = p.sparse;
+      auto sw = make_vc_allocator(sw_cfg);
+      std::vector<int> expected;
+      sw->allocate(req[lane], expected);
+
+      // Decode: per input VC, one output bit per candidate.
+      std::size_t o = 0;
+      for (std::size_t i = 0; i < total; ++i) {
+        int granted = -1;
+        for (std::size_t cand : candidates(i)) {
+          if (out[o++] & bit) {
+            ASSERT_EQ(granted, -1)
+                << "double grant at input VC " << i << " lane " << lane;
+            granted = static_cast<int>(cand);
+          }
         }
+        const int expect_vc =
+            expected[i] < 0 ? -1 : expected[i] % static_cast<int>(V);
+        ASSERT_EQ(granted, expect_vc)
+            << "batch " << batch << " lane " << lane << " input VC " << i;
       }
-      const int expect_vc =
-          expected[i] < 0 ? -1
-                          : expected[i] % static_cast<int>(V);
-      ASSERT_EQ(granted, expect_vc) << "vector " << vec << " input VC " << i;
     }
   }
 }

@@ -1,0 +1,384 @@
+// Unit tests of the compiled bit-parallel netlist engine: levelization,
+// DFF capture/commit ordering, lane transpose round-trips, flop snapshot
+// stability, and the measured-activity power path built on top of it.
+#include "hw/netlist_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "hw/analysis.hpp"
+#include "hw/sa_gen.hpp"
+#include "hw/synthesis.hpp"
+#include "hw/vc_alloc_gen.hpp"
+
+namespace nocalloc::hw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Levelization: every operand is defined before use, for hand netlists and
+// for real generated designs.
+
+void expect_well_ordered(const NetlistProgram& program) {
+  // A slot is "defined" once an op has written it; inputs, flop Qs and
+  // constants (and the reserved zero slot) are defined before the tape runs.
+  std::vector<bool> defined(program.num_slots(), false);
+  defined[0] = true;
+  for (std::size_t i = 0; i < program.num_inputs(); ++i) {
+    defined[program.input_slot(i)] = true;
+  }
+  for (std::size_t f = 0; f < program.num_flops(); ++f) {
+    defined[program.flop_slot(f)] = true;
+  }
+  const Netlist& nl = program.netlist();
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    if (nl.node(static_cast<NodeId>(i)).kind == CellKind::kConst) {
+      defined[program.slot_of_node(static_cast<NodeId>(i))] = true;
+    }
+  }
+  std::uint32_t prev_level = 0;
+  for (const NetOp& op : program.ops()) {
+    for (const std::uint32_t src : op.src) {
+      ASSERT_TRUE(defined[src]) << "op reads slot " << src
+                                << " before it is defined";
+    }
+    ASSERT_FALSE(defined[op.dst]) << "slot " << op.dst << " written twice";
+    defined[op.dst] = true;
+    // The tape is emitted level-major; levels never decrease.
+    const std::uint32_t level =
+        program.level_of_node(static_cast<NodeId>(op.dst - 1));
+    ASSERT_GE(level, prev_level);
+    prev_level = level;
+  }
+  // Every flop's D source must be defined by the end of the tape.
+  for (std::size_t f = 0; f < program.num_flops(); ++f) {
+    ASSERT_TRUE(defined[program.flop_d_slot(f)]);
+  }
+  for (std::size_t o = 0; o < program.num_outputs(); ++o) {
+    ASSERT_TRUE(defined[program.output_slot(o)]);
+  }
+}
+
+TEST(NetlistProgram, LevelizesHandBuiltNetlist) {
+  Netlist nl;
+  const auto in = nl.inputs(4);
+  const NodeId a = nl.and2(in[0], in[1]);
+  const NodeId b = nl.or2(in[2], in[3]);
+  const NodeId c = nl.add(CellKind::kXor2, a, b);
+  nl.mark_output(nl.inv(c));
+  NetlistProgram program(nl);
+  EXPECT_EQ(program.num_inputs(), 4u);
+  EXPECT_EQ(program.num_outputs(), 1u);
+  EXPECT_EQ(program.ops().size(), 4u);
+  EXPECT_EQ(program.level_of_node(a), 1u);
+  EXPECT_EQ(program.level_of_node(b), 1u);
+  EXPECT_EQ(program.level_of_node(c), 2u);
+  expect_well_ordered(program);
+}
+
+TEST(NetlistProgram, LevelizesGeneratedAllocators) {
+  {
+    SaGenConfig cfg;
+    cfg.ports = 5;
+    cfg.vcs = 2;
+    cfg.kind = AllocatorKind::kSeparableInputFirst;
+    cfg.spec = SpecMode::kPessimistic;
+    Netlist nl;
+    gen_switch_allocator(nl, cfg);
+    NetlistProgram program(nl);
+    EXPECT_GT(program.ops().size(), 100u);
+    expect_well_ordered(program);
+  }
+  {
+    VcAllocGenConfig cfg;
+    cfg.ports = 5;
+    cfg.partition = VcPartition::mesh(2, 2);
+    cfg.kind = AllocatorKind::kWavefront;
+    cfg.sparse = true;
+    Netlist nl;
+    gen_vc_allocator(nl, cfg);
+    NetlistProgram program(nl);
+    expect_well_ordered(program);
+  }
+}
+
+TEST(NetlistProgram, RejectsOutOfOrderFanin) {
+  Netlist nl;
+  const auto in = nl.inputs(2);
+  const NodeId a = nl.and2(in[0], in[1]);
+  const NodeId b = nl.inv(a);
+  nl.mark_output(b);
+  // Rewire the AND to read the later inverter: a use-before-def graph only
+  // inject_fault_fanin can produce.
+  nl.inject_fault_fanin(a, 0, b);
+  EXPECT_DEATH(NetlistProgram{nl}, "check failed");
+}
+
+// ---------------------------------------------------------------------------
+// DFF capture/commit ordering.
+
+TEST(NetlistProgram, FlopToFlopSwapLatchesOldValues) {
+  // Two cross-coupled state bits initialised to (1, 0): each clock must
+  // swap them, which only works if all D captures precede all Q commits.
+  Netlist nl;
+  const NodeId qa = nl.state(true);
+  const NodeId qb = nl.state(false);
+  nl.capture(qb);  // A <- B
+  nl.capture(qa);  // B <- A
+  nl.mark_output(qa);
+  nl.mark_output(qb);
+
+  BatchNetlistSimulator batch(nl);
+  NetlistSimulator scalar(nl);
+  std::vector<std::uint64_t> out(2);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    batch.step({}, out);
+    const std::vector<bool>& expect = scalar.step({});
+    for (int o = 0; o < 2; ++o) {
+      EXPECT_EQ(out[o], expect[o] ? ~0ull : 0ull) << "cycle " << cycle;
+    }
+  }
+}
+
+TEST(NetlistProgram, ShiftRegisterMatchesScalarStep) {
+  // 4-deep inline-dff shift register driven by a walking pattern; compare
+  // outputs and all flop words against the scalar simulator every cycle.
+  Netlist nl;
+  const NodeId in = nl.input();
+  NodeId stage = in;
+  for (int i = 0; i < 4; ++i) stage = nl.dff(stage);
+  nl.mark_output(stage);
+
+  BatchNetlistSimulator batch(nl);
+  NetlistSimulator scalar(nl);
+  Rng rng(42);
+  std::vector<std::uint64_t> out(1);
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const std::uint64_t word = rng.next();
+    batch.step({&word, 1}, out);
+    // Check lane 17 (arbitrary) against the scalar simulator.
+    const bool bit = (word >> 17) & 1;
+    const std::vector<bool>& expect = scalar.step({bit});
+    EXPECT_EQ((out[0] >> 17) & 1, expect[0] ? 1u : 0u) << "cycle " << cycle;
+    for (std::size_t f = 0; f < batch.num_flops(); ++f) {
+      EXPECT_EQ((batch.flop_word(f) >> 17) & 1, scalar.flop(f) ? 1u : 0u)
+          << "cycle " << cycle << " flop " << f;
+    }
+  }
+}
+
+TEST(NetlistProgram, EvaluateDoesNotAdvanceState) {
+  Netlist nl;
+  const NodeId q = nl.state(false);
+  nl.capture(nl.inv(q));
+  nl.mark_output(q);
+  BatchNetlistSimulator sim(nl);
+  std::vector<std::uint64_t> out(1);
+  sim.evaluate({}, out);
+  sim.evaluate({}, out);
+  EXPECT_EQ(sim.flop_word(0), 0u);
+  sim.step({}, out);
+  EXPECT_EQ(sim.flop_word(0), ~0ull);
+}
+
+TEST(NetlistProgram, ResetBroadcastsPowerOnValues) {
+  Netlist nl;
+  const NodeId q1 = nl.state(true);
+  const NodeId q0 = nl.state(false);
+  nl.capture(nl.inv(q1));
+  nl.capture(nl.inv(q0));
+  nl.mark_output(q1);
+  nl.mark_output(q0);
+  BatchNetlistSimulator sim(nl);
+  EXPECT_EQ(sim.flop_word(0), ~0ull);
+  EXPECT_EQ(sim.flop_word(1), 0ull);
+  std::vector<std::uint64_t> out(2);
+  sim.step({}, out);
+  EXPECT_EQ(sim.flop_word(0), 0ull);
+  sim.reset();
+  EXPECT_EQ(sim.flop_word(0), ~0ull);
+  EXPECT_EQ(sim.flop_word(1), 0ull);
+}
+
+// ---------------------------------------------------------------------------
+// Transpose helpers.
+
+TEST(NetlistProgram, TransposeRoundTrip) {
+  Rng rng(7);
+  for (const std::size_t count : {1u, 13u, 64u}) {
+    for (const std::size_t width : {1u, 5u, 130u}) {
+      std::vector<std::vector<bool>> rows(count, std::vector<bool>(width));
+      for (auto& row : rows) {
+        for (std::size_t i = 0; i < width; ++i) row[i] = rng.next_bool(0.5);
+      }
+      const std::vector<std::uint64_t> words = pack_lanes(rows, width);
+      ASSERT_EQ(words.size(), width);
+      EXPECT_EQ(unpack_lanes(words, count), rows);
+      // Missing lanes pack as zero.
+      if (count < 64) {
+        for (const std::uint64_t w : words) {
+          EXPECT_EQ(w >> count, 0ull);
+        }
+      }
+    }
+  }
+}
+
+TEST(NetlistProgram, PackThenUnpackWordsRoundTrip) {
+  Rng rng(8);
+  std::vector<std::uint64_t> words(17);
+  for (auto& w : words) w = rng.next();
+  const auto rows = unpack_lanes(words, 64);
+  EXPECT_EQ(pack_lanes(rows, words.size()), words);
+}
+
+// ---------------------------------------------------------------------------
+// Flop snapshot/restore byte-stability.
+
+TEST(NetlistProgram, FlopSnapshotRestoreIsByteStable) {
+  SaGenConfig cfg;
+  cfg.ports = 5;
+  cfg.vcs = 2;
+  cfg.kind = AllocatorKind::kSeparableInputFirst;
+  Netlist nl;
+  gen_switch_allocator(nl, cfg);
+  BatchNetlistSimulator sim(nl);
+  ASSERT_GT(sim.num_flops(), 0u);
+
+  Rng rng(9);
+  std::vector<std::uint64_t> in(sim.num_inputs());
+  std::vector<std::uint64_t> out(sim.num_outputs());
+  auto random_step = [&] {
+    for (auto& w : in) w = rng.next();
+    sim.step(in, out);
+  };
+  for (int i = 0; i < 5; ++i) random_step();
+
+  std::vector<std::uint64_t> snap;
+  sim.save_flops(snap);
+  // Record the post-snapshot trajectory, dirty the state, restore, replay:
+  // outputs and re-saved flop words must be byte-identical.
+  Rng replay_rng = rng;
+  std::vector<std::vector<std::uint64_t>> golden_out;
+  for (int i = 0; i < 4; ++i) {
+    random_step();
+    golden_out.push_back(out);
+  }
+  std::vector<std::uint64_t> snap_after;
+  sim.save_flops(snap_after);
+
+  for (int i = 0; i < 3; ++i) random_step();  // dirty
+  sim.restore_flops(snap);
+  rng = replay_rng;
+  for (int i = 0; i < 4; ++i) {
+    random_step();
+    EXPECT_EQ(out, golden_out[static_cast<std::size_t>(i)]) << "step " << i;
+  }
+  std::vector<std::uint64_t> snap_replayed;
+  sim.save_flops(snap_replayed);
+  EXPECT_EQ(0, std::memcmp(snap_after.data(), snap_replayed.data(),
+                           snap_after.size() * sizeof(std::uint64_t)));
+}
+
+// ---------------------------------------------------------------------------
+// Measured switching activity and the opt-in power path.
+
+TEST(NetlistProgram, ActivityOfFreeRunningToggleIsOne) {
+  // A toggle flop switches every cycle (activity 1.0); its inverter too.
+  Netlist nl;
+  const NodeId q = nl.state(false);
+  const NodeId d = nl.inv(q);
+  nl.capture(d);
+  nl.mark_output(q);
+  const ActivityProfile profile =
+      measure_switching_activity(nl, {.vectors = 1024, .seed = 3});
+  EXPECT_DOUBLE_EQ(profile.node_activity[static_cast<std::size_t>(q)], 1.0);
+  EXPECT_DOUBLE_EQ(profile.node_activity[static_cast<std::size_t>(d)], 1.0);
+}
+
+TEST(NetlistProgram, ActivityTracksInputStatisticsAndConstants) {
+  Netlist nl;
+  const NodeId a = nl.input();
+  const NodeId b = nl.input();
+  const NodeId g = nl.and2(a, b);
+  const NodeId k = nl.constant(true);
+  nl.mark_output(g);
+  nl.mark_output(k);
+  const ActivityProfile profile =
+      measure_switching_activity(nl, {.vectors = 8192, .seed = 4});
+  // Random inputs toggle with p=0.5; an AND of two such toggles with 3/8.
+  EXPECT_NEAR(profile.node_activity[static_cast<std::size_t>(a)], 0.5, 0.05);
+  EXPECT_NEAR(profile.node_activity[static_cast<std::size_t>(g)], 0.375, 0.05);
+  EXPECT_DOUBLE_EQ(profile.node_activity[static_cast<std::size_t>(k)], 0.0);
+}
+
+TEST(NetlistProgram, ActivityMeasurementIsDeterministic) {
+  SaGenConfig cfg;
+  cfg.ports = 5;
+  cfg.vcs = 2;
+  cfg.kind = AllocatorKind::kWavefront;
+  Netlist nl;
+  gen_switch_allocator(nl, cfg);
+  const ActivityOptions opts{.vectors = 512, .seed = 11};
+  const ActivityProfile p1 = measure_switching_activity(nl, opts);
+  const ActivityProfile p2 = measure_switching_activity(nl, opts);
+  EXPECT_EQ(p1.node_activity, p2.node_activity);
+  EXPECT_EQ(p1.vectors, p2.vectors);
+}
+
+TEST(NetlistProgram, DefaultAnalyzeOutputsUnchanged) {
+  SaGenConfig cfg;
+  cfg.ports = 5;
+  cfg.vcs = 2;
+  cfg.kind = AllocatorKind::kSeparableInputFirst;
+  Netlist nl;
+  gen_switch_allocator(nl, cfg);
+  const SynthesisResult plain = analyze(nl, ProcessParams{});
+  EXPECT_TRUE(plain.ok);
+  EXPECT_EQ(plain.measured_power_mw, 0.0);
+  EXPECT_EQ(plain.measured_activity, 0.0);
+
+  const ActivityProfile profile = measure_switching_activity(nl);
+  const SynthesisResult measured = analyze(nl, ProcessParams{}, &profile);
+  // The paper-faithful fields are bit-identical with and without a profile.
+  EXPECT_EQ(plain.delay_ns, measured.delay_ns);
+  EXPECT_EQ(plain.area_um2, measured.area_um2);
+  EXPECT_EQ(plain.power_mw, measured.power_mw);
+  EXPECT_GT(measured.measured_power_mw, 0.0);
+  EXPECT_GT(measured.measured_activity, 0.0);
+}
+
+TEST(NetlistProgram, MeasuredPowerWithinToleranceOnPaperDesignPoints) {
+  // Fig. 5/10 design points (the ones small enough for a unit test): the
+  // measured-activity power must land within the documented tolerance band
+  // of the constant-activity number -- the constant 0.15 internal activity
+  // is a calibrated stand-in, so agreement within ~3x is the claim, not
+  // equality (see EXPERIMENTS.md "Measured switching activity").
+  const ActivityOptions opts{.vectors = 2048, .seed = 21};
+  auto check = [](const SynthesisResult& r, const char* label) {
+    ASSERT_TRUE(r.ok) << label;
+    ASSERT_GT(r.measured_power_mw, 0.0) << label;
+    const double ratio = r.measured_power_mw / r.power_mw;
+    EXPECT_GT(ratio, 1.0 / 3.0) << label << " ratio " << ratio;
+    EXPECT_LT(ratio, 3.0) << label << " ratio " << ratio;
+  };
+  for (const AllocatorKind kind : {AllocatorKind::kSeparableInputFirst,
+                                   AllocatorKind::kSeparableOutputFirst,
+                                   AllocatorKind::kWavefront}) {
+    SaGenConfig sa;
+    sa.ports = 5;
+    sa.vcs = 2;
+    sa.kind = kind;
+    check(synthesize_switch_allocator(sa, {}, &opts), to_string(kind).c_str());
+  }
+  VcAllocGenConfig vc;
+  vc.ports = 5;
+  vc.partition = VcPartition::mesh(2, 2);
+  vc.kind = AllocatorKind::kSeparableInputFirst;
+  vc.sparse = true;
+  check(synthesize_vc_allocator(vc, {}, &opts), "vc sep_if sparse");
+}
+
+}  // namespace
+}  // namespace nocalloc::hw
