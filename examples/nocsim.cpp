@@ -19,11 +19,22 @@
 #include <string>
 
 #include "noc/config.hpp"
+#include "verify/verify.hpp"
 
 using namespace nocalloc;
 using namespace nocalloc::noc;
 
 namespace {
+
+/// Like run_simulation(), but with --check-invariants the runtime checker
+/// also validates every lookahead routing decision against the transition
+/// relation the static analysis extracts for this config (route-legality).
+SimResult run(const SimConfig& cfg) {
+  SimInstance sim(cfg);
+  if (cfg.check_invariants) verify::attach_verified_relation(sim);
+  sim.warmup();
+  return sim.measure_and_drain();
+}
 
 void print_result(const SimConfig& cfg, const SimResult& r) {
   std::printf("%s\n", to_config_string(cfg).c_str());
@@ -50,7 +61,7 @@ void sweep(SimConfig cfg, double from, double to, double step) {
               "saturated,packets\n");
   for (double rate = from; rate <= to + 1e-9; rate += step) {
     cfg.injection_rate = rate;
-    const SimResult r = run_simulation(cfg);
+    const SimResult r = run(cfg);
     std::printf("%.3f,%.2f,%.2f,%.0f,%.4f,%d,%zu\n", rate,
                 r.avg_packet_latency, r.avg_network_latency,
                 r.p99_packet_latency, r.accepted_flit_rate,
@@ -94,7 +105,7 @@ int main(int argc, char** argv) {
   if (do_sweep) {
     sweep(cfg, from, to, step);
   } else {
-    print_result(cfg, run_simulation(cfg));
+    print_result(cfg, run(cfg));
   }
   return 0;
 }

@@ -110,6 +110,8 @@ void apply(SimConfig& cfg, const std::string& key, const std::string& value) {
     cfg.seed = parse_size(value);
   } else if (key == "check_invariants") {
     cfg.check_invariants = parse_bool(value);
+  } else if (key == "disable_datelines") {
+    cfg.disable_datelines = parse_bool(value);
   } else {
     NOCALLOC_CHECK(false);  // unknown key
   }
@@ -153,6 +155,8 @@ std::string to_config_string(const SimConfig& cfg) {
       << "drain_cycles = " << cfg.drain_cycles << "\n"
       << "seed = " << cfg.seed << "\n"
       << "check_invariants = " << (cfg.check_invariants ? "true" : "false")
+      << "\n"
+      << "disable_datelines = " << (cfg.disable_datelines ? "true" : "false")
       << "\n";
   return out.str();
 }

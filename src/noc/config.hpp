@@ -16,6 +16,8 @@
 //   ugal_threshold  integer                              (3)
 //   warmup_cycles / measure_cycles / drain_cycles        (10000/20000/30000)
 //   seed            integer                              (1)
+//   check_invariants    true | false                     (false)
+//   disable_datelines   true | false -- TEST-ONLY fault  (false)
 #pragma once
 
 #include <iosfwd>

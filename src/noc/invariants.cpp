@@ -228,6 +228,20 @@ void InvariantChecker::on_spec_sw_alloc(
   }
 }
 
+void InvariantChecker::on_route(const Router& router, Cycle now, int out_port,
+                                std::size_t from_class,
+                                std::size_t to_class) {
+  if (relation_.empty()) return;
+  ++checks_;
+  if (!relation_.transition_allowed(from_class, to_class)) {
+    report(InvariantViolation{
+        now, router.id(), out_port, -1, "route-legality",
+        "routing emitted resource-class transition " +
+            std::to_string(from_class) + " -> " + std::to_string(to_class) +
+            " outside the statically verified relation"});
+  }
+}
+
 // ---- Step-boundary checks ---------------------------------------------------
 
 void InvariantChecker::after_step(const Network& net) {

@@ -31,6 +31,7 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/snapshot.hpp"
@@ -38,6 +39,7 @@
 #include "sa/speculative_switch_allocator.hpp"
 #include "sa/switch_allocator.hpp"
 #include "vc/vc_allocator.hpp"
+#include "verify/relation.hpp"
 
 namespace nocalloc::noc {
 
@@ -94,6 +96,22 @@ class InvariantChecker {
   /// Installs a handler that throws InvariantError (what tests use).
   void throw_on_violation();
 
+  /// Installs the resource-class transition relation that every lookahead
+  /// routing decision is checked against (check id "route-legality"). The
+  /// single source of truth is the relation *observed* by the static
+  /// analysis exhaustively driving the routing function
+  /// (verify::attach_verified_relation), not a hand-coded rule table.
+  void set_transition_relation(verify::TransitionRelation relation) {
+    relation_ = std::move(relation);
+  }
+  const verify::TransitionRelation& transition_relation() const {
+    return relation_;
+  }
+
+  /// Mutable access to the checker configuration (tests shorten the
+  /// deadlock-watchdog horizon through this).
+  InvariantCheckerConfig& config() { return cfg_; }
+
   // ---- Hooks ---------------------------------------------------------------
   // Called by Router::allocate() with each cycle's allocation results
   // *before* they are committed, and by Network::step() after the receive
@@ -110,6 +128,12 @@ class InvariantChecker {
                         const std::vector<SwitchRequest>& spec_req,
                         const std::vector<SpecSwitchGrant>& grant,
                         SpecMode mode);
+  /// Called for every committed lookahead routing decision: a packet in
+  /// resource class `from_class` was routed to `to_class` VCs at `out_port`.
+  /// Validated against the transition relation installed by
+  /// set_transition_relation(); a no-op while no relation is installed.
+  void on_route(const Router& router, Cycle now, int out_port,
+                std::size_t from_class, std::size_t to_class);
   void after_step(const Network& net);
 
   std::uint64_t checks_run() const { return checks_; }
@@ -143,6 +167,7 @@ class InvariantChecker {
 
   InvariantCheckerConfig cfg_;
   ViolationHandler handler_;
+  verify::TransitionRelation relation_;  // empty => on_route() is a no-op
   std::uint64_t checks_ = 0;
   std::uint64_t violations_ = 0;
   // Deadlock watchdog state.

@@ -286,6 +286,11 @@ void Router::commit_grant(std::size_t port, std::size_t vc, Cycle now) {
     if (peer >= 0) {
       flit.route = routing_.route(peer, arena_->get(flit.packet),
                                   ivc.route.resource_class);
+      if (checker_ != nullptr) {
+        checker_->on_route(*this, now, static_cast<int>(out_port),
+                           ivc.route.resource_class,
+                           flit.route.resource_class);
+      }
     } else {
       flit.route = RouteInfo{};
     }

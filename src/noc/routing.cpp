@@ -6,6 +6,19 @@
 
 namespace nocalloc::noc {
 
+void RoutingFunction::enumerate_injection_cases(int src_router,
+                                                int dst_terminal,
+                                                std::vector<InjectionCase>& out) {
+  // Deterministic routing functions make exactly one decision per (src, dst)
+  // pair, so a single at_injection() call on a scratch packet is exhaustive.
+  Packet probe;
+  probe.dst_terminal = dst_terminal;
+  InjectionCase c;
+  c.resource_class = at_injection(src_router, probe);
+  c.intermediate_router = probe.intermediate_router;
+  out.push_back(c);
+}
+
 std::size_t DorMeshRouting::at_injection(int /*src_router*/, Packet& /*pkt*/) {
   return 0;  // DOR is deadlock-free with a single resource class
 }
@@ -91,7 +104,8 @@ RouteInfo DorTorusDatelineRouting::route(int router, Packet& pkt,
     // Stay in the x classes; advance to x-post on the wrap hop.
     const std::size_t base = arriving_class <= 1 ? arriving_class : 0;
     info.resource_class =
-        topo_.crosses_dateline(x, positive) ? 1 : base;
+        (!disable_datelines_ && topo_.crosses_dateline(x, positive)) ? 1
+                                                                     : base;
     return info;
   }
   if (y != dy) {
@@ -101,7 +115,8 @@ RouteInfo DorTorusDatelineRouting::route(int router, Packet& pkt,
     // Enter (or stay in) the y classes; the wrap hop uses y-post.
     const std::size_t base = arriving_class >= 2 ? arriving_class : 2;
     info.resource_class =
-        topo_.crosses_dateline(y, positive) ? 3 : base;
+        (!disable_datelines_ && topo_.crosses_dateline(y, positive)) ? 3
+                                                                     : base;
     return info;
   }
   info.out_port = TorusTopology::kPortTerminal;
@@ -138,7 +153,9 @@ RouteInfo DatelineRingRouting::route(int router, Packet& pkt,
   // Crossing the dateline advances to the post-dateline class; once there a
   // packet stays (the 0 -> 1 chain of Sec. 4.2).
   info.resource_class =
-      topo_.crosses_dateline(router, clockwise) ? 1 : arriving_class;
+      (!disable_datelines_ && topo_.crosses_dateline(router, clockwise))
+          ? 1
+          : arriving_class;
   return info;
 }
 
@@ -191,6 +208,33 @@ std::size_t UgalFbflyRouting::at_injection(int src_router, Packet& pkt) {
   }
   pkt.intermediate_router = -1;
   return 1;
+}
+
+void UgalFbflyRouting::enumerate_injection_cases(
+    int src_router, int dst_terminal, std::vector<InjectionCase>& out) {
+  // The minimal path (class 1 throughout) is always reachable: it is the
+  // fallback for degenerate candidates and for a losing UGAL comparison.
+  InjectionCase minimal;
+  minimal.intermediate_router = -1;
+  minimal.resource_class = 1;
+  out.push_back(minimal);
+
+  // Every non-degenerate Valiant intermediate can win the congestion
+  // comparison under some queue state, so all of them are possible phase-0
+  // injections. Mirrors at_injection()'s rejection conditions exactly.
+  const int dst_router = topo_.router_of_terminal(dst_terminal);
+  const std::size_t h_min = minimal_hops(src_router, dst_router);
+  if (h_min == 0) return;
+  for (int inter = 0; inter < static_cast<int>(topo_.num_routers()); ++inter) {
+    if (inter == src_router || inter == dst_router) continue;
+    const std::size_t h_non =
+        minimal_hops(src_router, inter) + minimal_hops(inter, dst_router);
+    if (h_non <= h_min) continue;
+    InjectionCase c;
+    c.intermediate_router = inter;
+    c.resource_class = 0;
+    out.push_back(c);
+  }
 }
 
 RouteInfo UgalFbflyRouting::route(int router, Packet& pkt,

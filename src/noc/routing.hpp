@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/snapshot.hpp"
@@ -28,6 +29,16 @@ class CongestionOracle {
   virtual std::size_t output_congestion(int router, int out_port) const = 0;
 };
 
+/// One way a packet may legally enter the network: the per-packet routing
+/// state at_injection() could have fixed (UGAL's intermediate router; -1
+/// for routings without per-packet state) plus the resource class of the
+/// VCs the packet starts in. The verify/ layer enumerates these to drive
+/// route() over every path the routing function can ever produce.
+struct InjectionCase {
+  int intermediate_router = -1;
+  std::size_t resource_class = 0;
+};
+
 class RoutingFunction {
  public:
   virtual ~RoutingFunction() = default;
@@ -36,6 +47,16 @@ class RoutingFunction {
   /// May fix per-packet routing state (e.g. UGAL's intermediate router)
   /// and returns the resource class of the VCs the packet starts in.
   virtual std::size_t at_injection(int src_router, Packet& pkt) = 0;
+
+  /// Appends every injection decision this routing function could make for
+  /// a packet from `src_router` to `dst_terminal` -- the exhaustive
+  /// counterpart of one at_injection() call, used by the static
+  /// channel-dependency analysis (src/verify/). The default covers every
+  /// deterministic routing function by calling at_injection() on a scratch
+  /// packet; adaptive/randomized functions (UGAL) override it to enumerate
+  /// all decisions their RNG or congestion estimates could pick.
+  virtual void enumerate_injection_cases(int src_router, int dst_terminal,
+                                         std::vector<InjectionCase>& out);
 
   /// Computes the routing decision taken at `router` for a packet whose
   /// flits occupy VCs of resource class `arriving_class` there. Returns the
@@ -91,7 +112,13 @@ class MinimalFbflyRouting final : public RoutingFunction {
 /// deadlock-free (Sec. 4.2's dateline example, in full).
 class DorTorusDatelineRouting final : public RoutingFunction {
  public:
-  explicit DorTorusDatelineRouting(const TorusTopology& topo) : topo_(topo) {}
+  /// `disable_datelines` is a test-only fault injection: packets keep their
+  /// per-dimension base class across wrap links, recreating the classic
+  /// ring-per-dimension deadlock. nocverify must flag it statically and the
+  /// runtime deadlock watchdog must trip on it; never enable it otherwise.
+  explicit DorTorusDatelineRouting(const TorusTopology& topo,
+                                   bool disable_datelines = false)
+      : topo_(topo), disable_datelines_(disable_datelines) {}
 
   std::size_t at_injection(int src_router, Packet& pkt) override;
   RouteInfo route(int router, Packet& pkt, std::size_t arriving_class) override;
@@ -102,6 +129,7 @@ class DorTorusDatelineRouting final : public RoutingFunction {
 
  private:
   const TorusTopology& topo_;
+  bool disable_datelines_;
 };
 
 /// Shortest-direction routing on a bidirectional ring with dateline VC
@@ -112,7 +140,12 @@ class DorTorusDatelineRouting final : public RoutingFunction {
 /// 0 -> 1, so a packet never returns to class 0.
 class DatelineRingRouting final : public RoutingFunction {
  public:
-  explicit DatelineRingRouting(const RingTopology& topo) : topo_(topo) {}
+  /// `disable_datelines` is a test-only fault injection: packets stay in
+  /// class 0 across the wrap link, restoring the cyclic channel dependency
+  /// the dateline exists to break. See DorTorusDatelineRouting.
+  explicit DatelineRingRouting(const RingTopology& topo,
+                               bool disable_datelines = false)
+      : topo_(topo), disable_datelines_(disable_datelines) {}
 
   std::size_t at_injection(int src_router, Packet& pkt) override;
   RouteInfo route(int router, Packet& pkt, std::size_t arriving_class) override;
@@ -123,6 +156,7 @@ class DatelineRingRouting final : public RoutingFunction {
 
  private:
   const RingTopology& topo_;
+  bool disable_datelines_;
 };
 
 /// UGAL on the flattened butterfly (Sec. 3.2 / Singh's thesis): per packet,
@@ -139,6 +173,12 @@ class UgalFbflyRouting final : public RoutingFunction {
 
   std::size_t at_injection(int src_router, Packet& pkt) override;
   RouteInfo route(int router, Packet& pkt, std::size_t arriving_class) override;
+
+  /// UGAL's decision depends on the RNG and on live congestion, so the
+  /// default single-call enumeration would under-approximate: this override
+  /// lists the minimal path plus every non-degenerate Valiant intermediate.
+  void enumerate_injection_cases(int src_router, int dst_terminal,
+                                 std::vector<InjectionCase>& out) override;
 
   /// Bias towards the minimal path: the non-minimal leg is taken only when
   /// q_min * H_min exceeds q_non * H_non by more than this many flit-slots.

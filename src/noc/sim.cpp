@@ -36,25 +36,49 @@ VcPartition partition_for(TopologyKind kind, std::size_t vcs_per_class) {
   NOCALLOC_CHECK(false);
 }
 
-SimInstance::SimInstance(const SimConfig& cfg) : cfg_(cfg) {
-  switch (cfg_.topology) {
+std::unique_ptr<Topology> make_topology(TopologyKind kind) {
+  switch (kind) {
     case TopologyKind::kMesh8x8:
-      mesh_ = std::make_unique<MeshTopology>(8);
-      topo_ = mesh_.get();
-      break;
+      return std::make_unique<MeshTopology>(8);
     case TopologyKind::kFbfly4x4:
-      fbfly_ = std::make_unique<FlattenedButterflyTopology>(4, 4);
-      topo_ = fbfly_.get();
-      break;
+      return std::make_unique<FlattenedButterflyTopology>(4, 4);
     case TopologyKind::kRing16:
-      ring_ = std::make_unique<RingTopology>(16);
-      topo_ = ring_.get();
-      break;
+      return std::make_unique<RingTopology>(16);
     case TopologyKind::kTorus8x8:
-      torus_ = std::make_unique<TorusTopology>(8);
-      topo_ = torus_.get();
-      break;
+      return std::make_unique<TorusTopology>(8);
   }
+  NOCALLOC_CHECK(false);
+}
+
+std::unique_ptr<RoutingFunction> make_routing(const SimConfig& cfg,
+                                              const Topology& topo,
+                                              const CongestionOracle& oracle,
+                                              UgalFbflyRouting** ugal_out) {
+  if (ugal_out != nullptr) *ugal_out = nullptr;
+  switch (cfg.topology) {
+    case TopologyKind::kMesh8x8:
+      return std::make_unique<DorMeshRouting>(
+          static_cast<const MeshTopology&>(topo));
+    case TopologyKind::kRing16:
+      return std::make_unique<DatelineRingRouting>(
+          static_cast<const RingTopology&>(topo), cfg.disable_datelines);
+    case TopologyKind::kTorus8x8:
+      return std::make_unique<DorTorusDatelineRouting>(
+          static_cast<const TorusTopology&>(topo), cfg.disable_datelines);
+    case TopologyKind::kFbfly4x4: {
+      auto routing = std::make_unique<UgalFbflyRouting>(
+          static_cast<const FlattenedButterflyTopology&>(topo), oracle,
+          Rng(cfg.seed ^ 0xCAFEF00Dull));
+      routing->set_threshold(cfg.ugal_threshold);
+      if (ugal_out != nullptr) *ugal_out = routing.get();
+      return routing;
+    }
+  }
+  NOCALLOC_CHECK(false);
+}
+
+SimInstance::SimInstance(const SimConfig& cfg) : cfg_(cfg) {
+  topo_ = make_topology(cfg_.topology);
   NOCALLOC_CHECK(topo_ != nullptr);
 
   NetworkConfig net_cfg;
@@ -74,20 +98,7 @@ SimInstance::SimInstance(const SimConfig& cfg) : cfg_(cfg) {
 
   Network::RoutingFactory factory =
       [&](const CongestionOracle& oracle) -> std::unique_ptr<RoutingFunction> {
-    if (cfg_.topology == TopologyKind::kMesh8x8) {
-      return std::make_unique<DorMeshRouting>(*mesh_);
-    }
-    if (cfg_.topology == TopologyKind::kRing16) {
-      return std::make_unique<DatelineRingRouting>(*ring_);
-    }
-    if (cfg_.topology == TopologyKind::kTorus8x8) {
-      return std::make_unique<DorTorusDatelineRouting>(*torus_);
-    }
-    auto routing = std::make_unique<UgalFbflyRouting>(
-        *fbfly_, oracle, Rng(cfg_.seed ^ 0xCAFEF00Dull));
-    routing->set_threshold(cfg_.ugal_threshold);
-    ugal_ = routing.get();
-    return routing;
+    return make_routing(cfg_, *topo_, oracle, &ugal_);
   };
 
   Terminal::EjectCallback on_eject = [this](const Packet& pkt, Cycle now) {

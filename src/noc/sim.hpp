@@ -59,6 +59,13 @@ struct SimConfig {
   /// flit conservation, VC protocol, allocation legality, deadlock watchdog).
   /// Violations print and abort. Roughly doubles simulation time.
   bool check_invariants = false;
+
+  /// Test-only fault injection (ring/torus): routing keeps packets in their
+  /// pre-dateline class across wrap links, reintroducing the cyclic channel
+  /// dependency the datelines exist to break. nocverify must flag the
+  /// resulting CDG cycle statically and the deadlock watchdog must trip on
+  /// it dynamically; never set this outside those cross-checks.
+  bool disable_datelines = false;
 };
 
 struct SimResult {
@@ -85,6 +92,20 @@ struct SimResult {
 /// Builds the V partition for a design point: M = 2 message classes, R = 1
 /// (mesh) or 2 (fbfly) resource classes, C VCs per class.
 VcPartition partition_for(TopologyKind kind, std::size_t vcs_per_class);
+
+/// Instantiates the concrete topology of a kind (mesh 8x8, fbfly 4x4 c=4,
+/// ring 16, torus 8x8). Shared by SimInstance and the static protocol
+/// analysis (src/verify/), so both always agree on the network shape.
+std::unique_ptr<Topology> make_topology(TopologyKind kind);
+
+/// Instantiates the routing function for `cfg` over `topo`, which must have
+/// been built by make_topology(cfg.topology) (the routing functions bind to
+/// the concrete topology types). `oracle` feeds UGAL's congestion estimates;
+/// pass a zero oracle for static analysis. If `ugal_out` is non-null it
+/// receives the UGAL instance (fbfly) or nullptr (all other kinds).
+std::unique_ptr<RoutingFunction> make_routing(
+    const SimConfig& cfg, const Topology& topo, const CongestionOracle& oracle,
+    UgalFbflyRouting** ugal_out = nullptr);
 
 /// Warm-state snapshot of a SimInstance: the network's byte buffer plus the
 /// driver-side state (reply-id counter, measuring flag, invariant-checker
@@ -136,13 +157,7 @@ class SimInstance {
 
  private:
   SimConfig cfg_;
-  // Only the selected topology is instantiated; concrete pointers are kept
-  // because the routing functions bind to concrete topology types.
-  std::unique_ptr<MeshTopology> mesh_;
-  std::unique_ptr<FlattenedButterflyTopology> fbfly_;
-  std::unique_ptr<RingTopology> ring_;
-  std::unique_ptr<TorusTopology> torus_;
-  const Topology* topo_ = nullptr;
+  std::unique_ptr<Topology> topo_;
   InvariantChecker checker_;
   std::unique_ptr<Network> net_;
   UgalFbflyRouting* ugal_ = nullptr;

@@ -1,0 +1,238 @@
+#include "verify/cdg.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace nocalloc::verify {
+
+std::string to_string(const VerifyChannel& ch) {
+  switch (ch.kind) {
+    case ChannelKind::kInjection:
+      return "inject t" + std::to_string(ch.terminal) + "->r" +
+             std::to_string(ch.dst_router);
+    case ChannelKind::kLink:
+      return "link r" + std::to_string(ch.src_router) + ".p" +
+             std::to_string(ch.src_port) + "->r" +
+             std::to_string(ch.dst_router) + ".p" +
+             std::to_string(ch.dst_port);
+    case ChannelKind::kEjection:
+      return "eject r" + std::to_string(ch.src_router) + "->t" +
+             std::to_string(ch.terminal);
+  }
+  NOCALLOC_CHECK(false);
+}
+
+std::string to_string(const TraceFailure& f) {
+  std::string route = "route t" + std::to_string(f.src_terminal) + "->t" +
+                      std::to_string(f.dst_terminal);
+  if (f.intermediate_router >= 0) {
+    route += " via r" + std::to_string(f.intermediate_router);
+  }
+  route += " (inject class " + std::to_string(f.injection_class) + ")";
+  switch (f.kind) {
+    case TraceFailure::Kind::kUnreachable:
+      return route + ": destination unreachable after " +
+             std::to_string(f.hops) + " hops (stuck at r" +
+             std::to_string(f.at_router) + ")";
+    case TraceFailure::Kind::kMisrouted:
+      return route + ": ejected at terminal t" +
+             std::to_string(f.ejected_terminal) + " after " +
+             std::to_string(f.hops) + " hops";
+    case TraceFailure::Kind::kBadPort:
+      return route + ": routing emitted a port with no channel at r" +
+             std::to_string(f.at_router);
+    case TraceFailure::Kind::kClassOutOfRange:
+      return route + ": routing emitted resource class " +
+             std::to_string(f.bad_class) +
+             " outside the partition's R classes at r" +
+             std::to_string(f.at_router);
+  }
+  NOCALLOC_CHECK(false);
+}
+
+std::string ProtocolExtraction::node_name(std::size_t node) const {
+  return to_string(channels[channel_of_node(node)]) + " #c" +
+         std::to_string(class_of_node(node));
+}
+
+ProtocolExtraction extract_protocol(const noc::Topology& topo,
+                                    noc::RoutingFunction& routing,
+                                    std::size_t resource_classes) {
+  NOCALLOC_CHECK(resource_classes > 0);
+  ProtocolExtraction ex;
+  ex.resource_classes = resource_classes;
+
+  const std::size_t terminals = topo.num_terminals();
+  const std::size_t ports = topo.ports();
+  const std::size_t concentration = topo.concentration();
+  const std::vector<noc::LinkSpec> links = topo.links();
+
+  // Channel numbering: injections, then links (topology order), then
+  // ejections. link_of maps (router, out_port) to its link channel.
+  ex.num_injection = terminals;
+  ex.num_links = links.size();
+  ex.channels.reserve(terminals * 2 + links.size());
+  for (std::size_t t = 0; t < terminals; ++t) {
+    VerifyChannel ch;
+    ch.kind = ChannelKind::kInjection;
+    ch.terminal = static_cast<int>(t);
+    ch.dst_router = topo.router_of_terminal(static_cast<int>(t));
+    ch.dst_port = topo.port_of_terminal(static_cast<int>(t));
+    ex.channels.push_back(ch);
+  }
+  std::vector<int> link_of(topo.num_routers() * ports, -1);
+  for (const noc::LinkSpec& l : links) {
+    VerifyChannel ch;
+    ch.kind = ChannelKind::kLink;
+    ch.src_router = l.src_router;
+    ch.src_port = l.src_port;
+    ch.dst_router = l.dst_router;
+    ch.dst_port = l.dst_port;
+    link_of[static_cast<std::size_t>(l.src_router) * ports +
+            static_cast<std::size_t>(l.src_port)] =
+        static_cast<int>(ex.channels.size());
+    ex.channels.push_back(ch);
+  }
+  for (std::size_t t = 0; t < terminals; ++t) {
+    VerifyChannel ch;
+    ch.kind = ChannelKind::kEjection;
+    ch.terminal = static_cast<int>(t);
+    ch.src_router = topo.router_of_terminal(static_cast<int>(t));
+    ch.src_port = topo.port_of_terminal(static_cast<int>(t));
+    ex.channels.push_back(ch);
+  }
+
+  const std::size_t num_nodes = ex.num_nodes();
+  ex.node_uses.assign(num_nodes, 0);
+  ex.observed = TransitionRelation(resource_classes);
+  std::unordered_set<std::uint64_t> edge_set;
+
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    edge_set.insert(static_cast<std::uint64_t>(from) * num_nodes + to);
+  };
+
+  // Generous bound: every minimal or Valiant route visits each router at
+  // most a constant number of times; anything longer is a routing livelock.
+  const std::size_t hop_limit = 4 * topo.num_routers() + 16;
+
+  std::vector<noc::InjectionCase> cases;
+  for (std::size_t src_t = 0; src_t < terminals; ++src_t) {
+    const int src_router = topo.router_of_terminal(static_cast<int>(src_t));
+    for (std::size_t dst_t = 0; dst_t < terminals; ++dst_t) {
+      if (dst_t == src_t) continue;
+      cases.clear();
+      routing.enumerate_injection_cases(src_router, static_cast<int>(dst_t),
+                                        cases);
+      for (const noc::InjectionCase& c : cases) {
+        ++ex.routes_traced;
+        TraceFailure fail;
+        fail.src_terminal = static_cast<int>(src_t);
+        fail.dst_terminal = static_cast<int>(dst_t);
+        fail.intermediate_router = c.intermediate_router;
+        fail.injection_class = c.resource_class;
+
+        if (c.resource_class >= resource_classes) {
+          fail.kind = TraceFailure::Kind::kClassOutOfRange;
+          fail.at_router = src_router;
+          fail.bad_class = c.resource_class;
+          ex.failures.push_back(fail);
+          continue;
+        }
+
+        noc::Packet pkt;
+        pkt.src_terminal = static_cast<int>(src_t);
+        pkt.dst_terminal = static_cast<int>(dst_t);
+        pkt.intermediate_router = c.intermediate_router;
+
+        std::size_t cur_class = c.resource_class;
+        std::size_t cur_node = ex.node_of(src_t, cur_class);
+        ++ex.node_uses[cur_node];
+        int router = src_router;
+        std::size_t hops = 0;
+
+        for (;;) {
+          if (hops >= hop_limit) {
+            fail.kind = TraceFailure::Kind::kUnreachable;
+            fail.at_router = router;
+            fail.hops = hops;
+            ex.failures.push_back(fail);
+            break;
+          }
+          const noc::RouteInfo info =
+              routing.route(router, pkt, cur_class);
+          ++hops;
+          if (info.out_port < 0 ||
+              static_cast<std::size_t>(info.out_port) >= ports) {
+            fail.kind = TraceFailure::Kind::kBadPort;
+            fail.at_router = router;
+            fail.hops = hops;
+            ex.failures.push_back(fail);
+            break;
+          }
+          if (info.resource_class >= resource_classes) {
+            fail.kind = TraceFailure::Kind::kClassOutOfRange;
+            fail.at_router = router;
+            fail.hops = hops;
+            fail.bad_class = info.resource_class;
+            ex.failures.push_back(fail);
+            break;
+          }
+          if (static_cast<std::size_t>(info.out_port) < concentration) {
+            // Ejection: the packet leaves the network in its current class.
+            const int term = router * static_cast<int>(concentration) +
+                             info.out_port;
+            const std::size_t ej_node = ex.node_of(
+                terminals + links.size() + static_cast<std::size_t>(term),
+                info.resource_class);
+            add_edge(cur_node, ej_node);
+            ++ex.node_uses[ej_node];
+            ex.max_hops_seen = std::max(ex.max_hops_seen, hops);
+            if (term != static_cast<int>(dst_t)) {
+              fail.kind = TraceFailure::Kind::kMisrouted;
+              fail.at_router = router;
+              fail.hops = hops;
+              fail.ejected_terminal = term;
+              ex.failures.push_back(fail);
+            }
+            break;
+          }
+          // Link hop: record the class transition and the CDG dependency.
+          const int lid =
+              link_of[static_cast<std::size_t>(router) * ports +
+                      static_cast<std::size_t>(info.out_port)];
+          if (lid < 0) {
+            fail.kind = TraceFailure::Kind::kBadPort;
+            fail.at_router = router;
+            fail.hops = hops;
+            ex.failures.push_back(fail);
+            break;
+          }
+          ex.observed.set(cur_class, info.resource_class);
+          const std::size_t nxt = ex.node_of(static_cast<std::size_t>(lid),
+                                             info.resource_class);
+          add_edge(cur_node, nxt);
+          ++ex.node_uses[nxt];
+          cur_node = nxt;
+          cur_class = info.resource_class;
+          router = ex.channels[static_cast<std::size_t>(lid)].dst_router;
+        }
+      }
+    }
+  }
+
+  ex.cdg_adj.assign(num_nodes, {});
+  for (const std::uint64_t key : edge_set) {
+    const std::size_t from = static_cast<std::size_t>(key / num_nodes);
+    const std::size_t to = static_cast<std::size_t>(key % num_nodes);
+    ex.cdg_adj[from].push_back(to);
+  }
+  for (std::vector<std::size_t>& succ : ex.cdg_adj) {
+    std::sort(succ.begin(), succ.end());
+  }
+  ex.cdg_edges = edge_set.size();
+  return ex;
+}
+
+}  // namespace nocalloc::verify

@@ -1,0 +1,120 @@
+// Channel-dependency-graph extraction (Dally & Seitz) for the protocol
+// layer. A node is a (channel, resource class) pair -- one per VC class a
+// packet can hold on that channel -- and an edge u -> w means some route
+// holds u while waiting to acquire w at the next hop. Deadlock freedom of
+// the (topology, routing, VC partition) triple is exactly acyclicity of
+// this graph (Sec. 4.2's resource-class partial orders are the shipped
+// ways of guaranteeing it).
+//
+// The graph is extracted by exhaustively *driving the real routing code*,
+// not a parallel model: for every (source terminal, destination terminal)
+// pair and every injection decision the routing function can make
+// (RoutingFunction::enumerate_injection_cases), the route is walked hop by
+// hop through RoutingFunction::route(), recording each channel-to-channel
+// dependency and each resource-class transition. Whatever the router would
+// do in simulation is, by construction, what the analysis saw.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "verify/relation.hpp"
+
+namespace nocalloc::verify {
+
+enum class ChannelKind {
+  kInjection,  // terminal -> its router's terminal input port
+  kLink,       // inter-router link (one per directed LinkSpec)
+  kEjection,   // router's terminal output port -> terminal
+};
+
+/// One unidirectional channel of the network, in the CDG's channel
+/// numbering: injections [0, T), links [T, T + L), ejections [T + L, T + L + T).
+struct VerifyChannel {
+  ChannelKind kind = ChannelKind::kLink;
+  int src_router = -1;  // -1 for injection channels
+  int src_port = -1;
+  int dst_router = -1;  // -1 for ejection channels
+  int dst_port = -1;
+  int terminal = -1;  // attached terminal for injection/ejection channels
+};
+
+/// "link r3.p1->r4.p2", "inject t5->r5", "eject r5->t5".
+std::string to_string(const VerifyChannel& ch);
+
+/// One route the extraction walk could not complete. `kind` distinguishes
+/// the failure; unfilled fields stay at their defaults.
+struct TraceFailure {
+  enum class Kind {
+    kUnreachable,      // hop limit exceeded without reaching the destination
+    kMisrouted,        // ejected at the wrong terminal
+    kBadPort,          // routing emitted a port with no attached channel
+    kClassOutOfRange,  // routing emitted a resource class >= R
+  };
+  Kind kind = Kind::kUnreachable;
+  int src_terminal = -1;
+  int dst_terminal = -1;
+  int intermediate_router = -1;       // the injection case's UGAL state
+  std::size_t injection_class = 0;    // the injection case's class
+  int at_router = -1;                 // router where the walk stopped
+  std::size_t hops = 0;               // hops completed before stopping
+  int ejected_terminal = -1;          // kMisrouted: where it actually left
+  std::size_t bad_class = 0;          // kClassOutOfRange: the emitted class
+};
+
+std::string to_string(const TraceFailure& f);
+
+/// The extracted protocol model: channels, the CDG over (channel, class)
+/// nodes (node id = channel * R + class), per-node usage counts, the
+/// observed resource-class transition relation, and the walk failures.
+struct ProtocolExtraction {
+  std::size_t resource_classes = 0;
+  std::size_t num_injection = 0;  // == num_ejection == terminals
+  std::size_t num_links = 0;
+  std::vector<VerifyChannel> channels;
+
+  /// Adjacency of the CDG; successor lists are deduplicated and sorted.
+  std::vector<std::vector<std::size_t>> cdg_adj;
+  std::size_t cdg_edges = 0;
+
+  /// Number of traced routes that occupied each (channel, class) node.
+  std::vector<std::uint64_t> node_uses;
+
+  /// Every resource-class transition the routing emitted on a link hop
+  /// (including the injection class to first hop); the relation installed
+  /// on the runtime InvariantChecker.
+  TransitionRelation observed;
+
+  std::vector<TraceFailure> failures;
+  std::uint64_t routes_traced = 0;
+  std::size_t max_hops_seen = 0;
+
+  std::size_t num_nodes() const {
+    return channels.size() * resource_classes;
+  }
+  std::size_t node_of(std::size_t channel, std::size_t klass) const {
+    return channel * resource_classes + klass;
+  }
+  std::size_t channel_of_node(std::size_t node) const {
+    return node / resource_classes;
+  }
+  std::size_t class_of_node(std::size_t node) const {
+    return node % resource_classes;
+  }
+  /// "link r3.p1->r4.p2 #c1".
+  std::string node_name(std::size_t node) const;
+};
+
+/// Drives `routing` over every (src terminal, dst terminal != src) pair and
+/// every injection case, and returns the extracted CDG. `resource_classes`
+/// is the partition's R; classes the routing emits at or beyond R are
+/// recorded as kClassOutOfRange failures and their traces abandoned.
+ProtocolExtraction extract_protocol(const noc::Topology& topo,
+                                    noc::RoutingFunction& routing,
+                                    std::size_t resource_classes);
+
+}  // namespace nocalloc::verify

@@ -1,0 +1,470 @@
+#include "verify/passes.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nocalloc::verify {
+namespace {
+
+using Adj = std::vector<std::vector<std::size_t>>;
+
+/// Kahn's algorithm; also yields the longest-path depth when acyclic.
+bool topological_depth(const Adj& adj, std::size_t* depth_out) {
+  const std::size_t n = adj.size();
+  std::vector<std::size_t> indeg(n, 0);
+  for (const auto& succ : adj) {
+    for (const std::size_t w : succ) ++indeg[w];
+  }
+  std::vector<std::size_t> ready;
+  std::vector<std::size_t> depth(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  std::size_t seen = 0;
+  std::size_t max_depth = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    ++seen;
+    max_depth = std::max(max_depth, depth[v]);
+    for (const std::size_t w : adj[v]) {
+      depth[w] = std::max(depth[w], depth[v] + 1);
+      if (--indeg[w] == 0) ready.push_back(w);
+    }
+  }
+  if (depth_out != nullptr) *depth_out = max_depth;
+  return seen == n;
+}
+
+/// Iterative Tarjan SCC; components are returned in discovery order.
+std::vector<std::vector<std::size_t>> strongly_connected_components(
+    const Adj& adj) {
+  const std::size_t n = adj.size();
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> components;
+  int next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.child < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.child++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call.push_back({w, 0});
+        } else if (on_stack[w] != 0) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        const std::size_t v = f.v;
+        call.pop_back();
+        if (!call.empty()) {
+          low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::size_t> comp;
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            comp.push_back(w);
+            if (w == v) break;
+          }
+          components.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  return components;
+}
+
+/// Shortest cycle through the smallest node of a non-trivial SCC, as a node
+/// sequence c0 -> c1 -> ... -> ck (with an implied edge ck -> c0).
+std::vector<std::size_t> shortest_cycle(const Adj& adj,
+                                        const std::vector<std::size_t>& comp,
+                                        std::size_t num_nodes) {
+  const std::size_t start = *std::min_element(comp.begin(), comp.end());
+  std::vector<char> member(num_nodes, 0);
+  for (const std::size_t v : comp) member[v] = 1;
+
+  std::vector<std::size_t> parent(num_nodes, num_nodes);
+  std::vector<std::size_t> dist(num_nodes, num_nodes);
+  std::vector<std::size_t> queue;
+  dist[start] = 0;
+  queue.push_back(start);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t v = queue[head];
+    for (const std::size_t w : adj[v]) {
+      if (member[w] == 0 || dist[w] != num_nodes) continue;
+      dist[w] = dist[v] + 1;
+      parent[w] = v;
+      queue.push_back(w);
+    }
+  }
+
+  // The closing edge: the predecessor of `start` nearest to it.
+  std::size_t best = num_nodes;
+  for (const std::size_t v : comp) {
+    if (dist[v] == num_nodes) continue;
+    if (std::find(adj[v].begin(), adj[v].end(), start) == adj[v].end()) {
+      continue;
+    }
+    if (best == num_nodes || dist[v] < dist[best]) best = v;
+  }
+  NOCALLOC_CHECK(best != num_nodes);  // SCC => a path back must exist
+
+  std::vector<std::size_t> cycle;
+  for (std::size_t v = best; v != start; v = parent[v]) cycle.push_back(v);
+  cycle.push_back(start);
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+std::string class_list(const VcPartition& partition) {
+  return std::to_string(partition.resource_classes());
+}
+
+void pass_cdg_cycles(const ProtocolExtraction& ex, const VerifyOptions& opt,
+                     std::vector<VerifyDiagnostic>& out) {
+  std::vector<std::vector<std::size_t>> nontrivial;
+  for (auto& comp : strongly_connected_components(ex.cdg_adj)) {
+    if (comp.size() < 2) {
+      const std::size_t v = comp.front();
+      const auto& succ = ex.cdg_adj[v];
+      if (std::find(succ.begin(), succ.end(), v) == succ.end()) continue;
+    }
+    nontrivial.push_back(std::move(comp));
+  }
+  std::sort(nontrivial.begin(), nontrivial.end(),
+            [](const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+              return *std::min_element(a.begin(), a.end()) <
+                     *std::min_element(b.begin(), b.end());
+            });
+  std::size_t emitted = 0;
+  for (const auto& comp : nontrivial) {
+    if (emitted++ >= opt.max_diagnostics_per_check) break;
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kError;
+    d.check = VerifyCheck::kCdgCycle;
+    d.nodes = comp.size() < 2 ? comp : shortest_cycle(ex.cdg_adj, comp,
+                                                      ex.num_nodes());
+    d.message = "channel-dependency cycle (" + std::to_string(d.nodes.size()) +
+                " channels, SCC of " + std::to_string(comp.size()) + "): ";
+    for (const std::size_t v : d.nodes) d.message += ex.node_name(v) + " -> ";
+    d.message += ex.node_name(d.nodes.front());
+    out.push_back(std::move(d));
+  }
+  if (nontrivial.size() > opt.max_diagnostics_per_check) {
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kError;
+    d.check = VerifyCheck::kCdgCycle;
+    d.message = std::to_string(nontrivial.size() -
+                               opt.max_diagnostics_per_check) +
+                " further channel-dependency cycles suppressed";
+    out.push_back(std::move(d));
+  }
+}
+
+void pass_trace_failures(const ProtocolExtraction& ex,
+                         const VerifyOptions& opt,
+                         std::vector<VerifyDiagnostic>& out) {
+  std::size_t unreachable = 0;
+  std::size_t out_of_range = 0;
+  for (const TraceFailure& f : ex.failures) {
+    const bool class_failure =
+        f.kind == TraceFailure::Kind::kClassOutOfRange;
+    std::size_t& count = class_failure ? out_of_range : unreachable;
+    if (count++ >= opt.max_diagnostics_per_check) continue;
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kError;
+    d.check = class_failure ? VerifyCheck::kClassOutOfRange
+                            : VerifyCheck::kUnreachablePair;
+    d.message = to_string(f);
+    out.push_back(std::move(d));
+  }
+  auto summarize = [&](std::size_t count, VerifyCheck check,
+                       const char* what) {
+    if (count <= opt.max_diagnostics_per_check) return;
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kError;
+    d.check = check;
+    d.message = std::to_string(count - opt.max_diagnostics_per_check) +
+                " further " + what + " suppressed";
+    out.push_back(std::move(d));
+  };
+  summarize(unreachable, VerifyCheck::kUnreachablePair,
+            "unreachable/misrouted pairs");
+  summarize(out_of_range, VerifyCheck::kClassOutOfRange,
+            "out-of-range class emissions");
+}
+
+void pass_transitions(const ProtocolExtraction& ex,
+                      const VcPartition& partition,
+                      std::vector<VerifyDiagnostic>& out) {
+  const std::size_t r = partition.resource_classes();
+  for (std::size_t from = 0; from < r; ++from) {
+    for (std::size_t to = 0; to < r; ++to) {
+      const bool observed = ex.observed.transition_allowed(from, to);
+      const bool allowed = partition.transition_allowed(from, to);
+      if (observed && !allowed) {
+        VerifyDiagnostic d;
+        d.severity = VerifySeverity::kError;
+        d.check = VerifyCheck::kIllegalTransition;
+        d.message = "routing emits resource-class transition " +
+                    std::to_string(from) + " -> " + std::to_string(to) +
+                    " but the VC partition forbids it (the router would "
+                    "never grant such a VC)";
+        out.push_back(std::move(d));
+      } else if (allowed && !observed && from != to) {
+        VerifyDiagnostic d;
+        d.severity = VerifySeverity::kWarning;
+        d.check = VerifyCheck::kUnusedTransition;
+        d.message = "VC partition allows resource-class transition " +
+                    std::to_string(from) + " -> " + std::to_string(to) +
+                    " but no route ever emits it";
+        out.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+void pass_zero_vc_class(const VcPartition& partition,
+                        std::vector<VerifyDiagnostic>& out) {
+  // The traffic model sends requests in message class 0 and replies in
+  // class 1 (noc/types.hpp); a partition with M < 2 leaves reply traffic
+  // with zero VCs at every hop, deadlocking the protocol at the boundary.
+  if (partition.message_classes() >= 2) return;
+  VerifyDiagnostic d;
+  d.severity = VerifySeverity::kError;
+  d.check = VerifyCheck::kZeroVcClass;
+  d.message = "partition has " +
+              std::to_string(partition.message_classes()) +
+              " message class(es); reply traffic (message class 1) is left "
+              "with zero VCs at every hop";
+  out.push_back(std::move(d));
+}
+
+void pass_dead_vcs(const ProtocolExtraction& ex,
+                   std::vector<VerifyDiagnostic>& out) {
+  for (std::size_t klass = 0; klass < ex.resource_classes; ++klass) {
+    std::size_t dead = 0;
+    std::vector<std::size_t> samples;
+    for (std::size_t ch = 0; ch < ex.channels.size(); ++ch) {
+      if (ex.node_uses[ex.node_of(ch, klass)] != 0) continue;
+      ++dead;
+      if (samples.size() < 8) samples.push_back(ex.node_of(ch, klass));
+    }
+    if (dead == 0) continue;
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kWarning;
+    d.check = VerifyCheck::kDeadVcs;
+    d.message = "resource class " + std::to_string(klass) +
+                ": VCs never used on " + std::to_string(dead) + " of " +
+                std::to_string(ex.channels.size()) +
+                " channels (dead buffers, e.g. " +
+                ex.node_name(samples.front()) + ")";
+    d.nodes = std::move(samples);
+    out.push_back(std::move(d));
+  }
+}
+
+void pass_useless_datelines(const ProtocolExtraction& ex,
+                            const VcPartition& partition,
+                            std::vector<VerifyDiagnostic>& out) {
+  const std::size_t r = partition.resource_classes();
+  for (std::size_t klass = 0; klass < r; ++klass) {
+    // A dateline/phase class in the strict sense: entered from exactly one
+    // other class. Classes with several entry points (the torus y classes)
+    // are skipped -- merging them is not a well-defined inverse of one split.
+    std::vector<std::size_t> preds;
+    for (std::size_t p = 0; p < r; ++p) {
+      if (p != klass && partition.transition_allowed(p, klass)) {
+        preds.push_back(p);
+      }
+    }
+    if (preds.size() != 1) continue;
+    const std::size_t into = preds.front();
+
+    // Undo the split: identify (ch, klass) with (ch, into) and re-check
+    // acyclicity. If the CDG stays acyclic, the extra class never breaks a
+    // cycle -- its VCs buy no deadlock freedom.
+    Adj merged(ex.num_nodes());
+    auto remap = [&](std::size_t v) {
+      return ex.class_of_node(v) == klass
+                 ? ex.node_of(ex.channel_of_node(v), into)
+                 : v;
+    };
+    for (std::size_t v = 0; v < ex.num_nodes(); ++v) {
+      for (const std::size_t w : ex.cdg_adj[v]) {
+        merged[remap(v)].push_back(remap(w));
+      }
+    }
+    if (!topological_depth(merged, nullptr)) continue;  // split load-bearing
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kWarning;
+    d.check = VerifyCheck::kUselessDateline;
+    d.message = "resource class " + std::to_string(klass) +
+                " (split from class " + std::to_string(into) +
+                ") never breaks a cycle: the CDG stays acyclic with the two "
+                "classes merged";
+    out.push_back(std::move(d));
+  }
+}
+
+void pass_stats(const ProtocolExtraction& ex, const VcPartition& partition,
+                std::vector<VerifyDiagnostic>& out) {
+  std::size_t depth = 0;
+  const bool acyclic = topological_depth(ex.cdg_adj, &depth);
+  {
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kInfo;
+    d.check = VerifyCheck::kCdgStats;
+    d.message =
+        "CDG: " + std::to_string(ex.channels.size()) + " channels (" +
+        std::to_string(ex.num_injection) + " inject, " +
+        std::to_string(ex.num_links) + " link, " +
+        std::to_string(ex.num_injection) + " eject) x " + class_list(partition) +
+        " classes = " + std::to_string(ex.num_nodes()) + " nodes, " +
+        std::to_string(ex.cdg_edges) + " edges, " +
+        (acyclic ? "acyclic (depth " + std::to_string(depth) + ")"
+                 : "CYCLIC") +
+        "; " + std::to_string(ex.routes_traced) + " routes traced (" +
+        std::to_string(ex.failures.size()) + " failures, longest " +
+        std::to_string(ex.max_hops_seen) + " hops)";
+    out.push_back(std::move(d));
+  }
+
+  // Per-channel-kind utilization bounds: how many of the R per-message
+  // classes each channel's VCs actually carry.
+  auto bounds_for = [&](ChannelKind kind, const char* label) {
+    std::size_t lo = ex.resource_classes + 1;
+    std::size_t hi = 0;
+    std::size_t count = 0;
+    for (std::size_t ch = 0; ch < ex.channels.size(); ++ch) {
+      if (ex.channels[ch].kind != kind) continue;
+      ++count;
+      std::size_t used = 0;
+      for (std::size_t k = 0; k < ex.resource_classes; ++k) {
+        if (ex.node_uses[ex.node_of(ch, k)] != 0) ++used;
+      }
+      lo = std::min(lo, used);
+      hi = std::max(hi, used);
+    }
+    if (count == 0) return;
+    VerifyDiagnostic d;
+    d.severity = VerifySeverity::kInfo;
+    d.check = VerifyCheck::kChannelUtilization;
+    d.message = std::string(label) + " channels use between " +
+                std::to_string(lo) + " and " + std::to_string(hi) + " of " +
+                std::to_string(ex.resource_classes) + " resource classes";
+    out.push_back(std::move(d));
+  };
+  bounds_for(ChannelKind::kInjection, "injection");
+  bounds_for(ChannelKind::kLink, "link");
+  bounds_for(ChannelKind::kEjection, "ejection");
+}
+
+}  // namespace
+
+const char* to_string(VerifySeverity severity) {
+  switch (severity) {
+    case VerifySeverity::kInfo:
+      return "info";
+    case VerifySeverity::kWarning:
+      return "warning";
+    case VerifySeverity::kError:
+      return "error";
+  }
+  NOCALLOC_CHECK(false);
+}
+
+const char* to_string(VerifyCheck check) {
+  switch (check) {
+    case VerifyCheck::kCdgCycle:
+      return "cdg-cycle";
+    case VerifyCheck::kUnreachablePair:
+      return "unreachable-pair";
+    case VerifyCheck::kClassOutOfRange:
+      return "class-out-of-range";
+    case VerifyCheck::kIllegalTransition:
+      return "illegal-transition";
+    case VerifyCheck::kZeroVcClass:
+      return "zero-vc-class";
+    case VerifyCheck::kUnusedTransition:
+      return "unused-transition";
+    case VerifyCheck::kDeadVcs:
+      return "dead-vcs";
+    case VerifyCheck::kUselessDateline:
+      return "useless-dateline";
+    case VerifyCheck::kCdgStats:
+      return "cdg-stats";
+    case VerifyCheck::kChannelUtilization:
+      return "channel-utilization";
+  }
+  NOCALLOC_CHECK(false);
+}
+
+std::string to_string(const VerifyDiagnostic& diag) {
+  return std::string(to_string(diag.severity)) + "[" +
+         to_string(diag.check) + "] " + diag.message;
+}
+
+std::vector<VerifyDiagnostic> run_passes(const ProtocolExtraction& extraction,
+                                         const VcPartition& partition,
+                                         const VerifyOptions& options) {
+  NOCALLOC_CHECK(extraction.resource_classes ==
+                 partition.resource_classes());
+  std::vector<VerifyDiagnostic> out;
+  pass_cdg_cycles(extraction, options, out);
+  pass_trace_failures(extraction, options, out);
+  pass_transitions(extraction, partition, out);
+  pass_zero_vc_class(partition, out);
+  pass_dead_vcs(extraction, out);
+  if (options.check_useless_datelines) {
+    pass_useless_datelines(extraction, partition, out);
+  }
+  pass_stats(extraction, partition, out);
+  return out;
+}
+
+bool has_errors(const std::vector<VerifyDiagnostic>& diags) {
+  return count_of(diags, VerifySeverity::kError) > 0;
+}
+
+std::size_t count_of(const std::vector<VerifyDiagnostic>& diags,
+                     VerifySeverity severity) {
+  std::size_t n = 0;
+  for (const VerifyDiagnostic& d : diags) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::size_t count_of(const std::vector<VerifyDiagnostic>& diags,
+                     VerifyCheck check) {
+  std::size_t n = 0;
+  for (const VerifyDiagnostic& d : diags) {
+    if (d.check == check) ++n;
+  }
+  return n;
+}
+
+}  // namespace nocalloc::verify

@@ -1,0 +1,79 @@
+// Static-analysis passes over an extracted protocol CDG (verify/cdg.hpp),
+// mirroring the diagnostic shape of the netlist linter (lint/lint.hpp):
+//
+//   errors    -- protocol illegalities no shipped configuration may have:
+//                CDG cycles (reported with the full cycle path, i.e. a
+//                deadlock witness), unreachable or misrouted (src, dst)
+//                pairs, resource-class transitions the routing emits but
+//                the VC partition forbids, emitted classes outside the
+//                partition, and partitions that leave a traffic class with
+//                zero VCs.
+//   warnings  -- wasteful but safe structure: partition transitions never
+//                exercised by any route, (channel, class) VCs no route can
+//                occupy (dead buffers), and dateline/phase classes whose
+//                split never actually breaks a cycle.
+//   info      -- observations: CDG size/shape stats and per-channel-kind
+//                VC-class utilization bounds.
+//
+// Every shipped configuration must verify clean of errors; the nocverify
+// CLI (tools/nocverify.cpp) and tests/test_verify*.cpp enforce exactly that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vc/vc_partition.hpp"
+#include "verify/cdg.hpp"
+
+namespace nocalloc::verify {
+
+enum class VerifySeverity { kInfo, kWarning, kError };
+
+enum class VerifyCheck {
+  kCdgCycle,            // cycle in the channel-dependency graph
+  kUnreachablePair,     // route never reaches (or misroutes past) its dst
+  kClassOutOfRange,     // routing emitted a class outside the partition
+  kIllegalTransition,   // routing emitted a transition the partition forbids
+  kZeroVcClass,         // a traffic class is left without any VCs
+  kUnusedTransition,    // partition allows a transition no route emits
+  kDeadVcs,             // (channel, class) VCs unreachable by any route
+  kUselessDateline,     // class split that never breaks a cycle
+  kCdgStats,            // graph size/shape observations
+  kChannelUtilization,  // per-channel-kind VC class usage bounds
+};
+
+const char* to_string(VerifySeverity severity);
+const char* to_string(VerifyCheck check);
+
+/// One finding. `nodes` lists the CDG nodes involved; for kCdgCycle it is
+/// the full cycle in dependency order (the last node depends on the first).
+struct VerifyDiagnostic {
+  VerifySeverity severity = VerifySeverity::kInfo;
+  VerifyCheck check = VerifyCheck::kCdgStats;
+  std::string message;
+  std::vector<std::size_t> nodes;
+};
+
+/// "error[cdg-cycle] ...".
+std::string to_string(const VerifyDiagnostic& diag);
+
+struct VerifyOptions {
+  /// Cap on diagnostics emitted per check.
+  std::size_t max_diagnostics_per_check = 16;
+  bool check_useless_datelines = true;
+};
+
+/// Runs all passes over an extraction against the partition the router
+/// actually enforces.
+std::vector<VerifyDiagnostic> run_passes(const ProtocolExtraction& extraction,
+                                         const VcPartition& partition,
+                                         const VerifyOptions& options = {});
+
+bool has_errors(const std::vector<VerifyDiagnostic>& diags);
+std::size_t count_of(const std::vector<VerifyDiagnostic>& diags,
+                     VerifySeverity severity);
+std::size_t count_of(const std::vector<VerifyDiagnostic>& diags,
+                     VerifyCheck check);
+
+}  // namespace nocalloc::verify

@@ -1,0 +1,77 @@
+// Protocol verification swept over the paper's design-point enumeration
+// (mirroring tests/test_lint_designs.cpp for noclint): every VC-allocator
+// design point maps onto its protocol testbed (M2xR1 -> mesh DOR,
+// M2xR2 -> fbfly UGAL) and must verify deadlock-free with no errors, and
+// every shipped protocol point of the nocverify --all sweep stays clean.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/design_points.hpp"
+#include "noc/sim.hpp"
+#include "verify/verify.hpp"
+
+namespace nocalloc::verify {
+namespace {
+
+std::string error_summary(const std::vector<VerifyDiagnostic>& diags) {
+  std::string out;
+  for (const VerifyDiagnostic& d : diags) {
+    if (d.severity == VerifySeverity::kError) out += to_string(d) + "\n";
+  }
+  return out;
+}
+
+TEST(VerifyDesigns, AllVcAllocatorPointsVerifyClean) {
+  const std::vector<hw::VcDesignPoint> points = hw::paper_vc_design_points();
+  ASSERT_FALSE(points.empty());
+  std::set<std::size_t> resource_classes_seen;
+  for (const hw::VcDesignPoint& p : points) {
+    const VcPartition& part = p.cfg.partition;
+    resource_classes_seen.insert(part.resource_classes());
+
+    noc::SimConfig cfg;
+    cfg.topology = part.resource_classes() == 1 ? noc::TopologyKind::kMesh8x8
+                                                : noc::TopologyKind::kFbfly4x4;
+    cfg.vcs_per_class = part.vcs_per_class();
+    cfg.vc_alloc = p.cfg.kind;
+    cfg.vc_arb = p.cfg.arb;
+
+    const VerifyReport report = verify_sim_config(cfg);
+    EXPECT_FALSE(has_errors(report.diagnostics))
+        << p.name << ":\n" << error_summary(report.diagnostics);
+    EXPECT_EQ(count_of(report.diagnostics, VerifyCheck::kCdgCycle), 0u)
+        << p.name;
+    EXPECT_TRUE(report.extraction.failures.empty()) << p.name;
+  }
+  // Both of the paper's testbeds were exercised.
+  EXPECT_TRUE(resource_classes_seen.count(1));
+  EXPECT_TRUE(resource_classes_seen.count(2));
+}
+
+TEST(VerifyDesigns, ShippedProtocolPointsVerifyClean) {
+  const std::vector<ProtocolPoint> points = shipped_protocol_points();
+  for (const ProtocolPoint& p : points) {
+    const VerifyReport report = verify_sim_config(p.cfg);
+    EXPECT_FALSE(has_errors(report.diagnostics))
+        << p.name << ":\n" << error_summary(report.diagnostics);
+    EXPECT_EQ(count_of(report.diagnostics, VerifyCheck::kCdgCycle), 0u)
+        << p.name;
+  }
+}
+
+TEST(VerifyDesigns, SweepCoversAllTopologiesAndVcCounts) {
+  std::set<noc::TopologyKind> kinds;
+  std::set<std::size_t> vc_counts;
+  for (const ProtocolPoint& p : shipped_protocol_points()) {
+    kinds.insert(p.cfg.topology);
+    vc_counts.insert(p.cfg.vcs_per_class);
+  }
+  EXPECT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(vc_counts, (std::set<std::size_t>{1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace nocalloc::verify
