@@ -1,0 +1,200 @@
+// Replica-engine throughput: aggregate replica-cycles per wall-clock second
+// for a 64-lane lock-step ReplicaSim batch vs the same 64 simulations run
+// one scalar SimInstance at a time.
+//
+// Both sides do identical work (construction + warmup + measure + drain for
+// 64 seeds of one design point) and produce bit-identical SimResults; the
+// replica engine wins by keeping one router's code, arbiters, and routing
+// metadata hot across all lanes and by running the allocator stages through
+// the devirtualized single-word kernels (Router::allocate_fast).
+//
+// Enforced floor: the best sub-saturation point must reach at least
+// NOCALLOC_REPLICA_MIN_SPEEDUP (default 4.0, or 1.5 under
+// NOCALLOC_BENCH_FAST=1 where the short window under-utilizes the warm-up
+// amortization). Exits nonzero below the floor, so CI catches regressions.
+//
+// Honors NOCALLOC_BENCH_FAST=1 (shorter phases) and NOCALLOC_BENCH_JSON
+// (path to write a machine-readable summary next to the .txt output).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "noc/replica_sim.hpp"
+#include "noc/sim.hpp"
+
+namespace nocalloc::noc {
+namespace {
+
+double wall_now() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+struct Point {
+  TopologyKind topo;
+  std::size_t vcs_per_class;
+  double load;
+  const char* label;
+  bool floor_eligible;  // sub-saturation points the speedup floor applies to
+};
+
+struct Outcome {
+  double scalar_cps = 0.0;   // aggregate cycles/s, 64 scalar runs
+  double replica_cps = 0.0;  // aggregate replica-cycles/s, one 64-lane batch
+  double speedup = 0.0;
+  bool identical = true;  // lane results match the scalar runs exactly
+};
+
+bool same_result(const SimResult& a, const SimResult& b) {
+  return a.avg_packet_latency == b.avg_packet_latency &&
+         a.packets_measured == b.packets_measured &&
+         a.accepted_flit_rate == b.accepted_flit_rate &&
+         a.spec_grants_used == b.spec_grants_used &&
+         a.misspeculations == b.misspeculations;
+}
+
+Outcome run_point(const Point& pt, std::size_t warmup, std::size_t measure,
+                  std::size_t drain) {
+  std::vector<SimConfig> cfgs(ReplicaSim::kMaxLanes);
+  for (std::size_t l = 0; l < cfgs.size(); ++l) {
+    SimConfig& cfg = cfgs[l];
+    cfg.topology = pt.topo;
+    cfg.vcs_per_class = pt.vcs_per_class;
+    cfg.injection_rate = pt.load;
+    cfg.warmup_cycles = warmup;
+    cfg.measure_cycles = measure;
+    cfg.drain_cycles = drain;
+    cfg.seed = l + 1;
+  }
+
+  Outcome out;
+  std::uint64_t scalar_cycles = 0;
+  std::vector<SimResult> scalar_results;
+  const double t0 = wall_now();
+  for (const SimConfig& cfg : cfgs) {
+    scalar_results.push_back(run_simulation(cfg));
+    scalar_cycles += scalar_results.back().cycles_simulated;
+  }
+  const double scalar_dt = wall_now() - t0;
+
+  const double t1 = wall_now();
+  ReplicaSim sim(cfgs);
+  sim.warmup();
+  const std::vector<SimResult> replica_results = sim.measure_and_drain();
+  const double replica_dt = wall_now() - t1;
+
+  std::uint64_t replica_cycles = 0;
+  for (std::size_t l = 0; l < replica_results.size(); ++l) {
+    replica_cycles += replica_results[l].cycles_simulated;
+    if (!same_result(replica_results[l], scalar_results[l])) {
+      out.identical = false;
+    }
+  }
+
+  out.scalar_cps = static_cast<double>(scalar_cycles) / scalar_dt;
+  out.replica_cps = static_cast<double>(replica_cycles) / replica_dt;
+  out.speedup = out.replica_cps / out.scalar_cps;
+  return out;
+}
+
+int run_all() {
+  const bool fast = []() {
+    const char* v = std::getenv("NOCALLOC_BENCH_FAST");
+    return v != nullptr && std::strcmp(v, "1") == 0;
+  }();
+  const std::size_t warmup = fast ? 500 : 1000;
+  const std::size_t measure = fast ? 500 : 2000;
+  const std::size_t drain = fast ? 800 : 3000;
+
+  double min_speedup = fast ? 1.5 : 4.0;
+  if (const char* v = std::getenv("NOCALLOC_REPLICA_MIN_SPEEDUP")) {
+    min_speedup = std::atof(v);
+  }
+
+#ifdef NOCALLOC_BUILD_TYPE
+  std::printf("Build type: %s\n", NOCALLOC_BUILD_TYPE);
+  if (std::strcmp(NOCALLOC_BUILD_TYPE, "Debug") == 0) {
+    std::printf("WARNING: Debug build; timings are not comparable\n");
+  }
+#endif
+  std::printf(
+      "Replica engine: 64 lanes lock-step vs 64 scalar runs "
+      "(warmup %zu + measure %zu + drain %zu per lane)\n",
+      warmup, measure, drain);
+  std::printf("%-22s %16s %16s %8s %6s\n", "point", "scalar cyc/s",
+              "replica cyc/s", "speedup", "equal");
+
+  // The headline point is the allocator-bound regime the replica kernels
+  // target: torus with C=8 packs the full 64-VC word (2 message classes x 4
+  // dateline resource classes x 8), so the scalar path's O(V) request scans
+  // are at their widest while the fast path still runs single-word ops. The
+  // C=1 point bounds the win where per-cycle work outside the allocators
+  // dominates.
+  const Point points[] = {
+      {TopologyKind::kTorus8x8, 8, 0.15, "torus/C=8/0.15", true},
+      {TopologyKind::kMesh8x8, 8, 0.30, "mesh/C=8/0.30", true},
+      {TopologyKind::kMesh8x8, 8, 0.15, "mesh/C=8/0.15", true},
+      {TopologyKind::kMesh8x8, 1, 0.15, "mesh/C=1/0.15", false},
+      {TopologyKind::kFbfly4x4, 8, 0.20, "fbfly/C=8/0.20", true},
+  };
+
+  std::string json = "{\n  \"bench\": \"microbench_replica\",\n"
+                     "  \"lanes\": 64,\n  \"points\": [\n";
+  bool all_identical = true;
+  double best_floor_speedup = 0.0;
+  for (std::size_t i = 0; i < sizeof(points) / sizeof(points[0]); ++i) {
+    const Point& pt = points[i];
+    const Outcome out = run_point(pt, warmup, measure, drain);
+    std::printf("%-22s %16.0f %16.0f %7.2fx %6s\n", pt.label, out.scalar_cps,
+                out.replica_cps, out.speedup, out.identical ? "yes" : "NO");
+    all_identical = all_identical && out.identical;
+    if (pt.floor_eligible && out.speedup > best_floor_speedup) {
+      best_floor_speedup = out.speedup;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"label\": \"%s\", \"scalar_cycles_per_sec\": %.0f, "
+                  "\"replica_cycles_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                  pt.label, out.scalar_cps, out.replica_cps, out.speedup,
+                  i + 1 < sizeof(points) / sizeof(points[0]) ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"best_speedup\": " + std::to_string(best_floor_speedup) +
+          ",\n  \"min_speedup_floor\": " + std::to_string(min_speedup) +
+          "\n}\n";
+
+  const char* path = std::getenv("NOCALLOC_BENCH_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::printf("WARNING: could not write %s\n", path);
+    }
+  }
+
+  bool ok = true;
+  if (!all_identical) {
+    std::printf("DIFFERENTIAL FAIL: replica lanes diverged from scalar\n");
+    ok = false;
+  }
+  if (best_floor_speedup < min_speedup) {
+    std::printf("SPEEDUP FAIL: best %.2fx < floor %.2fx\n", best_floor_speedup,
+                min_speedup);
+    ok = false;
+  }
+  std::printf(ok ? "replica speedup check: PASS (best %.2fx >= %.2fx)\n"
+                 : "replica speedup check: FAIL\n",
+              best_floor_speedup, min_speedup);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nocalloc::noc
+
+int main() { return nocalloc::noc::run_all(); }

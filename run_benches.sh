@@ -3,6 +3,9 @@
 # per-binary copies under bench_results/). Progress and failures are logged
 # to bench_results/progress.log, which always ends with FULL_BENCH_DONE.
 # Each bench's wall-clock seconds are recorded next to its completion line.
+# The microbenches additionally write machine-readable summaries
+# (bench_results/BENCH_sim.json, bench_results/BENCH_replica.json) so the
+# perf trajectory across commits can be diffed without parsing the tables.
 #
 # Environment knobs:
 #   BENCH_FAST=1           -- reduced-fidelity smoke run (sets NOCALLOC_BENCH_FAST)
@@ -49,8 +52,18 @@ is_net_bench() {
   case "$1" in
     fig13_sa_network|fig14_speculation|vc_network_insensitivity|\
     ablation_ugal_threshold|ablation_buffer_depth|ablation_multi_iteration|\
-    microbench_sim|microbench_sweep) return 0 ;;
+    microbench_sim|microbench_sweep|microbench_replica) return 0 ;;
     *) return 1 ;;
+  esac
+}
+
+# Machine-readable summary file for the benches that emit one (empty
+# disables the emission).
+json_for() {
+  case "$1" in
+    microbench_sim) echo "bench_results/BENCH_sim.json" ;;
+    microbench_replica) echo "bench_results/BENCH_replica.json" ;;
+    *) echo "" ;;
   esac
 }
 
@@ -64,7 +77,8 @@ for b in build/bench/*; do
   fi
   log "running $n (timeout ${t}s)"
   start_s=$(date +%s)
-  timeout "$t" "$b" > "bench_results/$n.txt" 2>&1
+  NOCALLOC_BENCH_JSON=$(json_for "$n") timeout "$t" "$b" \
+    > "bench_results/$n.txt" 2>&1
   status=$?
   wall_s=$(( $(date +%s) - start_s ))
   if [ "$status" -eq 124 ]; then

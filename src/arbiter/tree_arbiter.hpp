@@ -38,6 +38,12 @@ class TreeArbiter final : public Arbiter {
   std::size_t groups() const { return groups_; }
   std::size_t group_size() const { return group_size_; }
 
+  /// The two arbitration levels, exposed so the replica engine's sparse
+  /// kernels can drive the exact same priority state without the generic
+  /// extract/scan loop of pick_words().
+  Arbiter& top() { return *top_; }
+  Arbiter& local(std::size_t g) { return *local_[g]; }
+
  private:
   std::size_t groups_;
   std::size_t group_size_;

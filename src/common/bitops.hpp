@@ -27,6 +27,11 @@ constexpr std::size_t word_count(std::size_t nbits) {
 constexpr std::size_t word_of(std::size_t i) { return i / kWordBits; }
 constexpr Word bit(std::size_t i) { return Word{1} << (i % kWordBits); }
 
+/// Mask with the lowest `n` bits set (all ones when n >= 64).
+constexpr Word low_mask(std::size_t n) {
+  return n >= kWordBits ? ~Word{0} : (Word{1} << n) - 1;
+}
+
 /// Mask covering the valid bits of the last word of an `nbits`-wide vector
 /// (all ones when nbits is a multiple of 64). Requires nbits > 0.
 constexpr Word tail_mask(std::size_t nbits) {

@@ -41,11 +41,22 @@ class Channel {
   /// consumer is stepped when the item arrives. Null detaches.
   void set_consumer_flag(std::uint8_t* flag) { consumer_flag_ = flag; }
 
+  /// Registers a per-port pending bit in the consumer's receive mask:
+  /// send() ORs `1 << bit` into `word`, letting the consumer poll only
+  /// ports with in-flight items instead of peeking every channel every
+  /// cycle. The consumer owns clearing the bit (only once the channel is
+  /// empty). Null detaches.
+  void set_consumer_wake(std::uint64_t* word, std::size_t bit) {
+    wake_word_ = word;
+    wake_bit_ = std::uint64_t{1} << bit;
+  }
+
   /// Writes an item at the current cycle. At most one item per cycle.
   void send(T item, Cycle now) {
     NOCALLOC_DCHECK(pipe_.empty() || pipe_.back().sent < now);
     pipe_.push_back(Slot{now, std::move(item)});
     if (consumer_flag_ != nullptr) *consumer_flag_ = 1;
+    if (wake_word_ != nullptr) *wake_word_ |= wake_bit_;
   }
 
   /// Returns the item arriving at `now`, if any.
@@ -110,6 +121,8 @@ class Channel {
   std::size_t latency_;
   GrowRing<Slot> pipe_;
   std::uint8_t* consumer_flag_ = nullptr;
+  std::uint64_t* wake_word_ = nullptr;
+  std::uint64_t wake_bit_ = 0;
 };
 
 }  // namespace nocalloc::noc

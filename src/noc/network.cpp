@@ -178,6 +178,16 @@ bool Network::set_request_rate(double rate) {
   return ok;
 }
 
+void Network::reserve_steady_state(double rate, std::size_t cycles) {
+  // Upper bound on packets a terminal can put into play over the window:
+  // every generated request plus the reply it may trigger, doubled for
+  // headroom against uneven reply concentration under random traffic.
+  const auto per_terminal = static_cast<std::size_t>(
+      rate * static_cast<double>(cycles) * 2.0) + 16;
+  for (auto& term : terminals_) term->reserve_source_queues(per_terminal);
+  arena_.reserve_slots(arena_.live() + per_terminal * terminals_.size());
+}
+
 void Network::snapshot(NetworkSnapshot& out) const {
   out.bytes.clear();
   StateWriter w(out.bytes);

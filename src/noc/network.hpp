@@ -91,6 +91,14 @@ class Network final : public CongestionOracle {
   /// snapshot, set the fork's load point, keep simulating.
   bool set_request_rate(double rate);
 
+  /// Pre-sizes the packet arena and every terminal's source queues for a
+  /// window of `cycles` cycles at offered request rate `rate` (requests per
+  /// terminal per cycle). The bound is 2x the expected generation volume --
+  /// requests plus their replies -- so even a fully saturated window, where
+  /// source backlog grows without bound, performs no heap allocations.
+  /// Construction-time use only (the reservation itself allocates).
+  void reserve_steady_state(double rate, std::size_t cycles);
+
   /// Captures the complete mutable state into `out` (replacing its
   /// contents). The snapshot composes with SimInstance-level state (latency
   /// accumulators, checker counters), which the caller owns.
@@ -121,6 +129,7 @@ class Network final : public CongestionOracle {
 
  private:
   friend class InvariantChecker;  // walks wiring records for conservation
+  friend class ReplicaSim;        // replays step()'s phases across lanes
 
   /// One inter-router link with the channels that realise it, kept so the
   /// invariant checker can audit the credit loop end to end.

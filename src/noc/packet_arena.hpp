@@ -67,6 +67,14 @@ class PacketArena {
     return chunks_[h / kChunkSize][h % kChunkSize];
   }
 
+  /// Pre-grows the slab storage until at least `n` slots exist, so a
+  /// workload bounded by `n` simultaneous live packets allocates nothing
+  /// afterwards. Saturation benches use this to keep even the
+  /// unbounded-backlog regime heap-quiet over a fixed window.
+  void reserve_slots(std::size_t n) {
+    while (capacity() < n) grow();
+  }
+
   /// Packets currently allocated. Zero once the network has drained -- any
   /// residue is a dropped tail flit.
   std::size_t live() const { return live_; }

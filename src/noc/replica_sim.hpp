@@ -1,0 +1,85 @@
+// Lane-parallel replica simulation: up to 64 replicas of one design point
+// advanced in lock-step, one replica ("lane") per bit of a lane word.
+//
+// The paper's figures sweep the same design point across seeds and offered
+// loads, so the sweep engine's cores spend their time running near-identical
+// cycle loops that differ only in RNG stream and load. ReplicaSim exploits
+// that: every lane is a full scalar SimInstance (so snapshots, invariant
+// checkers, and per-lane statistics all keep working unchanged), but the
+// per-cycle loop is driven here with each router's allocator stage running
+// through Router::allocate_fast -- the devirtualized single-word sparse
+// kernels that operate directly on the lane's own round-robin arbiters.
+// Scheduling is lane-major: because lanes never interact, each lane runs its
+// whole cycle block before the next lane starts, keeping one network's ~1 MB
+// of state cache-resident for the entire block. (A cross-lane interleave --
+// all lanes' cycle t, then all lanes' t+1 -- streams all 64 networks through
+// the cache every cycle and measured slower than the scalar baseline.) The
+// divergent state (arena, rings, ejection, RNG) stays scalar per lane.
+//
+// Bit-identity: allocate_fast() is bit-identical to Router::allocate() by
+// construction (same stage sequence against the same arbiter objects), the
+// lane loops replay Network::step()'s phase order and perf counters exactly,
+// and lanes never interact -- so every lane's SimResult equals the scalar
+// SimInstance run of the same config. set_reference_path(true) keeps the
+// lanes on Network::step() + the scalar allocators as a per-lane
+// differential oracle, mirroring BatchNetlistSimulator's reference switch.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/sim.hpp"
+
+namespace nocalloc::noc {
+
+class ReplicaSim {
+ public:
+  /// One lane per config. All configs must share the design-point structure
+  /// (topology, VC partition, allocator kinds, buffer depth, phase lengths);
+  /// seed, injection rate, and check_invariants may differ per lane.
+  static constexpr std::size_t kMaxLanes = 64;
+  explicit ReplicaSim(const std::vector<SimConfig>& cfgs);
+
+  /// True when two configs describe the same design-point structure and can
+  /// therefore share a replica batch (only seed, injection rate, and
+  /// invariant checking may differ between lanes).
+  static bool same_shape(const SimConfig& a, const SimConfig& b);
+
+  std::size_t lanes() const { return lanes_.size(); }
+  SimInstance& lane(std::size_t l) { return *lanes_[l]; }
+
+  /// Routes every lane through the scalar Network::step() path (and thus the
+  /// scalar allocator kernels) instead of the replica-batched fast loop.
+  /// Results are bit-identical either way; the reference path is the
+  /// differential oracle the tests diff against.
+  void set_reference_path(bool ref) { reference_path_ = ref; }
+  bool reference_path() const { return reference_path_; }
+
+  /// Advances all lanes `n` cycles in lock-step.
+  void run_cycles(std::size_t n);
+
+  /// The cold warmup phase (shared warmup_cycles), in lock-step.
+  void warmup();
+
+  /// Re-points one lane's offered load (flits per terminal per cycle).
+  void set_injection_rate(std::size_t l, double rate);
+
+  /// Restores a warm snapshot into one lane; the snapshot must come from a
+  /// SimInstance of the same config shape. Lanes must be at a common cycle
+  /// before stepping resumes, which restore-into-every-lane guarantees.
+  void restore(std::size_t l, const SimSnapshot& snap);
+
+  /// Measurement + drain for every lane, stepping in lock-step. Result i is
+  /// bit-identical to lane i's scalar measure_and_drain().
+  std::vector<SimResult> measure_and_drain();
+
+ private:
+  /// One cycle of one lane through the fast engine (Network::step()'s phase
+  /// order with Router::allocate_fast as the allocator stage).
+  void step_lane(Network& net);
+
+  std::vector<std::unique_ptr<SimInstance>> lanes_;
+  bool reference_path_ = false;
+};
+
+}  // namespace nocalloc::noc

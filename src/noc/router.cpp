@@ -54,21 +54,53 @@ Router::Router(int id, const RouterConfig& cfg, RoutingFunction& routing,
   } else {
     spec_alloc_ = std::make_unique<SpeculativeSwitchAllocator>(sa, cfg.spec);
   }
+
+  // Replica fast path: available when every allocator stage has a
+  // single-word sparse kernel against concrete round-robin arbiters.
+  fast_va_ = dynamic_cast<VcSeparableInputFirstAllocator*>(vc_alloc_.get());
+  if (sw_alloc_ != nullptr) {
+    fast_sa_ = dynamic_cast<SaSeparableInputFirst*>(sw_alloc_.get());
+  }
+  fast_ok_ = vcs_ <= bits::kWordBits && cfg_.ports <= bits::kWordBits &&
+             fast_va_ != nullptr && fast_va_->fast_ready() &&
+             (cfg_.spec == SpecMode::kNonSpeculative
+                  ? fast_sa_ != nullptr && fast_sa_->fast_ready()
+                  : spec_alloc_->fast_ready());
+  if (fast_ok_) {
+    fast_vreq_.resize(total);
+    fast_ns_words_.assign(cfg_.ports, 0);
+    fast_sp_words_.assign(cfg_.ports, 0);
+    fast_out_port_.assign(total, 0);
+    vgrant_.assign(total, -1);
+    out_alloc_words_.assign(cfg_.ports, 0);
+    // All credits start at buffer_depth > 0.
+    out_credit_words_.assign(cfg_.ports, bits::low_mask(vcs_));
+  }
 }
 
 void Router::attach_input(int port, Channel<Flit>* flits_in,
                           Channel<Credit>* credits_out) {
   NOCALLOC_CHECK(port >= 0 && static_cast<std::size_t>(port) < cfg_.ports);
-  flits_in_[static_cast<std::size_t>(port)] = flits_in;
-  credits_out_[static_cast<std::size_t>(port)] = credits_out;
+  const std::size_t p = static_cast<std::size_t>(port);
+  flits_in_[p] = flits_in;
+  credits_out_[p] = credits_out;
+  if (flits_in != nullptr) {
+    flits_in->set_consumer_wake(&rx_flit_pending_, p);
+    rx_flit_pending_ |= bits::bit(p);  // conservative; clears once drained
+  }
 }
 
 void Router::attach_output(int port, Channel<Flit>* flits_out,
                            Channel<Credit>* credits_in, int downstream_router) {
   NOCALLOC_CHECK(port >= 0 && static_cast<std::size_t>(port) < cfg_.ports);
-  flits_out_[static_cast<std::size_t>(port)] = flits_out;
-  credits_in_[static_cast<std::size_t>(port)] = credits_in;
-  downstream_[static_cast<std::size_t>(port)] = downstream_router;
+  const std::size_t p = static_cast<std::size_t>(port);
+  flits_out_[p] = flits_out;
+  credits_in_[p] = credits_in;
+  downstream_[p] = downstream_router;
+  if (credits_in != nullptr) {
+    credits_in->set_consumer_wake(&rx_credit_pending_, p);
+    rx_credit_pending_ |= bits::bit(p);
+  }
 }
 
 void Router::set_vc_state(std::size_t idx, VcState state) {
@@ -98,36 +130,52 @@ void Router::start_packet(std::size_t idx, const Flit& head) {
 }
 
 void Router::receive(Cycle now) {
-  for (std::size_t p = 0; p < cfg_.ports; ++p) {
-    if (flits_in_[p] != nullptr) {
-      // peek/pop moves the flit straight from the channel pipe into the VC
-      // ring buffer, skipping the std::optional intermediate copy.
-      if (Flit* flit = flits_in_[p]->peek(now)) {
-        // The flit travels on the VC the upstream router assigned; with
-        // credit-based flow control a free slot is guaranteed.
-        NOCALLOC_DCHECK(flit->vc >= 0 &&
-                       static_cast<std::size_t>(flit->vc) < vcs_);
-        const std::size_t idx = p * vcs_ + static_cast<std::size_t>(flit->vc);
-        InputVc& ivc = input_vcs_[idx];
-        NOCALLOC_DCHECK(ivc.buffer.size() < cfg_.buffer_depth);
-        // A head that lands at the front of an idle VC starts a packet now;
-        // otherwise it waits behind the packet(s) already buffered.
-        const bool at_front = ivc.buffer.empty();
-        ivc.buffer.push_back(std::move(*flit));
-        flits_in_[p]->pop();
-        if (at_front && ivc.state == VcState::kIdle) {
-          start_packet(idx, ivc.buffer.front());
-        }
+  // Only ports with in-flight items are polled: sends raise the pending
+  // bit, the drain check below clears it. A clear bit implies an empty
+  // channel, so skipping it is identical to the full port scan.
+  bits::Word flit_pending = rx_flit_pending_;
+  while (flit_pending != 0) {
+    const std::size_t p =
+        static_cast<std::size_t>(std::countr_zero(flit_pending));
+    flit_pending &= flit_pending - 1;
+    Channel<Flit>* ch = flits_in_[p];
+    // peek/pop moves the flit straight from the channel pipe into the VC
+    // ring buffer, skipping the std::optional intermediate copy.
+    if (Flit* flit = ch->peek(now)) {
+      // The flit travels on the VC the upstream router assigned; with
+      // credit-based flow control a free slot is guaranteed.
+      NOCALLOC_DCHECK(flit->vc >= 0 &&
+                      static_cast<std::size_t>(flit->vc) < vcs_);
+      const std::size_t idx = p * vcs_ + static_cast<std::size_t>(flit->vc);
+      InputVc& ivc = input_vcs_[idx];
+      NOCALLOC_DCHECK(ivc.buffer.size() < cfg_.buffer_depth);
+      // A head that lands at the front of an idle VC starts a packet now;
+      // otherwise it waits behind the packet(s) already buffered.
+      const bool at_front = ivc.buffer.empty();
+      ivc.buffer.push_back(std::move(*flit));
+      ch->pop();
+      if (at_front && ivc.state == VcState::kIdle) {
+        start_packet(idx, ivc.buffer.front());
       }
     }
-    if (credits_in_[p] != nullptr) {
-      if (const Credit* credit = credits_in_[p]->peek(now)) {
-        OutputVc& ovc = output_vc(p, static_cast<std::size_t>(credit->vc));
-        NOCALLOC_DCHECK(ovc.credits < cfg_.buffer_depth);
-        ++ovc.credits;
-        credits_in_[p]->pop();
+    if (ch->empty()) rx_flit_pending_ &= ~bits::bit(p);
+  }
+  bits::Word credit_pending = rx_credit_pending_;
+  while (credit_pending != 0) {
+    const std::size_t p =
+        static_cast<std::size_t>(std::countr_zero(credit_pending));
+    credit_pending &= credit_pending - 1;
+    Channel<Credit>* ch = credits_in_[p];
+    if (const Credit* credit = ch->peek(now)) {
+      OutputVc& ovc = output_vc(p, static_cast<std::size_t>(credit->vc));
+      NOCALLOC_DCHECK(ovc.credits < cfg_.buffer_depth);
+      ++ovc.credits;
+      if (fast_ok_) {
+        out_credit_words_[p] |= bits::bit(static_cast<std::size_t>(credit->vc));
       }
+      ch->pop();
     }
+    if (ch->empty()) rx_credit_pending_ &= ~bits::bit(p);
   }
 }
 
@@ -207,6 +255,10 @@ void Router::allocate(Cycle now) {
         output_vc(static_cast<std::size_t>(ivc.route.out_port), out_vc);
     NOCALLOC_DCHECK(!ovc.allocated);
     ovc.allocated = true;
+    if (fast_ok_) {
+      out_alloc_words_[static_cast<std::size_t>(ivc.route.out_port)] |=
+          bits::bit(out_vc);
+    }
     ivc.out_vc = static_cast<int>(out_vc);
     set_vc_state(i, VcState::kActive);
     ++stats_.vc_allocs;
@@ -263,6 +315,132 @@ void Router::allocate(Cycle now) {
   touched_nonspec_.clear();
 }
 
+void Router::allocate_fast(Cycle now) {
+  // Configurations without a single-word kernel, checker-attached routers
+  // (which must run allocators on empty cycles and report every result), and
+  // reference-path oracles all take the scalar path; its results are
+  // bit-identical by contract, so lanes can mix freely.
+  if (!fast_ok_ || checker_ != nullptr || vc_alloc_->reference_path()) {
+    allocate(now);
+    return;
+  }
+  if (!bits::any(wait_mask_.data(), wait_mask_.size()) &&
+      !bits::any(active_mask_.data(), active_mask_.size())) {
+    return;
+  }
+
+  if (now > next_alloc_cycle_) {
+    const std::uint64_t gap = now - next_alloc_cycle_;
+    vc_alloc_->advance_priority(gap);
+    if (sw_alloc_ != nullptr) sw_alloc_->advance_priority(gap);
+    if (spec_alloc_ != nullptr) spec_alloc_->advance_priority(gap);
+  }
+  next_alloc_cycle_ = now + 1;
+
+  const bool speculative = cfg_.spec != SpecMode::kNonSpeculative;
+  const bits::Word class_span = bits::low_mask(cfg_.partition.vcs_per_class());
+
+  // --- VC allocation requests, packed into single-word candidate masks -----
+  // The candidate set (free VCs of the packet's class at the requested
+  // output) is one word op against the derived allocated-mask instead of a
+  // C-wide scan over the OutputVc structs.
+  std::size_t n_vreq = 0;
+  bits::for_each_set(wait_mask_.data(), wait_mask_.size(), [&](std::size_t i) {
+    InputVc& ivc = input_vcs_[i];
+    NOCALLOC_DCHECK(!ivc.buffer.empty() && ivc.buffer.front().head);
+    const Packet& pkt = arena_->get(ivc.buffer.front().packet);
+    const auto out_port = static_cast<std::size_t>(ivc.route.out_port);
+    const std::size_t m = message_class_of(pkt.type);
+    const std::size_t base =
+        cfg_.partition.class_base(m, ivc.route.resource_class);
+    const bits::Word mask = (class_span << base) & ~out_alloc_words_[out_port];
+    fast_vreq_[n_vreq++] = {static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(out_port), mask};
+    vgrant_[i] = -1;  // scalar fallback cycles leave stale grants behind
+    if (speculative) {
+      fast_sp_words_[i / vcs_] |= bits::bit(i % vcs_);
+      fast_out_port_[i] = static_cast<std::uint8_t>(out_port);
+    }
+  });
+
+  if (n_vreq != 0) fast_va_->allocate_fast(fast_vreq_.data(), n_vreq, vgrant_);
+
+  // --- Switch allocation requests (from pre-VA state) ----------------------
+  bits::Word ns_any = 0;
+  bits::for_each_set(
+      active_mask_.data(), active_mask_.size(), [&](std::size_t i) {
+        InputVc& ivc = input_vcs_[i];
+        if (ivc.buffer.empty()) return;
+        // No downstream slot: do not bid (credit-mask bit test, same
+        // predicate as the scalar path's ovc.credits == 0 check).
+        if ((out_credit_words_[static_cast<std::size_t>(ivc.route.out_port)] &
+             bits::bit(static_cast<std::size_t>(ivc.out_vc))) == 0) {
+          return;
+        }
+        fast_ns_words_[i / vcs_] |= bits::bit(i % vcs_);
+        ns_any |= bits::bit(i / vcs_);
+        fast_out_port_[i] = static_cast<std::uint8_t>(ivc.route.out_port);
+      });
+
+  // --- Commit VC grants ----------------------------------------------------
+  for (std::size_t k = 0; k < n_vreq; ++k) {
+    const std::size_t i = fast_vreq_[k].input;
+    if (vgrant_[i] < 0) continue;
+    InputVc& ivc = input_vcs_[i];
+    const std::size_t out_vc = static_cast<std::size_t>(vgrant_[i]) % vcs_;
+    vgrant_[i] = -1;  // restore the all--1 contract for the next cycle
+    const auto out_port = static_cast<std::size_t>(ivc.route.out_port);
+    OutputVc& ovc = output_vc(out_port, out_vc);
+    NOCALLOC_DCHECK(!ovc.allocated);
+    ovc.allocated = true;
+    out_alloc_words_[out_port] |= bits::bit(out_vc);
+    ivc.out_vc = static_cast<int>(out_vc);
+    set_vc_state(i, VcState::kActive);
+    ++stats_.vc_allocs;
+  }
+
+  // --- Switch allocation and commit ----------------------------------------
+  // With no requests at all, the kernels and the commit scan are no-ops on
+  // every piece of state they touch (no arbiter updates without winners),
+  // so the whole stage is skipped.
+  if (!speculative) {
+    if (ns_any != 0) {
+      fast_sa_->allocate_fast(fast_ns_words_.data(), fast_out_port_.data(),
+                              sw_grants_);
+      for (std::size_t p = 0; p < cfg_.ports; ++p) {
+        if (sw_grants_[p].granted()) {
+          commit_grant(p, static_cast<std::size_t>(sw_grants_[p].vc), now);
+        }
+      }
+      std::fill(fast_ns_words_.begin(), fast_ns_words_.end(), bits::Word{0});
+    }
+  } else if (ns_any != 0 || n_vreq != 0) {
+    spec_alloc_->allocate_fast(fast_ns_words_.data(), fast_out_port_.data(),
+                               fast_sp_words_.data(), fast_out_port_.data(),
+                               spec_grants_);
+    for (std::size_t p = 0; p < cfg_.ports; ++p) {
+      const SpecSwitchGrant& g = spec_grants_[p];
+      if (g.nonspec.granted()) {
+        commit_grant(p, static_cast<std::size_t>(g.nonspec.vc), now);
+      } else if (g.spec.granted()) {
+        const std::size_t v = static_cast<std::size_t>(g.spec.vc);
+        InputVc& ivc = input_vc(p, v);
+        const bool va_won = ivc.state == VcState::kActive && ivc.out_vc >= 0;
+        if (va_won &&
+            (out_credit_words_[static_cast<std::size_t>(ivc.route.out_port)] &
+             bits::bit(static_cast<std::size_t>(ivc.out_vc))) != 0) {
+          commit_grant(p, v, now);
+          ++stats_.spec_grants_used;
+        } else {
+          ++stats_.misspeculations;
+        }
+      }
+    }
+    std::fill(fast_ns_words_.begin(), fast_ns_words_.end(), bits::Word{0});
+    std::fill(fast_sp_words_.begin(), fast_sp_words_.end(), bits::Word{0});
+  }
+}
+
 void Router::commit_grant(std::size_t port, std::size_t vc, Cycle now) {
   const std::size_t idx = port * vcs_ + vc;
   InputVc& ivc = input_vcs_[idx];
@@ -276,6 +454,9 @@ void Router::commit_grant(std::size_t port, std::size_t vc, Cycle now) {
   OutputVc& ovc = output_vc(out_port, out_vc);
   NOCALLOC_DCHECK(ovc.credits > 0);
   --ovc.credits;
+  if (fast_ok_ && ovc.credits == 0) {
+    out_credit_words_[out_port] &= ~bits::bit(out_vc);
+  }
 
   flit.vc = static_cast<int>(out_vc);
   if (flit.head) {
@@ -312,6 +493,7 @@ void Router::commit_grant(std::size_t port, std::size_t vc, Cycle now) {
 
   if (tail) {
     ovc.allocated = false;
+    if (fast_ok_) out_alloc_words_[out_port] &= ~bits::bit(out_vc);
     ivc.out_vc = -1;
     if (!ivc.buffer.empty()) {
       start_packet(idx, ivc.buffer.front());
@@ -326,9 +508,21 @@ bool Router::has_pending_work() const {
       bits::any(active_mask_.data(), active_mask_.size())) {
     return true;
   }
-  for (std::size_t p = 0; p < cfg_.ports; ++p) {
-    if (flits_in_[p] != nullptr && !flits_in_[p]->empty()) return true;
-    if (credits_in_[p] != nullptr && !credits_in_[p]->empty()) return true;
+  // A clear pending bit implies an empty channel, so only flagged ports
+  // need the real emptiness check (bits are cleared lazily by receive()).
+  bits::Word flit_pending = rx_flit_pending_;
+  while (flit_pending != 0) {
+    const std::size_t p =
+        static_cast<std::size_t>(std::countr_zero(flit_pending));
+    flit_pending &= flit_pending - 1;
+    if (!flits_in_[p]->empty()) return true;
+  }
+  bits::Word credit_pending = rx_credit_pending_;
+  while (credit_pending != 0) {
+    const std::size_t p =
+        static_cast<std::size_t>(std::countr_zero(credit_pending));
+    credit_pending &= credit_pending - 1;
+    if (!credits_in_[p]->empty()) return true;
   }
   return false;
 }
@@ -394,6 +588,28 @@ void Router::load_state(StateReader& r) {
     r.pod(ovc.allocated);
     ovc.credits = static_cast<std::size_t>(r.u64());
     NOCALLOC_CHECK(ovc.credits <= cfg_.buffer_depth);
+  }
+  if (fast_ok_) {
+    // Rebuild the derived per-port words from the restored OutputVc structs,
+    // and conservatively mark every attached port pending (the masks
+    // self-heal as receive() finds the channels empty).
+    for (std::size_t p = 0; p < cfg_.ports; ++p) {
+      bits::Word alloc = 0;
+      bits::Word credit = 0;
+      for (std::size_t v = 0; v < vcs_; ++v) {
+        const OutputVc& ovc = output_vc(p, v);
+        if (ovc.allocated) alloc |= bits::bit(v);
+        if (ovc.credits > 0) credit |= bits::bit(v);
+      }
+      out_alloc_words_[p] = alloc;
+      out_credit_words_[p] = credit;
+    }
+  }
+  rx_flit_pending_ = 0;
+  rx_credit_pending_ = 0;
+  for (std::size_t p = 0; p < cfg_.ports; ++p) {
+    if (flits_in_[p] != nullptr) rx_flit_pending_ |= bits::bit(p);
+    if (credits_in_[p] != nullptr) rx_credit_pending_ |= bits::bit(p);
   }
   next_alloc_cycle_ = r.u64();
   r.pod(stats_);

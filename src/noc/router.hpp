@@ -40,10 +40,12 @@
 #include "noc/packet_arena.hpp"
 #include "noc/routing.hpp"
 #include "noc/types.hpp"
+#include "sa/sa_separable.hpp"
 #include "sa/speculative_switch_allocator.hpp"
 #include "sa/switch_allocator.hpp"
 #include "vc/vc_allocator.hpp"
 #include "vc/vc_partition.hpp"
+#include "vc/vc_separable_allocator.hpp"
 
 namespace nocalloc::noc {
 
@@ -99,6 +101,20 @@ class Router {
                      Channel<Credit>* credits_in, int downstream_router);
 
   void allocate(Cycle now);
+
+  /// Devirtualized allocate() for the replica engine: the same stage
+  /// sequence, stats, and priority-state evolution, but the VC-request
+  /// build, VA, SA, and speculation masks run as single-word sparse kernels
+  /// directly against the router's own round-robin arbiters. Falls back to
+  /// allocate() whenever the configuration has no fast path (non-round-robin
+  /// arbiters, non-separable-input-first allocators, attached checker, or
+  /// reference-path mode), so results are bit-identical either way.
+  void allocate_fast(Cycle now);
+
+  /// True when allocate_fast() takes its devirtualized path rather than
+  /// falling back (exposed for tests and benches).
+  bool fast_path_available() const { return fast_ok_ && checker_ == nullptr; }
+
   void receive(Cycle now);
 
   /// True while the router can still make progress on its own: buffered
@@ -200,6 +216,32 @@ class Router {
   std::unique_ptr<VcAllocator> vc_alloc_;
   std::unique_ptr<SwitchAllocator> sw_alloc_;               // non-speculative
   std::unique_ptr<SpeculativeSwitchAllocator> spec_alloc_;  // speculative
+
+  // Receive-side pending masks: bit p is raised by a send on port p's
+  // incoming flit/credit channel and cleared by receive() once the channel
+  // drains, so receive() polls only ports with in-flight items. Derived
+  // state (bit clear implies channel empty; bit set implies nothing), reset
+  // to all-attached on load_state and self-healing from there.
+  bits::Word rx_flit_pending_ = 0;
+  bits::Word rx_credit_pending_ = 0;
+
+  // Replica fast path: concrete allocator handles plus single-word request
+  // scratch (per-port VC masks and the per-input-VC requested output port).
+  bool fast_ok_ = false;
+  VcSeparableInputFirstAllocator* fast_va_ = nullptr;
+  SaSeparableInputFirst* fast_sa_ = nullptr;  // non-speculative mode only
+  std::vector<VcSeparableInputFirstAllocator::FastRequest> fast_vreq_;
+  std::vector<bits::Word> fast_ns_words_;     // [p]: SA-requesting VCs
+  std::vector<bits::Word> fast_sp_words_;     // [p]: speculative bids
+  std::vector<std::uint8_t> fast_out_port_;   // [p * V + v]
+  // Derived per-output-port words mirroring the OutputVc structs
+  // (maintained only when fast_ok_; rebuilt on load_state): bit v of
+  // out_alloc_words_[p] mirrors output_vc(p, v).allocated, bit v of
+  // out_credit_words_[p] mirrors credits > 0. They turn the fast path's
+  // per-head candidate scan (C scattered struct loads) and per-bid credit
+  // check into single word ops.
+  std::vector<bits::Word> out_alloc_words_;
+  std::vector<bits::Word> out_credit_words_;
 
   InvariantChecker* checker_ = nullptr;
   RouterStats stats_;

@@ -74,6 +74,14 @@ class Terminal {
   /// drain phases and conservation tests.
   void set_generation_enabled(bool enabled) { generate_ = enabled; }
 
+  /// Pre-sizes both source queues to hold `n` packets each without growing.
+  /// Saturation benches call this (via Network::reserve_steady_state) so a
+  /// backlog bounded by the window length stays allocation-free.
+  void reserve_source_queues(std::size_t n) {
+    request_queue_.reserve(n);
+    reply_queue_.reserve(n);
+  }
+
   /// Forwards a new offered rate to the traffic source; returns false when
   /// the source has no rate knob (trace replay).
   bool set_request_rate(double rate) { return source_->set_request_rate(rate); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "arbiter/round_robin_arbiter.hpp"
+
 namespace nocalloc {
 
 SaSeparableInputFirst::SaSeparableInputFirst(std::size_t ports,
@@ -15,6 +17,64 @@ SaSeparableInputFirst::SaSeparableInputFirst(std::size_t ports,
   out_bids_.resize(ports * bits::word_count(ports));
   out_any_.resize(bits::word_count(ports));
   port_vc_.resize(ports);
+  init_fast(arb);
+}
+
+void SaSeparableInputFirst::init_fast(ArbiterKind arb) {
+  if (arb != ArbiterKind::kRoundRobin || vcs() > bits::kWordBits ||
+      ports() > bits::kWordBits) {
+    return;
+  }
+  for (auto& a : vc_arb_) {
+    auto* rr = dynamic_cast<RoundRobinArbiter*>(a.get());
+    if (rr == nullptr) return;
+    vc_rr_.push_back(rr);
+  }
+  for (auto& a : out_arb_) {
+    auto* rr = dynamic_cast<RoundRobinArbiter*>(a.get());
+    if (rr == nullptr) return;
+    out_rr_.push_back(rr);
+  }
+  fast_bids_.assign(ports(), 0);
+  fast_ok_ = true;
+}
+
+void SaSeparableInputFirst::allocate_fast(const bits::Word* vc_words,
+                                          const std::uint8_t* out_ports,
+                                          std::vector<SwitchGrant>& grant) {
+  NOCALLOC_DCHECK(fast_ok_);
+  const std::size_t p_count = ports();
+  const std::size_t v_count = vcs();
+  grant.assign(p_count, SwitchGrant{});
+
+  // Stage 1: per input port, pick one requesting VC and bid for its output.
+  bits::Word out_any = 0;
+  for (std::size_t p = 0; p < p_count; ++p) {
+    const bits::Word w = vc_words[p];
+    if (w == 0) {
+      port_vc_[p] = -1;
+      continue;
+    }
+    const int v = rr_pick_word(w, vc_rr_[p]->pointer());
+    port_vc_[p] = v;
+    const std::size_t o = out_ports[p * v_count + static_cast<std::size_t>(v)];
+    fast_bids_[o] |= bits::bit(p);
+    out_any |= bits::bit(o);
+  }
+
+  // Stage 2: per requested output port (ascending, as for_each_set visits
+  // them), arbitrate among forwarded bids.
+  while (out_any != 0) {
+    const auto o = static_cast<std::size_t>(std::countr_zero(out_any));
+    out_any &= out_any - 1;
+    const int p = rr_pick_word(fast_bids_[o], out_rr_[o]->pointer());
+    fast_bids_[o] = 0;
+    grant[static_cast<std::size_t>(p)] = {port_vc_[static_cast<std::size_t>(p)],
+                                          static_cast<int>(o)};
+    out_rr_[o]->update(p);
+    vc_rr_[static_cast<std::size_t>(p)]->update(
+        port_vc_[static_cast<std::size_t>(p)]);
+  }
 }
 
 void SaSeparableInputFirst::allocate(const std::vector<SwitchRequest>& req,

@@ -15,9 +15,22 @@
 
 namespace nocalloc {
 
+class RoundRobinArbiter;
+
 class SaSeparableInputFirst final : public SwitchAllocator {
  public:
   SaSeparableInputFirst(std::size_t ports, std::size_t vcs, ArbiterKind arb);
+
+  /// True when allocate_fast() is available: round-robin arbiters with V and
+  /// P each fitting one lane word.
+  bool fast_ready() const { return fast_ok_; }
+
+  /// Sparse single-word variant of the word-parallel fast path, bit-identical
+  /// to allocate() in grants and arbiter state. `vc_words[p]` holds input
+  /// port p's requesting-VC mask; `out_ports[p * V + v]` the requested output
+  /// port of every set bit. `grant` is fully rewritten (one entry per port).
+  void allocate_fast(const bits::Word* vc_words, const std::uint8_t* out_ports,
+                     std::vector<SwitchGrant>& grant);
 
   void allocate(const std::vector<SwitchRequest>& req,
                 std::vector<SwitchGrant>& grant) override;
@@ -36,6 +49,7 @@ class SaSeparableInputFirst final : public SwitchAllocator {
                      std::vector<SwitchGrant>& grant);
   void allocate_ref(const std::vector<SwitchRequest>& req,
                     std::vector<SwitchGrant>& grant);
+  void init_fast(ArbiterKind arb);
 
   std::vector<std::unique_ptr<Arbiter>> vc_arb_;   // per input port, width V
   std::vector<std::unique_ptr<Arbiter>> out_arb_;  // per output port, width P
@@ -45,6 +59,12 @@ class SaSeparableInputFirst final : public SwitchAllocator {
   std::vector<bits::Word> out_bids_;
   std::vector<bits::Word> out_any_;
   std::vector<int> port_vc_;
+  // Fast-path caches: concrete round-robin arbiters and single-word bid
+  // masks per output port.
+  bool fast_ok_ = false;
+  std::vector<RoundRobinArbiter*> vc_rr_;   // [p]
+  std::vector<RoundRobinArbiter*> out_rr_;  // [o]
+  std::vector<bits::Word> fast_bids_;       // [o], P-wide
 };
 
 class SaSeparableOutputFirst final : public SwitchAllocator {

@@ -1,5 +1,8 @@
 #include "sa/speculative_switch_allocator.hpp"
 
+#include "common/bitops.hpp"
+#include "sa/sa_separable.hpp"
+
 namespace nocalloc {
 
 std::string to_string(SpecMode mode) {
@@ -20,6 +23,59 @@ SpeculativeSwitchAllocator::SpeculativeSwitchAllocator(
       nonspec_(make_switch_allocator(cfg)),
       spec_(make_switch_allocator(cfg)) {
   NOCALLOC_CHECK(mode != SpecMode::kNonSpeculative);
+  fast_ns_ = dynamic_cast<SaSeparableInputFirst*>(nonspec_.get());
+  if (fast_ns_ != nullptr && !fast_ns_->fast_ready()) fast_ns_ = nullptr;
+  fast_sp_ = dynamic_cast<SaSeparableInputFirst*>(spec_.get());
+  if (fast_sp_ != nullptr && !fast_sp_->fast_ready()) fast_sp_ = nullptr;
+}
+
+bool SpeculativeSwitchAllocator::fast_ready() const {
+  return fast_ns_ != nullptr && fast_sp_ != nullptr;
+}
+
+void SpeculativeSwitchAllocator::allocate_fast(
+    const bits::Word* ns_words, const std::uint8_t* ns_out,
+    const bits::Word* sp_words, const std::uint8_t* sp_out,
+    std::vector<SpecSwitchGrant>& grant) {
+  const std::size_t p_count = ports();
+  const std::size_t v_count = vcs();
+  grant.assign(p_count, SpecSwitchGrant{});
+
+  fast_ns_->allocate_fast(ns_words, ns_out, ns_gnt_);
+  fast_sp_->allocate_fast(sp_words, sp_out, sp_gnt_);
+
+  // Row/column conflict summaries as single words; same content as the
+  // per-port byte flags of the generic path.
+  bits::Word row_busy = 0;
+  bits::Word col_busy = 0;
+  if (mode_ == SpecMode::kConservative) {
+    for (std::size_t p = 0; p < p_count; ++p) {
+      if (ns_gnt_[p].granted()) {
+        row_busy |= bits::bit(p);
+        col_busy |= bits::bit(static_cast<std::size_t>(ns_gnt_[p].out_port));
+      }
+    }
+  } else {
+    for (std::size_t p = 0; p < p_count; ++p) {
+      bits::Word w = ns_words[p];
+      if (w == 0) continue;
+      row_busy |= bits::bit(p);
+      bits::for_each_set(&w, 1, [&](std::size_t v) {
+        col_busy |= bits::bit(ns_out[p * v_count + v]);
+      });
+    }
+  }
+
+  for (std::size_t p = 0; p < p_count; ++p) {
+    grant[p].nonspec = ns_gnt_[p];
+    if (!sp_gnt_[p].granted()) continue;
+    const auto o = static_cast<std::size_t>(sp_gnt_[p].out_port);
+    if (((row_busy >> p) & 1) != 0 || ((col_busy >> o) & 1) != 0) {
+      ++masked_;
+      continue;
+    }
+    grant[p].spec = sp_gnt_[p];
+  }
 }
 
 void SpeculativeSwitchAllocator::allocate(

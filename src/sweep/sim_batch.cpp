@@ -1,8 +1,10 @@
 #include "sweep/sim_batch.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
+#include "noc/replica_sim.hpp"
 
 namespace nocalloc::sweep {
 
@@ -20,6 +22,51 @@ std::vector<noc::SimResult> run_sim_batch_seeded(
     cfgs[i].seed = task_seed(base_seed, i);
   }
   return run_sim_batch(pool, cfgs);
+}
+
+std::vector<noc::SimResult> run_sim_batch_replicated(
+    ThreadPool& pool, const std::vector<noc::SimConfig>& cfgs) {
+  // Group maximal runs of consecutive same-shape configs, 64 lanes max.
+  // Grouping only consecutive entries keeps results trivially in input
+  // order and matches how sweep drivers emit configs (seed-major within a
+  // design point).
+  struct Group {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < cfgs.size();) {
+    std::size_t j = i + 1;
+    while (j < cfgs.size() && j - i < noc::ReplicaSim::kMaxLanes &&
+           noc::ReplicaSim::same_shape(cfgs[j], cfgs[i])) {
+      ++j;
+    }
+    groups.push_back(Group{i, j});
+    i = j;
+  }
+
+  std::vector<noc::SimResult> results(cfgs.size());
+  pool.run_indexed(groups.size(), [&](std::size_t g) {
+    const std::vector<noc::SimConfig> lane_cfgs(
+        cfgs.begin() + static_cast<std::ptrdiff_t>(groups[g].begin),
+        cfgs.begin() + static_cast<std::ptrdiff_t>(groups[g].end));
+    noc::ReplicaSim sim(lane_cfgs);
+    sim.warmup();
+    std::vector<noc::SimResult> lane_results = sim.measure_and_drain();
+    for (std::size_t l = 0; l < lane_results.size(); ++l) {
+      results[groups[g].begin + l] = lane_results[l];
+    }
+  });
+  return results;
+}
+
+std::vector<noc::SimResult> run_sim_batch_replicated_seeded(
+    ThreadPool& pool, std::vector<noc::SimConfig> cfgs,
+    std::uint64_t base_seed) {
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i].seed = task_seed(base_seed, i);
+  }
+  return run_sim_batch_replicated(pool, cfgs);
 }
 
 namespace {
@@ -126,6 +173,76 @@ std::vector<Curve> run_warm_curves(ThreadPool& pool,
     CurvePoint& point = curves[tasks[i].spec].points[tasks[i].point];
     point.result = fork_point(sim, warm[tasks[i].spec], spec, rate);
     point.run = true;
+  });
+  return curves;
+}
+
+std::vector<Curve> run_warm_curves_replicated(
+    ThreadPool& pool, const std::vector<CurveSpec>& specs) {
+  for (const CurveSpec& spec : specs) {
+    for (std::size_t p = 1; p < spec.rates.size(); ++p) {
+      NOCALLOC_CHECK(spec.rates[p - 1] <= spec.rates[p]);
+    }
+  }
+
+  // Phase 1 is run_warm_curves's: serial saturation-stopped curves, warm
+  // snapshots for the sharded ones.
+  std::vector<Curve> curves(specs.size());
+  std::vector<std::size_t> sharded;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
+      sharded.push_back(s);
+    }
+  }
+  std::vector<noc::SimSnapshot> warm(specs.size());
+  pool.run_indexed(specs.size(), [&](std::size_t s) {
+    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
+      warm_spec(specs[s], warm[s]);
+    } else {
+      curves[s] = run_curve_serial(specs[s]);
+    }
+  });
+
+  // Phase 2: each sharded curve forks its warm state into the lanes of one
+  // ReplicaSim -- one lane per load point (chunked at 64) -- and runs the
+  // fork warmup + measurement in lock-step. Every lane replays fork_point()
+  // exactly (restore, set rate, fork warmup, measure), so each point is
+  // bit-identical to its run_warm_curves shard.
+  struct ChunkTask {
+    std::size_t spec = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::vector<ChunkTask> tasks;
+  for (const std::size_t s : sharded) {
+    curves[s].points.resize(specs[s].rates.size());
+    for (std::size_t p = 0; p < specs[s].rates.size(); ++p) {
+      curves[s].points[p].rate = specs[s].rates[p];
+    }
+    for (std::size_t p = 0; p < specs[s].rates.size();
+         p += noc::ReplicaSim::kMaxLanes) {
+      tasks.push_back(ChunkTask{
+          s, p,
+          std::min(p + noc::ReplicaSim::kMaxLanes, specs[s].rates.size())});
+    }
+  }
+  pool.run_indexed(tasks.size(), [&](std::size_t t) {
+    const CurveSpec& spec = specs[tasks[t].spec];
+    const std::size_t n = tasks[t].end - tasks[t].begin;
+    noc::SimConfig cfg = spec.base;
+    cfg.injection_rate = spec.rates.front();
+    noc::ReplicaSim sim(std::vector<noc::SimConfig>(n, cfg));
+    for (std::size_t l = 0; l < n; ++l) {
+      sim.restore(l, warm[tasks[t].spec]);
+      sim.set_injection_rate(l, spec.rates[tasks[t].begin + l]);
+    }
+    sim.run_cycles(spec.fork_warmup_cycles);
+    std::vector<noc::SimResult> lane_results = sim.measure_and_drain();
+    for (std::size_t l = 0; l < n; ++l) {
+      CurvePoint& point = curves[tasks[t].spec].points[tasks[t].begin + l];
+      point.result = lane_results[l];
+      point.run = true;
+    }
   });
   return curves;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arbiter/round_robin_arbiter.hpp"
 #include "arbiter/tree_arbiter.hpp"
 
 namespace nocalloc {
@@ -16,6 +17,84 @@ VcSeparableInputFirstAllocator::VcSeparableInputFirstAllocator(
   in_mask_.resize(bits::word_count(vcs));
   bids_.resize(total() * bits::word_count(total()));
   out_any_.resize(bits::word_count(total()));
+  init_fast(arb);
+}
+
+void VcSeparableInputFirstAllocator::init_fast(ArbiterKind arb) {
+  if (arb != ArbiterKind::kRoundRobin || vcs() > bits::kWordBits ||
+      ports() > bits::kWordBits) {
+    return;
+  }
+  in_rr_.reserve(total());
+  out_top_rr_.reserve(total());
+  out_local_rr_.reserve(total() * ports());
+  for (auto& a : input_arb_) {
+    auto* rr = dynamic_cast<RoundRobinArbiter*>(a.get());
+    if (rr == nullptr) return;
+    in_rr_.push_back(rr);
+  }
+  for (auto& a : output_arb_) {
+    auto* tree = dynamic_cast<TreeArbiter*>(a.get());
+    if (tree == nullptr) return;
+    auto* top = dynamic_cast<RoundRobinArbiter*>(&tree->top());
+    if (top == nullptr) return;
+    out_top_rr_.push_back(top);
+    for (std::size_t g = 0; g < ports(); ++g) {
+      auto* local = dynamic_cast<RoundRobinArbiter*>(&tree->local(g));
+      if (local == nullptr) return;
+      out_local_rr_.push_back(local);
+    }
+  }
+  fast_bids_.assign(total() * ports(), 0);
+  fast_port_any_.assign(total(), 0);
+  fast_touched_.reserve(total());
+  fast_ok_ = true;
+}
+
+void VcSeparableInputFirstAllocator::allocate_fast(const FastRequest* req,
+                                                   std::size_t n,
+                                                   std::vector<int>& grant) {
+  NOCALLOC_DCHECK(fast_ok_ && grant.size() == total());
+  const std::size_t p_count = ports();
+  const std::size_t v_count = vcs();
+
+  // Stage 1, as in allocate_mask: each input VC's round-robin arbiter picks
+  // one candidate output VC; the bid lands in the per-port slice of that
+  // output VC's tree arbiter.
+  for (std::size_t k = 0; k < n; ++k) {
+    const bits::Word mask = req[k].vc_mask;
+    if (mask == 0) continue;  // empty candidate mask
+    const std::size_t i = req[k].input;
+    const int v = rr_pick_word(mask, in_rr_[i]->pointer());
+    const std::size_t o =
+        req[k].out_port * v_count + static_cast<std::size_t>(v);
+    if (fast_port_any_[o] == 0) fast_touched_.push_back(o);
+    fast_port_any_[o] |= bits::bit(i / v_count);
+    fast_bids_[o * p_count + i / v_count] |= bits::bit(i % v_count);
+  }
+
+  // Stage 2: tree arbitration per bid-for output VC -- a top-level pick over
+  // ports with bids, a local pick within the winning port's slice, and the
+  // same on-success updates as TreeArbiter::update. Outputs are independent
+  // (every input bids on exactly one), so touch order does not matter.
+  for (const std::size_t o : fast_touched_) {
+    const auto g = static_cast<std::size_t>(
+        rr_pick_word(fast_port_any_[o], out_top_rr_[o]->pointer()));
+    RoundRobinArbiter* local = out_local_rr_[o * p_count + g];
+    const auto l = static_cast<std::size_t>(
+        rr_pick_word(fast_bids_[o * p_count + g], local->pointer()));
+    const std::size_t winner = g * v_count + l;
+    grant[winner] = static_cast<int>(o);
+    out_top_rr_[o]->update(static_cast<int>(g));
+    local->update(static_cast<int>(l));
+    // The winning input VC's stage-1 choice succeeded: advance its priority.
+    in_rr_[winner]->update(static_cast<int>(o % v_count));
+    bits::for_each_set(&fast_port_any_[o], 1, [&](std::size_t p) {
+      fast_bids_[o * p_count + p] = 0;
+    });
+    fast_port_any_[o] = 0;
+  }
+  fast_touched_.clear();
 }
 
 void VcSeparableInputFirstAllocator::allocate(const std::vector<VcRequest>& req,

@@ -16,10 +16,33 @@
 
 namespace nocalloc {
 
+class RoundRobinArbiter;
+
 class VcSeparableInputFirstAllocator final : public VcAllocator {
  public:
   VcSeparableInputFirstAllocator(std::size_t ports, std::size_t vcs,
                                  ArbiterKind arb);
+
+  /// One waiting head's request on the replica engine's sparse fast path:
+  /// input VC index, destination port, and the candidate mask packed into a
+  /// single word (V <= 64).
+  struct FastRequest {
+    std::uint32_t input = 0;
+    std::uint32_t out_port = 0;
+    bits::Word vc_mask = 0;
+  };
+
+  /// True when allocate_fast() is available: round-robin arbiters with V and
+  /// P each fitting one lane word.
+  bool fast_ready() const { return fast_ok_; }
+
+  /// Sparse single-word variant of the word-parallel fast path, bit-identical
+  /// to allocate() in grants and arbiter state evolution. Contract: `grant`
+  /// is all -1 on entry (the caller clears the entries it reads back),
+  /// requests are ascending by input index, and only granted entries are
+  /// written.
+  void allocate_fast(const FastRequest* req, std::size_t n,
+                     std::vector<int>& grant);
 
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
@@ -36,6 +59,7 @@ class VcSeparableInputFirstAllocator final : public VcAllocator {
  private:
   void allocate_mask(const std::vector<VcRequest>& req, std::vector<int>& grant);
   void allocate_ref(const std::vector<VcRequest>& req, std::vector<int>& grant);
+  void init_fast(ArbiterKind arb);
 
   std::vector<std::unique_ptr<Arbiter>> input_arb_;   // per input VC, width V
   std::vector<std::unique_ptr<Arbiter>> output_arb_;  // per output VC, width P*V
@@ -44,6 +68,16 @@ class VcSeparableInputFirstAllocator final : public VcAllocator {
   std::vector<bits::Word> in_mask_;
   std::vector<bits::Word> bids_;
   std::vector<bits::Word> out_any_;
+  // Fast-path caches: the concrete round-robin arbiters behind input_arb_
+  // and both levels of each output tree arbiter, plus per-output-VC bid
+  // state kept as one V-wide word per input port (the tree's group slices).
+  bool fast_ok_ = false;
+  std::vector<RoundRobinArbiter*> in_rr_;         // [i]
+  std::vector<RoundRobinArbiter*> out_top_rr_;    // [o]
+  std::vector<RoundRobinArbiter*> out_local_rr_;  // [o * P + p]
+  std::vector<bits::Word> fast_bids_;             // [o * P + p], V-wide
+  std::vector<bits::Word> fast_port_any_;         // [o], P-wide
+  std::vector<std::size_t> fast_touched_;         // outputs bid for
 };
 
 class VcSeparableOutputFirstAllocator final : public VcAllocator {

@@ -1,0 +1,315 @@
+// Differential tests for the lane-parallel replica engine.
+//
+// ReplicaSim is required to be a pure performance optimization: every lane's
+// SimResult must equal -- bit for bit, every field -- the scalar SimInstance
+// run of the same config. The tests here diff the replica fast path against
+// run_simulation() (fresh scalar instance per lane) and against the
+// reference path (set_reference_path(true), which routes every lane through
+// Network::step() and the scalar allocators), across:
+//   - design points with a single-word fast path (sep_if VA + sep_if SA,
+//     round-robin, all three speculation modes) and without one (sep_of,
+//     wavefront, matrix arbiters), on mesh / fbfly / torus / ring;
+//   - lanes that diverge in seed, offered load, and invariant checking
+//     (checker lanes take the scalar allocator path inside allocate_fast);
+//   - partial lane counts (1, 3, 64);
+//   - warm-snapshot restore into lanes vs the scalar warm-fork path;
+//   - the replicated sweep entry points vs their scalar counterparts.
+#include "noc/replica_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sweep/sim_batch.hpp"
+
+namespace nocalloc::noc {
+namespace {
+
+SimConfig base_config(TopologyKind topo) {
+  SimConfig cfg;
+  cfg.topology = topo;
+  cfg.injection_rate = 0.15;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 600;
+  cfg.drain_cycles = 900;
+  return cfg;
+}
+
+// The six design-point shapes under test. Fast-path coverage: #0 (spec
+// pessimistic), #1 (nonspec, fast SA directly), #2 (conservative), #3
+// (fbfly + UGAL), #4 (torus, V = 8 per port). Fallback coverage: #5
+// (sep_of VA + wavefront SA -- no single-word kernel).
+std::vector<SimConfig> design_points() {
+  std::vector<SimConfig> pts;
+
+  SimConfig mesh = base_config(TopologyKind::kMesh8x8);
+  mesh.vcs_per_class = 2;
+  pts.push_back(mesh);  // sep_if / sep_if, pessimistic
+
+  SimConfig mesh_ns = mesh;
+  mesh_ns.spec = SpecMode::kNonSpeculative;
+  pts.push_back(mesh_ns);
+
+  SimConfig mesh_cons = mesh;
+  mesh_cons.vcs_per_class = 1;
+  mesh_cons.spec = SpecMode::kConservative;
+  pts.push_back(mesh_cons);
+
+  SimConfig fbfly = base_config(TopologyKind::kFbfly4x4);
+  fbfly.vcs_per_class = 2;
+  pts.push_back(fbfly);
+
+  SimConfig torus = base_config(TopologyKind::kTorus8x8);
+  torus.vcs_per_class = 1;
+  torus.injection_rate = 0.1;
+  pts.push_back(torus);
+
+  SimConfig mesh_slow = mesh;
+  mesh_slow.vc_alloc = AllocatorKind::kSeparableOutputFirst;
+  mesh_slow.sw_alloc = AllocatorKind::kWavefront;
+  pts.push_back(mesh_slow);
+
+  return pts;
+}
+
+void expect_same_result(const SimResult& a, const SimResult& b) {
+  // Exact double comparisons are deliberate: the replica engine must not
+  // perturb a single arbitration decision.
+  EXPECT_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.avg_network_latency, b.avg_network_latency);
+  EXPECT_EQ(a.p99_packet_latency, b.p99_packet_latency);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.offered_flit_rate, b.offered_flit_rate);
+  EXPECT_EQ(a.accepted_flit_rate, b.accepted_flit_rate);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.spec_grants_used, b.spec_grants_used);
+  EXPECT_EQ(a.misspeculations, b.misspeculations);
+  EXPECT_EQ(a.ugal_nonminimal_fraction, b.ugal_nonminimal_fraction);
+  EXPECT_EQ(a.cycles_simulated, b.cycles_simulated);
+  EXPECT_EQ(a.router_steps_total, b.router_steps_total);
+  EXPECT_EQ(a.router_steps_skipped, b.router_steps_skipped);
+  EXPECT_EQ(a.arena_high_water, b.arena_high_water);
+}
+
+std::string describe(const SimConfig& cfg) {
+  return to_string(cfg.topology) + " C=" + std::to_string(cfg.vcs_per_class) +
+         " va=" + to_string(cfg.vc_alloc) + " sa=" + to_string(cfg.sw_alloc) +
+         " spec=" + to_string(cfg.spec);
+}
+
+TEST(ReplicaSim, LanesMatchScalarRunsAcrossDesignPoints) {
+  for (const SimConfig& pt : design_points()) {
+    SCOPED_TRACE(describe(pt));
+    // Lanes diverge in seed, load, and checking; lane 2's checker forces
+    // the scalar allocator path inside an otherwise fast batch, proving
+    // the two paths mix freely.
+    std::vector<SimConfig> lanes(4, pt);
+    lanes[1].seed = 7;
+    lanes[2].seed = 11;
+    lanes[2].check_invariants = true;
+    lanes[3].injection_rate = pt.injection_rate * 0.5;
+
+    ReplicaSim sim(lanes);
+    sim.warmup();
+    const std::vector<SimResult> replica = sim.measure_and_drain();
+    ASSERT_EQ(replica.size(), lanes.size());
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      SCOPED_TRACE("lane " + std::to_string(l));
+      expect_same_result(replica[l], run_simulation(lanes[l]));
+    }
+  }
+}
+
+TEST(ReplicaSim, ReferencePathMatchesFastPath) {
+  for (const SimConfig& pt : design_points()) {
+    SCOPED_TRACE(describe(pt));
+    std::vector<SimConfig> lanes(3, pt);
+    lanes[1].seed = 5;
+    lanes[2].injection_rate = pt.injection_rate * 1.5;
+
+    ReplicaSim fast(lanes);
+    fast.warmup();
+    const std::vector<SimResult> fast_results = fast.measure_and_drain();
+
+    ReplicaSim ref(lanes);
+    ref.set_reference_path(true);
+    ref.warmup();
+    const std::vector<SimResult> ref_results = ref.measure_and_drain();
+
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      SCOPED_TRACE("lane " + std::to_string(l));
+      expect_same_result(fast_results[l], ref_results[l]);
+    }
+  }
+}
+
+TEST(ReplicaSim, PartialLaneCountsMatchScalar) {
+  SimConfig pt = base_config(TopologyKind::kMesh8x8);
+  pt.vcs_per_class = 2;
+  pt.warmup_cycles = 150;
+  pt.measure_cycles = 300;
+  pt.drain_cycles = 600;
+
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                              ReplicaSim::kMaxLanes}) {
+    SCOPED_TRACE("lanes=" + std::to_string(n));
+    std::vector<SimConfig> lanes(n, pt);
+    for (std::size_t l = 0; l < n; ++l) lanes[l].seed = l + 1;
+
+    ReplicaSim sim(lanes);
+    sim.warmup();
+    const std::vector<SimResult> replica = sim.measure_and_drain();
+    // Every lane against its own scalar run; spot-check the two ends and
+    // the middle for the 64-lane batch to keep runtime bounded.
+    std::vector<std::size_t> checked = n <= 3
+        ? std::vector<std::size_t>{}
+        : std::vector<std::size_t>{0, n / 2, n - 1};
+    if (n <= 3) {
+      for (std::size_t l = 0; l < n; ++l) checked.push_back(l);
+    }
+    for (const std::size_t l : checked) {
+      SCOPED_TRACE("lane " + std::to_string(l));
+      expect_same_result(replica[l], run_simulation(lanes[l]));
+    }
+  }
+}
+
+TEST(ReplicaSim, WarmSnapshotRestoresIntoLanesBitIdentically) {
+  SimConfig pt = base_config(TopologyKind::kMesh8x8);
+  pt.vcs_per_class = 2;
+
+  // Warm one scalar instance at the lowest rate and capture the state.
+  SimInstance warm_sim(pt);
+  warm_sim.warmup();
+  SimSnapshot warm;
+  warm_sim.snapshot(warm);
+
+  const std::vector<double> rates = {0.1, 0.15, 0.2, 0.25};
+  const std::size_t fork_warmup = 200;
+
+  // Scalar warm fork: fresh instance per rate, restore + set rate + run.
+  std::vector<SimResult> scalar;
+  for (const double rate : rates) {
+    SimInstance sim(pt);
+    sim.restore(warm);
+    sim.set_injection_rate(rate);
+    sim.run_cycles(fork_warmup);
+    scalar.push_back(sim.measure_and_drain());
+  }
+
+  // Replica warm fork: all rates as lanes of one lock-step batch.
+  ReplicaSim sim(std::vector<SimConfig>(rates.size(), pt));
+  for (std::size_t l = 0; l < rates.size(); ++l) {
+    sim.restore(l, warm);
+    sim.set_injection_rate(l, rates[l]);
+  }
+  sim.run_cycles(fork_warmup);
+  const std::vector<SimResult> replica = sim.measure_and_drain();
+
+  for (std::size_t l = 0; l < rates.size(); ++l) {
+    SCOPED_TRACE("rate " + std::to_string(rates[l]));
+    expect_same_result(replica[l], scalar[l]);
+  }
+}
+
+TEST(ReplicaSim, SameShapeAdmitsOnlyLaneLocalDivergence) {
+  const SimConfig a = base_config(TopologyKind::kMesh8x8);
+  SimConfig b = a;
+  b.seed = 99;
+  b.injection_rate = 0.01;
+  b.check_invariants = true;
+  EXPECT_TRUE(ReplicaSim::same_shape(a, b));
+
+  SimConfig c = a;
+  c.vcs_per_class = 4;
+  EXPECT_FALSE(ReplicaSim::same_shape(a, c));
+  SimConfig d = a;
+  d.sw_alloc = AllocatorKind::kWavefront;
+  EXPECT_FALSE(ReplicaSim::same_shape(a, d));
+  SimConfig e = a;
+  e.measure_cycles += 1;
+  EXPECT_FALSE(ReplicaSim::same_shape(a, e));
+}
+
+TEST(ReplicaSim, ReplicatedBatchMatchesScalarBatch) {
+  // A mixed batch: a 5-seed group, a structural break (different allocator),
+  // then two more of the first shape again -- exercises the consecutive
+  // grouping (3 groups) and result placement.
+  std::vector<SimConfig> cfgs;
+  SimConfig pt = base_config(TopologyKind::kMesh8x8);
+  pt.vcs_per_class = 2;
+  pt.warmup_cycles = 150;
+  pt.measure_cycles = 300;
+  pt.drain_cycles = 600;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    cfgs.push_back(pt);
+    cfgs.back().seed = s;
+  }
+  SimConfig wf = pt;
+  wf.vc_alloc = AllocatorKind::kWavefront;
+  wf.sw_alloc = AllocatorKind::kWavefront;
+  cfgs.push_back(wf);
+  cfgs.push_back(pt);
+  cfgs.back().seed = 42;
+  cfgs.push_back(pt);
+  cfgs.back().injection_rate = 0.05;
+
+  sweep::ThreadPool pool(4);
+  const std::vector<SimResult> scalar = sweep::run_sim_batch(pool, cfgs);
+  const std::vector<SimResult> replicated =
+      sweep::run_sim_batch_replicated(pool, cfgs);
+  ASSERT_EQ(scalar.size(), replicated.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    SCOPED_TRACE("config " + std::to_string(i));
+    expect_same_result(replicated[i], scalar[i]);
+  }
+
+  const std::vector<SimResult> seeded =
+      sweep::run_sim_batch_seeded(pool, cfgs, 0xABCD);
+  const std::vector<SimResult> seeded_rep =
+      sweep::run_sim_batch_replicated_seeded(pool, cfgs, 0xABCD);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    SCOPED_TRACE("seeded config " + std::to_string(i));
+    expect_same_result(seeded_rep[i], seeded[i]);
+  }
+}
+
+TEST(ReplicaSim, ReplicatedWarmCurvesMatchScalarWarmCurves) {
+  SimConfig pt = base_config(TopologyKind::kMesh8x8);
+  pt.vcs_per_class = 2;
+  pt.warmup_cycles = 200;
+  pt.measure_cycles = 300;
+  pt.drain_cycles = 600;
+
+  sweep::CurveSpec sharded;
+  sharded.base = pt;
+  sharded.rates = {0.05, 0.1, 0.15, 0.2};
+  sharded.fork_warmup_cycles = 200;
+  sharded.stop_at_saturation = false;
+
+  sweep::CurveSpec serial = sharded;
+  serial.base.topology = TopologyKind::kFbfly4x4;
+  serial.stop_at_saturation = true;
+
+  const std::vector<sweep::CurveSpec> specs = {sharded, serial};
+  sweep::ThreadPool pool(4);
+  const std::vector<sweep::Curve> scalar = sweep::run_warm_curves(pool, specs);
+  const std::vector<sweep::Curve> replicated =
+      sweep::run_warm_curves_replicated(pool, specs);
+
+  ASSERT_EQ(scalar.size(), replicated.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    ASSERT_EQ(scalar[s].points.size(), replicated[s].points.size());
+    for (std::size_t p = 0; p < scalar[s].points.size(); ++p) {
+      SCOPED_TRACE("spec " + std::to_string(s) + " point " +
+                   std::to_string(p));
+      EXPECT_EQ(scalar[s].points[p].rate, replicated[s].points[p].rate);
+      ASSERT_EQ(scalar[s].points[p].run, replicated[s].points[p].run);
+      if (scalar[s].points[p].run) {
+        expect_same_result(replicated[s].points[p].result,
+                           scalar[s].points[p].result);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocalloc::noc
