@@ -15,11 +15,15 @@
 //      new/delete counter, same scheme as microbench_sim).
 //
 // Honors NOCALLOC_BENCH_FAST=1 / NOCALLOC_BENCH_MIN_TIME=s via minibench.
+// NOCALLOC_BENCH_JSON names a file for a machine-readable summary of the
+// acceptance-check numbers (run_benches.sh points it at
+// bench_results/BENCH_netlist.json).
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "bench/minibench.hpp"
@@ -255,7 +259,11 @@ int run_checks() {
               "batch vec/s", "speedup", "scalar allocs", "batch allocs");
 
   bool ok = true;
-  for (const Check& c : checks) {
+  std::string json =
+      "{\n  \"bench\": \"microbench_netlist\",\n  \"netlists\": [\n";
+  const std::size_t n_checks = sizeof(checks) / sizeof(checks[0]);
+  for (std::size_t i = 0; i < n_checks; ++i) {
+    const Check& c = checks[i];
     Netlist nl;
     c.build(nl);
     std::uint64_t scalar_allocs = 0, batch_allocs = 0;
@@ -265,6 +273,16 @@ int run_checks() {
     std::printf("%-22s %14.0f %14.0f %8.1fx %13llu %13llu\n", c.label, scalar,
                 batch, speedup, static_cast<unsigned long long>(scalar_allocs),
                 static_cast<unsigned long long>(batch_allocs));
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"label\": \"%s\", \"scalar_vec_per_s\": %.0f, "
+                  "\"batch_vec_per_s\": %.0f, \"speedup\": %.1f, "
+                  "\"steady_allocs\": %llu}%s\n",
+                  c.label, scalar, batch, speedup,
+                  static_cast<unsigned long long>(scalar_allocs +
+                                                  batch_allocs),
+                  i + 1 < n_checks ? "," : "");
+    json += buf;
     if (scalar_allocs != 0 || batch_allocs != 0) {
       std::printf("ZERO-ALLOC FAIL: %s allocated in the steady state\n",
                   c.label);
@@ -274,6 +292,18 @@ int run_checks() {
       std::printf("SPEEDUP FAIL: %s batch/scalar %.1fx < 20x floor\n", c.label,
                   speedup);
       ok = false;
+    }
+  }
+  json += "  ],\n  \"checks_pass\": ";
+  json += ok ? "true" : "false";
+  json += "\n}\n";
+  const char* path = std::getenv("NOCALLOC_BENCH_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::printf("WARNING: could not write %s\n", path);
     }
   }
   std::printf(ok ? "netlist engine checks: PASS\n"

@@ -1,7 +1,8 @@
-// Sweep-engine microbenchmark: warm snapshot/restore cost and sharded
-// multi-simulation scaling (src/sweep/sim_batch).
+// Sweep-engine microbenchmark: warm snapshot/restore cost, sharded
+// multi-simulation scaling, and the persistent result cache
+// (src/sweep/sim_batch, src/sweep/sweep_cache).
 //
-// Three things are measured:
+// Four things are measured:
 //
 //   1. Zero-allocation restore path: after a simulation instance has been
 //      restored once (which may grow its arena and rings up to the
@@ -20,14 +21,26 @@
 //      ratio depends on the host: on a single-core container it is ~1.0 by
 //      construction; the >=4x target applies to hosts with >=8 cores.
 //
+//   4. Persistent result cache: the same curves with NOCALLOC_SWEEP_CACHE
+//      pointed at a fresh directory, run cold (computing + storing) and
+//      again warm (pure cache hits), on one thread -- the win is
+//      independent of cores. All three result sets {cache off, cold,
+//      cached} must be bit-identical; a mismatch fails the bench.
+//
 // Honors NOCALLOC_BENCH_FAST=1 (run_benches.sh BENCH_FAST) with shorter
 // phases; the zero-allocation assertion is enforced in both modes.
+// NOCALLOC_BENCH_JSON names a file for a machine-readable summary
+// (run_benches.sh points it at bench_results/BENCH_sweep.json).
+#include <dirent.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <new>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -153,7 +166,8 @@ sweep::CurveSpec bench_spec(TopologyKind topo, std::size_t vcs) {
   return spec;
 }
 
-void bench_warm_vs_cold() {
+/// cold_dt / warm_dt, the algorithmic warm-fork win.
+double bench_warm_vs_cold() {
   std::printf("\n-- warm-fork vs cold-warmup curve (1 thread) --\n");
   const sweep::CurveSpec spec = bench_spec(TopologyKind::kMesh8x8, 2);
   sweep::ThreadPool serial(1);
@@ -178,6 +192,7 @@ void bench_warm_vs_cold() {
               spec.rates.size(), warm_dt, cold_dt, cold_dt / warm_dt);
   (void)warm;
   (void)cold;
+  return cold_dt / warm_dt;
 }
 
 // ---- 3. Sharded sweep scaling + determinism ---------------------------------
@@ -194,7 +209,13 @@ bool results_identical(const SimResult& a, const SimResult& b) {
          a.cycles_simulated == b.cycles_simulated;
 }
 
-bool bench_scaling() {
+struct ScalingNumbers {
+  bool identical = false;
+  double speedup = 0.0;
+  std::size_t threads = 1;
+};
+
+ScalingNumbers bench_scaling() {
   const std::size_t cores = std::thread::hardware_concurrency();
   std::printf("\n-- sharded sweep scaling (host reports %zu cores) --\n",
               cores);
@@ -238,7 +259,85 @@ bool bench_scaling() {
               identical ? "IDENTICAL" : "MISMATCH");
   std::printf("  note: the speedup is bounded by physical cores; the >=4x "
               "target assumes >=8 cores.\n");
-  return identical;
+  return ScalingNumbers{identical, dt_1 / dt_n, wide.size()};
+}
+
+// ---- 4. Persistent result cache: cold vs cached -----------------------------
+
+struct CacheNumbers {
+  bool identical = false;
+  double cold_s = 0.0;
+  double cached_s = 0.0;
+};
+
+bool curves_identical(const std::vector<sweep::Curve>& a,
+                      const std::vector<sweep::Curve>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (a[s].points.size() != b[s].points.size()) return false;
+    for (std::size_t p = 0; p < a[s].points.size(); ++p) {
+      if (a[s].points[p].run != b[s].points[p].run) return false;
+      if (a[s].points[p].run &&
+          !results_identical(a[s].points[p].result, b[s].points[p].result)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CacheNumbers bench_cache() {
+  std::printf("\n-- persistent result cache: cold vs cached (1 thread) --\n");
+  std::vector<sweep::CurveSpec> specs = {
+      bench_spec(TopologyKind::kMesh8x8, 2),
+      bench_spec(TopologyKind::kFbfly4x4, 2),
+  };
+  sweep::ThreadPool serial(1);  // serial: the cache win is core-independent
+
+  // Reference results with the cache disabled.
+  ::unsetenv("NOCALLOC_SWEEP_CACHE");
+  const auto plain = sweep::run_warm_curves(serial, specs);
+
+  char dir[] = "/tmp/nocalloc_bench_cache_XXXXXX";
+  CacheNumbers out;
+  if (::mkdtemp(dir) == nullptr) {
+    std::printf("  SKIPPED: cannot create cache directory\n");
+    return out;
+  }
+  ::setenv("NOCALLOC_SWEEP_CACHE", dir, 1);
+
+  const double t0 = wall_now();
+  const auto cold = sweep::run_warm_curves(serial, specs);
+  out.cold_s = wall_now() - t0;
+
+  const double t1 = wall_now();
+  const auto cached = sweep::run_warm_curves(serial, specs);
+  out.cached_s = wall_now() - t1;
+  ::unsetenv("NOCALLOC_SWEEP_CACHE");
+
+  out.identical =
+      curves_identical(plain, cold) && curves_identical(plain, cached);
+
+  std::size_t points = 0;
+  for (const auto& spec : specs) points += spec.rates.size();
+  std::printf("  %zu curves / %zu points: cold %.3fs, cached %.3fs "
+              "(%.0fx)\n",
+              specs.size(), points, out.cold_s, out.cached_s,
+              out.cold_s / out.cached_s);
+  std::printf("  identity across {cache off, cold, cached}: %s\n",
+              out.identical ? "IDENTICAL" : "MISMATCH");
+
+  // Scrub the throwaway cache directory.
+  if (DIR* d = ::opendir(dir)) {
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((std::string(dir) + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir);
+  return out;
 }
 
 int run_all() {
@@ -248,11 +347,40 @@ int run_all() {
     std::printf("WARNING: Debug build; timings are not comparable\n");
   }
 #endif
-  std::printf("Sweep engine microbenchmark (sharding + warm snapshots)\n");
+  std::printf(
+      "Sweep engine microbenchmark (sharding + warm snapshots + cache)\n");
 
-  bool ok = check_restore_allocs();
-  bench_warm_vs_cold();
-  ok = bench_scaling() && ok;
+  const bool zero_alloc = check_restore_allocs();
+  const double warm_speedup = bench_warm_vs_cold();
+  const ScalingNumbers scaling = bench_scaling();
+  const CacheNumbers cache = bench_cache();
+  const bool ok = zero_alloc && scaling.identical && cache.identical;
+
+  char json[640];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"bench\": \"microbench_sweep\",\n"
+      "  \"warm_fork_speedup\": %.2f,\n"
+      "  \"scaling\": {\"threads\": %zu, \"speedup\": %.2f, "
+      "\"deterministic\": %s},\n"
+      "  \"cache\": {\"cold_s\": %.3f, \"cached_s\": %.3f, "
+      "\"speedup\": %.1f, \"identical\": %s},\n"
+      "  \"zero_alloc_pass\": %s\n"
+      "}\n",
+      warm_speedup, scaling.threads, scaling.speedup,
+      scaling.identical ? "true" : "false", cache.cold_s, cache.cached_s,
+      cache.cached_s > 0.0 ? cache.cold_s / cache.cached_s : 0.0,
+      cache.identical ? "true" : "false", zero_alloc ? "true" : "false");
+  const char* path = std::getenv("NOCALLOC_BENCH_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fputs(json, f);
+      std::fclose(f);
+    } else {
+      std::printf("WARNING: could not write %s\n", path);
+    }
+  }
 
   std::printf(ok ? "\nsweep microbench checks: PASS\n"
                  : "\nsweep microbench checks: FAIL\n");

@@ -4,8 +4,8 @@
 # to bench_results/progress.log, which always ends with FULL_BENCH_DONE.
 # Each bench's wall-clock seconds are recorded next to its completion line.
 # The microbenches additionally write machine-readable summaries
-# (bench_results/BENCH_sim.json, bench_results/BENCH_replica.json) so the
-# perf trajectory across commits can be diffed without parsing the tables.
+# (bench_results/BENCH_{sim,replica,sweep,netlist}.json) so the perf
+# trajectory across commits can be diffed without parsing the tables.
 #
 # Environment knobs:
 #   BENCH_FAST=1           -- reduced-fidelity smoke run (sets NOCALLOC_BENCH_FAST)
@@ -63,6 +63,8 @@ json_for() {
   case "$1" in
     microbench_sim) echo "bench_results/BENCH_sim.json" ;;
     microbench_replica) echo "bench_results/BENCH_replica.json" ;;
+    microbench_sweep) echo "bench_results/BENCH_sweep.json" ;;
+    microbench_netlist) echo "bench_results/BENCH_netlist.json" ;;
     *) echo "" ;;
   esac
 }

@@ -8,14 +8,25 @@
 // buffer so a warm state can be saved once per design point and forked per
 // load point (including across sweep-shard threads: the buffer is a value).
 //
-// The format is a raw little-endian-of-the-host memcpy stream: snapshots are
-// process-lifetime objects handed between threads of one process, never
-// persisted or exchanged across builds, so no portability layer is needed.
+// The format is a canonical little-endian byte stream with no padding: every
+// value is written field by field, and pod()/pod_array() statically reject
+// types whose object representation contains padding bytes (those get
+// explicit save_state/load_state overloads next to their definitions, e.g.
+// noc/types.hpp). Two consequences the rest of the system relies on:
+//
+//   * the stream is deterministic -- two structurally identical objects in
+//     the same state produce byte-identical buffers, so snapshots can be
+//     compared, hashed (sweep result cache keys), and persisted; and
+//   * the encoding is stable across builds on any little-endian host, which
+//     is what lets sweep/snapshot_io write snapshots to disk and mmap them
+//     back from another process.
+//
 // Every writer section starts with a 32-bit tag that the reader verifies;
 // a tag mismatch (restoring into a differently-configured object) aborts
 // via NOCALLOC_CHECK instead of silently misinterpreting bytes.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <type_traits>
@@ -25,24 +36,44 @@
 
 namespace nocalloc {
 
+// The persistent format is defined little-endian; on the (only supported)
+// little-endian hosts the in-memory copy IS the encoded form, so writers and
+// readers stay plain memcpys. A big-endian port would add byte swaps here.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot streams are defined little-endian");
+
+/// True for types pod()/pod_array() may copy verbatim: every bit of the
+/// object representation is value bits (no padding), or the type is a
+/// floating-point scalar (whose representation is unique per value on
+/// IEEE-754 hosts even though the trait reports otherwise). Padded structs
+/// must provide field-wise save_state/load_state overloads instead.
+template <typename T>
+inline constexpr bool kCanonicalPod =
+    std::has_unique_object_representations_v<T> || std::is_floating_point_v<T>;
+
 class StateWriter {
  public:
   /// Appends to `out` (which is not cleared; callers compose sections).
   explicit StateWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
 
-  /// Writes a trivially copyable value verbatim.
+  /// Writes a padding-free trivially copyable value verbatim.
   template <typename T>
   void pod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(kCanonicalPod<T>,
+                  "type has padding bytes; add field-wise save_state/"
+                  "load_state overloads instead of pod()");
     const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
     out_->insert(out_->end(), bytes, bytes + sizeof(T));
   }
 
-  /// Writes `count` trivially copyable values verbatim (no length prefix;
-  /// pair with u64() when the count is dynamic).
+  /// Writes `count` padding-free trivially copyable values verbatim (no
+  /// length prefix; pair with u64() when the count is dynamic).
   template <typename T>
   void pod_array(const T* values, std::size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(kCanonicalPod<T>,
+                  "type has padding bytes; serialize element fields instead");
     const auto* bytes = reinterpret_cast<const std::uint8_t*>(values);
     out_->insert(out_->end(), bytes, bytes + count * sizeof(T));
   }
@@ -67,6 +98,9 @@ class StateReader {
   template <typename T>
   void pod(T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(kCanonicalPod<T>,
+                  "type has padding bytes; add field-wise save_state/"
+                  "load_state overloads instead of pod()");
     NOCALLOC_CHECK(pos_ + sizeof(T) <= size_);
     std::memcpy(&value, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -75,6 +109,8 @@ class StateReader {
   template <typename T>
   void pod_array(T* values, std::size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(kCanonicalPod<T>,
+                  "type has padding bytes; deserialize element fields instead");
     NOCALLOC_CHECK(pos_ + count * sizeof(T) <= size_);
     std::memcpy(values, data_ + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);

@@ -95,11 +95,16 @@ class Channel {
   /// Serializes the in-flight slots (absolute send cycles included; the
   /// network restores now_ alongside, so arrival arithmetic is unchanged)
   /// plus the ring's grown capacity, restored via reserve() so the
-  /// post-restore steady state allocates nothing.
+  /// post-restore steady state allocates nothing. Slots are written field
+  /// by field -- the item codec is resolved per payload type (noc::Flit,
+  /// noc::Credit), keeping the stream free of struct padding.
   void save_state(StateWriter& w) const {
     w.u64(pipe_.capacity());
     w.u64(pipe_.size());
-    pipe_.for_each([&](const Slot& slot) { w.pod(slot); });
+    pipe_.for_each([&](const Slot& slot) {
+      w.u64(slot.sent);
+      noc::save_state(w, slot.item);
+    });
   }
   void load_state(StateReader& r) {
     pipe_.clear();
@@ -107,7 +112,8 @@ class Channel {
     const std::size_t n = static_cast<std::size_t>(r.u64());
     for (std::size_t i = 0; i < n; ++i) {
       Slot slot;
-      r.pod(slot);
+      slot.sent = r.u64();
+      noc::load_state(r, slot.item);
       pipe_.push_back(slot);
     }
   }

@@ -84,11 +84,17 @@ class PacketArena {
 
   std::size_t capacity() const { return chunks_.size() * kChunkSize; }
 
-  /// Serializes every slab verbatim plus the free list, so handle values
-  /// embedded in snapshotted flits stay valid after restore.
+  /// Serializes every slab slot by slot (Packet has padding, so the slabs
+  /// cannot be block-copied into the canonical stream) plus the free list,
+  /// so handle values embedded in snapshotted flits stay valid after
+  /// restore.
   void save_state(StateWriter& w) const {
     w.u64(capacity());
-    for (const auto& chunk : chunks_) w.pod_array(chunk.get(), kChunkSize);
+    for (const auto& chunk : chunks_) {
+      for (std::size_t i = 0; i < kChunkSize; ++i) {
+        noc::save_state(w, chunk[i]);
+      }
+    }
     w.u64(free_.size());
     w.pod_array(free_.data(), free_.size());
     w.u64(live_);
@@ -106,7 +112,9 @@ class PacketArena {
     NOCALLOC_CHECK(snap_cap % kChunkSize == 0);
     while (capacity() < snap_cap) grow();
     for (std::size_t c = 0; c < snap_cap / kChunkSize; ++c) {
-      r.pod_array(chunks_[c].get(), kChunkSize);
+      for (std::size_t i = 0; i < kChunkSize; ++i) {
+        noc::load_state(r, chunks_[c][i]);
+      }
     }
     const std::size_t n_free = static_cast<std::size_t>(r.u64());
     NOCALLOC_CHECK(n_free <= snap_cap);

@@ -546,9 +546,9 @@ void Router::save_state(StateWriter& w) const {
   w.tag(0x40517E40u);
   for (const InputVc& ivc : input_vcs_) {
     w.u64(ivc.buffer.size());
-    ivc.buffer.for_each([&](const Flit& flit) { w.pod(flit); });
+    ivc.buffer.for_each([&](const Flit& flit) { noc::save_state(w, flit); });
     w.pod(ivc.state);
-    w.pod(ivc.route);
+    noc::save_state(w, ivc.route);
     w.pod(ivc.out_vc);
   }
   for (const OutputVc& ovc : output_vcs_) {
@@ -575,13 +575,13 @@ void Router::load_state(StateReader& r) {
     NOCALLOC_CHECK(n <= ivc.buffer.capacity());
     for (std::size_t i = 0; i < n; ++i) {
       Flit flit;
-      r.pod(flit);
+      noc::load_state(r, flit);
       ivc.buffer.push_back(flit);
     }
     VcState state = VcState::kIdle;
     r.pod(state);
     set_vc_state(idx, state);
-    r.pod(ivc.route);
+    noc::load_state(r, ivc.route);
     r.pod(ivc.out_vc);
   }
   for (OutputVc& ovc : output_vcs_) {

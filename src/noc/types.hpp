@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hpp"
+
 namespace nocalloc::noc {
 
 using Cycle = std::uint64_t;
@@ -92,5 +94,64 @@ struct Flit {
 struct Credit {
   int vc = -1;  // input VC (== upstream output VC) being credited
 };
+
+// Field-wise snapshot codecs for the structs whose in-memory layout contains
+// padding bytes: the canonical stream (common/snapshot.hpp) forbids writing
+// indeterminate padding, so these spell the fields out. Writer and reader
+// must list fields in the same order -- keep each pair adjacent.
+
+inline void save_state(StateWriter& w, const RouteInfo& route) {
+  w.pod(route.out_port);
+  w.u64(route.resource_class);
+}
+inline void load_state(StateReader& r, RouteInfo& route) {
+  r.pod(route.out_port);
+  route.resource_class = static_cast<std::size_t>(r.u64());
+}
+
+inline void save_state(StateWriter& w, const Flit& flit) {
+  w.pod(flit.packet);
+  w.pod(flit.head);
+  w.pod(flit.tail);
+  w.u64(flit.index);
+  w.pod(flit.vc);
+  save_state(w, flit.route);
+}
+inline void load_state(StateReader& r, Flit& flit) {
+  r.pod(flit.packet);
+  r.pod(flit.head);
+  r.pod(flit.tail);
+  flit.index = static_cast<std::size_t>(r.u64());
+  r.pod(flit.vc);
+  load_state(r, flit.route);
+}
+
+inline void save_state(StateWriter& w, const Credit& credit) {
+  w.pod(credit.vc);
+}
+inline void load_state(StateReader& r, Credit& credit) { r.pod(credit.vc); }
+
+inline void save_state(StateWriter& w, const Packet& pkt) {
+  w.u64(pkt.id);
+  w.pod(pkt.type);
+  w.pod(pkt.src_terminal);
+  w.pod(pkt.dst_terminal);
+  w.u64(pkt.length);
+  w.u64(pkt.created);
+  w.u64(pkt.injected);
+  w.pod(pkt.intermediate_router);
+  w.pod(pkt.measured);
+}
+inline void load_state(StateReader& r, Packet& pkt) {
+  pkt.id = r.u64();
+  r.pod(pkt.type);
+  r.pod(pkt.src_terminal);
+  r.pod(pkt.dst_terminal);
+  pkt.length = static_cast<std::size_t>(r.u64());
+  pkt.created = r.u64();
+  pkt.injected = r.u64();
+  r.pod(pkt.intermediate_router);
+  r.pod(pkt.measured);
+}
 
 }  // namespace nocalloc::noc

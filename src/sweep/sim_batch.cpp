@@ -1,18 +1,53 @@
 #include "sweep/sim_batch.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/check.hpp"
 #include "noc/replica_sim.hpp"
+#include "sweep/sweep_cache.hpp"
 
 namespace nocalloc::sweep {
 
+namespace {
+
+/// Pre-resolves a batch against the cache: fills `results` with the hits
+/// and returns the indices still to simulate (all of them when `cache` is
+/// null). `keys` receives each config's cache key for the store-back.
+std::vector<std::size_t> resolve_batch(const SweepCache* cache,
+                                       const std::vector<noc::SimConfig>& cfgs,
+                                       std::vector<std::uint64_t>& keys,
+                                       std::vector<noc::SimResult>& results) {
+  std::vector<std::size_t> todo;
+  todo.reserve(cfgs.size());
+  keys.assign(cfgs.size(), 0);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (cache != nullptr) {
+      keys[i] = SweepCache::batch_key(cfgs[i]);
+      if (cache->lookup_result(keys[i], results[i])) continue;
+    }
+    todo.push_back(i);
+  }
+  return todo;
+}
+
+}  // namespace
+
 std::vector<noc::SimResult> run_sim_batch(
     ThreadPool& pool, const std::vector<noc::SimConfig>& cfgs) {
-  return parallel_map(pool, cfgs.size(), [&](std::size_t i) {
-    return noc::run_simulation(cfgs[i]);
+  const std::unique_ptr<SweepCache> cache = SweepCache::from_env();
+  std::vector<noc::SimResult> results(cfgs.size());
+  std::vector<std::uint64_t> keys;
+  const std::vector<std::size_t> todo =
+      resolve_batch(cache.get(), cfgs, keys, results);
+
+  pool.run_indexed(todo.size(), [&](std::size_t t) {
+    const std::size_t i = todo[t];
+    results[i] = noc::run_simulation(cfgs[i]);
+    if (cache != nullptr) cache->store_result(keys[i], results[i]);
   });
+  return results;
 }
 
 std::vector<noc::SimResult> run_sim_batch_seeded(
@@ -26,35 +61,47 @@ std::vector<noc::SimResult> run_sim_batch_seeded(
 
 std::vector<noc::SimResult> run_sim_batch_replicated(
     ThreadPool& pool, const std::vector<noc::SimConfig>& cfgs) {
-  // Group maximal runs of consecutive same-shape configs, 64 lanes max.
+  const std::unique_ptr<SweepCache> cache = SweepCache::from_env();
+  std::vector<noc::SimResult> results(cfgs.size());
+  std::vector<std::uint64_t> keys;
+  const std::vector<std::size_t> todo =
+      resolve_batch(cache.get(), cfgs, keys, results);
+
+  // Group maximal runs of consecutive same-shape MISSES, 64 lanes max.
+  // With the cache off this is exactly the old consecutive-config grouping;
+  // with hits punched out, survivors still batch (each lane's result is
+  // independent of its lane-mates, so any grouping is bit-identical).
   // Grouping only consecutive entries keeps results trivially in input
   // order and matches how sweep drivers emit configs (seed-major within a
   // design point).
   struct Group {
     std::size_t begin = 0;
-    std::size_t end = 0;
+    std::size_t end = 0;  // half-open range into `todo`
   };
   std::vector<Group> groups;
-  for (std::size_t i = 0; i < cfgs.size();) {
+  for (std::size_t i = 0; i < todo.size();) {
     std::size_t j = i + 1;
-    while (j < cfgs.size() && j - i < noc::ReplicaSim::kMaxLanes &&
-           noc::ReplicaSim::same_shape(cfgs[j], cfgs[i])) {
+    while (j < todo.size() && j - i < noc::ReplicaSim::kMaxLanes &&
+           noc::ReplicaSim::same_shape(cfgs[todo[j]], cfgs[todo[i]])) {
       ++j;
     }
     groups.push_back(Group{i, j});
     i = j;
   }
 
-  std::vector<noc::SimResult> results(cfgs.size());
   pool.run_indexed(groups.size(), [&](std::size_t g) {
-    const std::vector<noc::SimConfig> lane_cfgs(
-        cfgs.begin() + static_cast<std::ptrdiff_t>(groups[g].begin),
-        cfgs.begin() + static_cast<std::ptrdiff_t>(groups[g].end));
+    std::vector<noc::SimConfig> lane_cfgs;
+    lane_cfgs.reserve(groups[g].end - groups[g].begin);
+    for (std::size_t t = groups[g].begin; t < groups[g].end; ++t) {
+      lane_cfgs.push_back(cfgs[todo[t]]);
+    }
     noc::ReplicaSim sim(lane_cfgs);
     sim.warmup();
     std::vector<noc::SimResult> lane_results = sim.measure_and_drain();
     for (std::size_t l = 0; l < lane_results.size(); ++l) {
-      results[groups[g].begin + l] = lane_results[l];
+      const std::size_t i = todo[groups[g].begin + l];
+      results[i] = lane_results[l];
+      if (cache != nullptr) cache->store_result(keys[i], results[i]);
     }
   });
   return results;
@@ -71,6 +118,24 @@ std::vector<noc::SimResult> run_sim_batch_replicated_seeded(
 
 namespace {
 
+/// The config a curve's design point is warmed under: the base config at
+/// the curve's lowest rate. Also the config every fork instance is built
+/// from, and the identity of the curve's persistent warm snapshot.
+noc::SimConfig warm_config(const CurveSpec& spec) {
+  noc::SimConfig cfg = spec.base;
+  cfg.injection_rate = spec.rates.front();
+  return cfg;
+}
+
+/// Cache key of one curve point: the base config AT the point's rate,
+/// plus the warm rate and fork-warmup length that shaped its history.
+std::uint64_t point_key(const CurveSpec& spec, double rate) {
+  noc::SimConfig cfg = spec.base;
+  cfg.injection_rate = rate;
+  return SweepCache::curve_point_key(cfg, spec.rates.front(),
+                                     spec.fork_warmup_cycles);
+}
+
 /// Runs one fork of a warm curve: restore, switch the offered load, let the
 /// queues adjust, then measure. Pure function of (instance state, spec,
 /// rate), so forks are reproducible wherever they run.
@@ -82,18 +147,25 @@ noc::SimResult fork_point(noc::SimInstance& sim, const noc::SimSnapshot& warm,
   return sim.measure_and_drain();
 }
 
-/// Warms one design point at its lowest rate and captures the warm state.
-void warm_spec(const CurveSpec& spec, noc::SimSnapshot& out) {
-  noc::SimConfig cfg = spec.base;
-  cfg.injection_rate = spec.rates.front();
+/// Produces the warm state of a design point: from the persistent snapshot
+/// store when a valid file exists (snapshots are canonical bytes, so a
+/// disk round-trip restores bit-identically), else by paying the cold
+/// warmup once -- and persisting it for every future run and process.
+void ensure_warm(const SweepCache* cache, const CurveSpec& spec,
+                 noc::SimSnapshot& out) {
+  const noc::SimConfig cfg = warm_config(spec);
+  if (cache != nullptr && cache->lookup_snapshot(cfg, out)) return;
   noc::SimInstance sim(cfg);
   sim.warmup();
   sim.snapshot(out);
+  if (cache != nullptr) cache->store_snapshot(cfg, out);
 }
 
-/// One curve as a single serial task: warm once, fork every rate in order,
-/// stop at the first saturated point.
-Curve run_curve_serial(const CurveSpec& spec) {
+/// One curve as a single serial task: fork every rate in order, stopping at
+/// the first saturated point. The warm state -- and with it the whole
+/// SimInstance -- is materialized lazily, on the first point the cache
+/// cannot answer; a fully cached curve simulates nothing.
+Curve run_curve_serial(const SweepCache* cache, const CurveSpec& spec) {
   Curve curve;
   curve.points.resize(spec.rates.size());
   for (std::size_t p = 0; p < spec.rates.size(); ++p) {
@@ -101,26 +173,46 @@ Curve run_curve_serial(const CurveSpec& spec) {
   }
   if (spec.rates.empty()) return curve;
 
-  noc::SimConfig cfg = spec.base;
-  cfg.injection_rate = spec.rates.front();
-  noc::SimInstance sim(cfg);
-  sim.warmup();
+  std::unique_ptr<noc::SimInstance> sim;
   noc::SimSnapshot warm;
-  sim.snapshot(warm);
-
   for (std::size_t p = 0; p < spec.rates.size(); ++p) {
     CurvePoint& point = curve.points[p];
-    point.result = fork_point(sim, warm, spec, spec.rates[p]);
+    std::uint64_t key = 0;
+    if (cache != nullptr) {
+      key = point_key(spec, spec.rates[p]);
+      if (cache->lookup_result(key, point.result)) {
+        point.run = true;
+        if (spec.stop_at_saturation && point.result.saturated) break;
+        continue;
+      }
+    }
+    if (sim == nullptr) {
+      ensure_warm(cache, spec, warm);
+      sim = std::make_unique<noc::SimInstance>(warm_config(spec));
+    }
+    point.result = fork_point(*sim, warm, spec, spec.rates[p]);
     point.run = true;
+    if (cache != nullptr) cache->store_result(key, point.result);
     if (spec.stop_at_saturation && point.result.saturated) break;
   }
   return curve;
 }
 
-}  // namespace
+/// Shared scaffolding of the two run_warm_curves variants: validates rate
+/// ordering, splits specs into serial (saturation-stopped) and sharded,
+/// resolves sharded points against the cache, and produces warm snapshots
+/// for exactly the sharded specs with at least one miss. Returns the
+/// (spec, point, key) shards still to simulate.
+struct PointTask {
+  std::size_t spec = 0;
+  std::size_t point = 0;
+  std::uint64_t key = 0;
+};
 
-std::vector<Curve> run_warm_curves(ThreadPool& pool,
-                                   const std::vector<CurveSpec>& specs) {
+std::vector<PointTask> prepare_curves(ThreadPool& pool, const SweepCache* cache,
+                                      const std::vector<CurveSpec>& specs,
+                                      std::vector<Curve>& curves,
+                                      std::vector<noc::SimSnapshot>& warm) {
   for (const CurveSpec& spec : specs) {
     for (std::size_t p = 1; p < spec.rates.size(); ++p) {
       NOCALLOC_CHECK(spec.rates[p - 1] <= spec.rates[p]);
@@ -128,120 +220,112 @@ std::vector<Curve> run_warm_curves(ThreadPool& pool,
   }
 
   // Saturation-stopped curves run whole (the early exit is inherently
-  // sequential); the rest shard per (spec, rate). Both kinds coexist in one
-  // call: phase 1 handles whole curves and the warm snapshots of sharded
-  // ones, phase 2 fans out the sharded curves' load points.
-  std::vector<Curve> curves(specs.size());
-  std::vector<std::size_t> sharded;  // spec indices sharded per point
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
-      sharded.push_back(s);
-    }
-  }
-
-  // Phase 1: one task per spec -- a full serial curve, or (for sharded
-  // specs) just the cold warmup + snapshot.
-  std::vector<noc::SimSnapshot> warm(specs.size());
-  pool.run_indexed(specs.size(), [&](std::size_t s) {
-    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
-      warm_spec(specs[s], warm[s]);
-    } else {
-      curves[s] = run_curve_serial(specs[s]);
-    }
-  });
-
-  // Phase 2: every (sharded spec, rate) pair is its own task with a fresh
-  // SimInstance restored from the spec's warm snapshot.
-  struct PointTask {
-    std::size_t spec = 0;
-    std::size_t point = 0;
-  };
+  // sequential); the rest shard per (spec, rate). Resolve sharded points
+  // against the cache up front, so a spec whose every point hits skips
+  // even its warmup.
   std::vector<PointTask> tasks;
-  for (const std::size_t s : sharded) {
+  std::vector<char> needs_warm(specs.size(), 0);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    if (specs[s].stop_at_saturation || specs[s].rates.empty()) continue;
     curves[s].points.resize(specs[s].rates.size());
     for (std::size_t p = 0; p < specs[s].rates.size(); ++p) {
-      curves[s].points[p].rate = specs[s].rates[p];
-      tasks.push_back(PointTask{s, p});
+      CurvePoint& point = curves[s].points[p];
+      point.rate = specs[s].rates[p];
+      std::uint64_t key = 0;
+      if (cache != nullptr) {
+        key = point_key(specs[s], specs[s].rates[p]);
+        if (cache->lookup_result(key, point.result)) {
+          point.run = true;
+          continue;
+        }
+      }
+      tasks.push_back(PointTask{s, p, key});
+      needs_warm[s] = 1;
     }
   }
+
+  // One task per spec: a full serial curve, or (for sharded specs with
+  // outstanding points) the warmup + snapshot.
+  pool.run_indexed(specs.size(), [&](std::size_t s) {
+    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
+      if (needs_warm[s] != 0) ensure_warm(cache, specs[s], warm[s]);
+    } else {
+      curves[s] = run_curve_serial(cache, specs[s]);
+    }
+  });
+  return tasks;
+}
+
+}  // namespace
+
+std::vector<Curve> run_warm_curves(ThreadPool& pool,
+                                   const std::vector<CurveSpec>& specs) {
+  const std::unique_ptr<SweepCache> cache = SweepCache::from_env();
+  std::vector<Curve> curves(specs.size());
+  std::vector<noc::SimSnapshot> warm(specs.size());
+  const std::vector<PointTask> tasks =
+      prepare_curves(pool, cache.get(), specs, curves, warm);
+
+  // Every outstanding (sharded spec, rate) pair is its own task with a
+  // fresh SimInstance restored from the spec's warm snapshot.
   pool.run_indexed(tasks.size(), [&](std::size_t i) {
     const CurveSpec& spec = specs[tasks[i].spec];
-    const double rate = spec.rates[tasks[i].point];
-    noc::SimConfig cfg = spec.base;
-    cfg.injection_rate = spec.rates.front();
-    noc::SimInstance sim(cfg);
+    noc::SimInstance sim(warm_config(spec));
     CurvePoint& point = curves[tasks[i].spec].points[tasks[i].point];
-    point.result = fork_point(sim, warm[tasks[i].spec], spec, rate);
+    point.result =
+        fork_point(sim, warm[tasks[i].spec], spec, spec.rates[tasks[i].point]);
     point.run = true;
+    if (cache != nullptr) cache->store_result(tasks[i].key, point.result);
   });
   return curves;
 }
 
 std::vector<Curve> run_warm_curves_replicated(
     ThreadPool& pool, const std::vector<CurveSpec>& specs) {
-  for (const CurveSpec& spec : specs) {
-    for (std::size_t p = 1; p < spec.rates.size(); ++p) {
-      NOCALLOC_CHECK(spec.rates[p - 1] <= spec.rates[p]);
-    }
-  }
-
-  // Phase 1 is run_warm_curves's: serial saturation-stopped curves, warm
-  // snapshots for the sharded ones.
+  const std::unique_ptr<SweepCache> cache = SweepCache::from_env();
   std::vector<Curve> curves(specs.size());
-  std::vector<std::size_t> sharded;
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
-      sharded.push_back(s);
-    }
-  }
   std::vector<noc::SimSnapshot> warm(specs.size());
-  pool.run_indexed(specs.size(), [&](std::size_t s) {
-    if (!specs[s].stop_at_saturation && !specs[s].rates.empty()) {
-      warm_spec(specs[s], warm[s]);
-    } else {
-      curves[s] = run_curve_serial(specs[s]);
-    }
-  });
+  const std::vector<PointTask> tasks =
+      prepare_curves(pool, cache.get(), specs, curves, warm);
 
-  // Phase 2: each sharded curve forks its warm state into the lanes of one
-  // ReplicaSim -- one lane per load point (chunked at 64) -- and runs the
-  // fork warmup + measurement in lock-step. Every lane replays fork_point()
-  // exactly (restore, set rate, fork warmup, measure), so each point is
-  // bit-identical to its run_warm_curves shard.
+  // Each sharded curve forks its warm state into the lanes of one
+  // ReplicaSim -- one lane per outstanding load point (chunked at 64) --
+  // and runs the fork warmup + measurement in lock-step. Every lane
+  // replays fork_point() exactly (restore, set rate, fork warmup,
+  // measure), so each point is bit-identical to its run_warm_curves shard
+  // whatever the chunking.
   struct ChunkTask {
-    std::size_t spec = 0;
     std::size_t begin = 0;
-    std::size_t end = 0;
+    std::size_t end = 0;  // half-open range into `tasks`, one spec
   };
-  std::vector<ChunkTask> tasks;
-  for (const std::size_t s : sharded) {
-    curves[s].points.resize(specs[s].rates.size());
-    for (std::size_t p = 0; p < specs[s].rates.size(); ++p) {
-      curves[s].points[p].rate = specs[s].rates[p];
+  std::vector<ChunkTask> chunks;
+  for (std::size_t i = 0; i < tasks.size();) {
+    std::size_t j = i + 1;
+    while (j < tasks.size() && j - i < noc::ReplicaSim::kMaxLanes &&
+           tasks[j].spec == tasks[i].spec) {
+      ++j;
     }
-    for (std::size_t p = 0; p < specs[s].rates.size();
-         p += noc::ReplicaSim::kMaxLanes) {
-      tasks.push_back(ChunkTask{
-          s, p,
-          std::min(p + noc::ReplicaSim::kMaxLanes, specs[s].rates.size())});
-    }
+    chunks.push_back(ChunkTask{i, j});
+    i = j;
   }
-  pool.run_indexed(tasks.size(), [&](std::size_t t) {
-    const CurveSpec& spec = specs[tasks[t].spec];
-    const std::size_t n = tasks[t].end - tasks[t].begin;
-    noc::SimConfig cfg = spec.base;
-    cfg.injection_rate = spec.rates.front();
-    noc::ReplicaSim sim(std::vector<noc::SimConfig>(n, cfg));
+  pool.run_indexed(chunks.size(), [&](std::size_t c) {
+    const std::size_t s = tasks[chunks[c].begin].spec;
+    const CurveSpec& spec = specs[s];
+    const std::size_t n = chunks[c].end - chunks[c].begin;
+    noc::ReplicaSim sim(std::vector<noc::SimConfig>(n, warm_config(spec)));
     for (std::size_t l = 0; l < n; ++l) {
-      sim.restore(l, warm[tasks[t].spec]);
-      sim.set_injection_rate(l, spec.rates[tasks[t].begin + l]);
+      sim.restore(l, warm[s]);
+      sim.set_injection_rate(l,
+                             spec.rates[tasks[chunks[c].begin + l].point]);
     }
     sim.run_cycles(spec.fork_warmup_cycles);
     std::vector<noc::SimResult> lane_results = sim.measure_and_drain();
     for (std::size_t l = 0; l < n; ++l) {
-      CurvePoint& point = curves[tasks[t].spec].points[tasks[t].begin + l];
+      const PointTask& task = tasks[chunks[c].begin + l];
+      CurvePoint& point = curves[task.spec].points[task.point];
       point.result = lane_results[l];
       point.run = true;
+      if (cache != nullptr) cache->store_result(task.key, point.result);
     }
   });
   return curves;

@@ -14,6 +14,14 @@
 // config, or counter-based via task_seed in the seeded variant) -- so
 // shards share nothing and results are bit-identical for every thread
 // count, 1 included.
+//
+// Persistent caching: when NOCALLOC_SWEEP_CACHE names a directory, every
+// entry point consults a content-keyed result cache (sweep/sweep_cache)
+// before scheduling and stores finished shards back -- repeated figure
+// runs become cache hits, and curve warmups are served from a persistent
+// warm-snapshot store instead of re-simulated. Because shards are pure
+// functions of their configs and snapshots are canonical bytes, cached,
+// cold, and cache-disabled runs return bit-identical results.
 #pragma once
 
 #include <cstdint>

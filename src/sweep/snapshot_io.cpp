@@ -1,0 +1,243 @@
+#include "sweep/snapshot_io.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/snapshot.hpp"
+
+namespace nocalloc::sweep {
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size,
+                    std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// One canonical config field: id byte + fixed-width little-endian value.
+/// The id makes the encoding self-delimiting under evolution -- a new field
+/// appended with a fresh id can never collide with an old layout.
+void field_u64(std::vector<std::uint8_t>& out, std::uint8_t id,
+               std::uint64_t value) {
+  StateWriter w(out);
+  w.pod(id);
+  w.u64(value);
+}
+
+void field_f64(std::vector<std::uint8_t>& out, std::uint8_t id, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  field_u64(out, id, bits);
+}
+
+std::uint64_t hash_payload(const noc::SimSnapshot& snap) {
+  return fnv1a(snap.driver.data(), snap.driver.size(),
+               fnv1a(snap.network.bytes.data(), snap.network.bytes.size()));
+}
+
+void write_header(StateWriter& w, const SnapshotHeader& h) {
+  w.pod(h.magic);
+  w.pod(h.version);
+  w.pod(h.endian);
+  w.pod(h.reserved);
+  w.u64(h.config_fingerprint);
+  w.u64(h.network_size);
+  w.u64(h.driver_size);
+  w.u64(h.payload_hash);
+}
+
+void read_header(StateReader& r, SnapshotHeader& h) {
+  r.pod(h.magic);
+  r.pod(h.version);
+  r.pod(h.endian);
+  r.pod(h.reserved);
+  h.config_fingerprint = r.u64();
+  h.network_size = r.u64();
+  h.driver_size = r.u64();
+  h.payload_hash = r.u64();
+}
+
+}  // namespace
+
+void canonical_config_bytes(const noc::SimConfig& cfg,
+                            std::vector<std::uint8_t>& out) {
+  field_u64(out, 0x01, static_cast<std::uint64_t>(cfg.topology));
+  field_u64(out, 0x02, cfg.vcs_per_class);
+  field_u64(out, 0x03, static_cast<std::uint64_t>(cfg.vc_alloc));
+  field_u64(out, 0x04, static_cast<std::uint64_t>(cfg.vc_arb));
+  field_u64(out, 0x05, static_cast<std::uint64_t>(cfg.sw_alloc));
+  field_u64(out, 0x06, static_cast<std::uint64_t>(cfg.sw_arb));
+  field_u64(out, 0x07, static_cast<std::uint64_t>(cfg.spec));
+  field_u64(out, 0x08, cfg.buffer_depth);
+  field_u64(out, 0x09, cfg.ugal_threshold);
+  field_u64(out, 0x0A, static_cast<std::uint64_t>(cfg.pattern));
+  field_f64(out, 0x0B, cfg.injection_rate);
+  field_u64(out, 0x0C, cfg.warmup_cycles);
+  field_u64(out, 0x0D, cfg.measure_cycles);
+  field_u64(out, 0x0E, cfg.drain_cycles);
+  field_u64(out, 0x0F, cfg.seed);
+  field_u64(out, 0x10, cfg.check_invariants ? 1 : 0);
+  field_u64(out, 0x11, cfg.disable_datelines ? 1 : 0);
+}
+
+std::uint64_t config_fingerprint(const noc::SimConfig& cfg) {
+  std::vector<std::uint8_t> bytes;
+  canonical_config_bytes(cfg, bytes);
+  // Seed with the format version so an encoding change invalidates every
+  // existing file even for unchanged configs.
+  const std::uint64_t seed =
+      fnv1a(nullptr, 0) ^ (std::uint64_t{kSnapshotFormatVersion} << 32);
+  return fnv1a(bytes.data(), bytes.size(), seed);
+}
+
+void encode_snapshot(const noc::SimConfig& cfg, const noc::SimSnapshot& snap,
+                     std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kSnapshotHeaderSize + snap.network.bytes.size() +
+              snap.driver.size());
+  SnapshotHeader header;
+  header.config_fingerprint = config_fingerprint(cfg);
+  header.network_size = snap.network.bytes.size();
+  header.driver_size = snap.driver.size();
+  header.payload_hash = hash_payload(snap);
+  StateWriter w(out);
+  write_header(w, header);
+  out.insert(out.end(), snap.network.bytes.begin(), snap.network.bytes.end());
+  out.insert(out.end(), snap.driver.begin(), snap.driver.end());
+}
+
+IoStatus decode_snapshot(const std::uint8_t* data, std::size_t size,
+                         std::uint64_t expected_fingerprint,
+                         noc::SimSnapshot& out) {
+  if (size < kSnapshotHeaderSize) {
+    return IoStatus::failure("truncated snapshot: " + std::to_string(size) +
+                             " bytes is smaller than the header");
+  }
+  StateReader r(data, size);
+  SnapshotHeader h;
+  read_header(r, h);
+  if (h.magic != kSnapshotMagic) {
+    return IoStatus::failure("bad magic: not a nocalloc snapshot file");
+  }
+  if (h.version != kSnapshotFormatVersion) {
+    return IoStatus::failure(
+        "format version mismatch: file has v" + std::to_string(h.version) +
+        ", this build reads v" + std::to_string(kSnapshotFormatVersion));
+  }
+  if (h.endian != kSnapshotLittleEndian) {
+    return IoStatus::failure("endianness mismatch: file not little-endian");
+  }
+  if (h.config_fingerprint != expected_fingerprint) {
+    return IoStatus::failure(
+        "config fingerprint mismatch: snapshot was produced by a different "
+        "(config, code version) pair");
+  }
+  if (size != kSnapshotHeaderSize + h.network_size + h.driver_size) {
+    return IoStatus::failure(
+        "truncated snapshot: header promises " +
+        std::to_string(kSnapshotHeaderSize + h.network_size + h.driver_size) +
+        " bytes, file has " + std::to_string(size));
+  }
+  const std::uint8_t* network = data + kSnapshotHeaderSize;
+  const std::uint8_t* driver = network + h.network_size;
+  const std::uint64_t hash = fnv1a(
+      driver, static_cast<std::size_t>(h.driver_size),
+      fnv1a(network, static_cast<std::size_t>(h.network_size)));
+  if (hash != h.payload_hash) {
+    return IoStatus::failure("payload hash mismatch: snapshot file corrupt");
+  }
+  out.network.bytes.assign(network, network + h.network_size);
+  out.driver.assign(driver, driver + h.driver_size);
+  return {};
+}
+
+IoStatus write_snapshot_file(const std::string& path,
+                             const noc::SimConfig& cfg,
+                             const noc::SimSnapshot& snap) {
+  std::vector<std::uint8_t> bytes;
+  encode_snapshot(cfg, snap, bytes);
+
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return IoStatus::failure("cannot open " + tmp + " for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return IoStatus::failure("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return IoStatus::failure("cannot rename " + tmp + " over " + path);
+  }
+  return {};
+}
+
+IoStatus read_snapshot_file(const std::string& path, const noc::SimConfig& cfg,
+                            noc::SimSnapshot& out) {
+  MappedFile file;
+  if (IoStatus status = file.open(path); !status) return status;
+  return decode_snapshot(file.data(), file.size(), config_fingerprint(cfg),
+                         out);
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+IoStatus MappedFile::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoStatus::failure("cannot open " + path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return IoStatus::failure("cannot stat " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap rejects empty ranges; an empty file fails header validation
+    // anyway, so report it as the truncation it is.
+    ::close(fd);
+    size_ = 0;
+    return IoStatus::failure("truncated snapshot: " + path + " is empty");
+  }
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    size_ = 0;
+    return IoStatus::failure("cannot mmap " + path);
+  }
+  data_ = static_cast<const std::uint8_t*>(map);
+  return {};
+}
+
+void MappedFile::close() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace nocalloc::sweep

@@ -1,0 +1,263 @@
+#include "sweep/sweep_cache.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/snapshot.hpp"
+#include "sweep/snapshot_io.hpp"
+
+namespace nocalloc::sweep {
+
+namespace {
+
+/// "NRES" as a little-endian u32; result records are not snapshot files.
+constexpr std::uint32_t kResultMagic = 0x5345524Eu;
+constexpr std::uint16_t kResultFormatVersion = 1;
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// SimResult record payload, field by field at fixed width (doubles as raw
+/// IEEE-754 bits) so cached and freshly computed results compare
+/// bit-identically.
+void write_result(StateWriter& w, const noc::SimResult& r) {
+  w.u64(double_bits(r.avg_packet_latency));
+  w.u64(double_bits(r.avg_network_latency));
+  w.u64(double_bits(r.p99_packet_latency));
+  w.u64(r.packets_measured);
+  w.u64(double_bits(r.offered_flit_rate));
+  w.u64(double_bits(r.accepted_flit_rate));
+  w.u64(r.saturated ? 1 : 0);
+  w.u64(r.spec_grants_used);
+  w.u64(r.misspeculations);
+  w.u64(double_bits(r.ugal_nonminimal_fraction));
+  w.u64(r.cycles_simulated);
+  w.u64(r.router_steps_total);
+  w.u64(r.router_steps_skipped);
+  w.u64(r.arena_high_water);
+}
+
+void read_result(StateReader& r, noc::SimResult& out) {
+  out.avg_packet_latency = bits_double(r.u64());
+  out.avg_network_latency = bits_double(r.u64());
+  out.p99_packet_latency = bits_double(r.u64());
+  out.packets_measured = static_cast<std::size_t>(r.u64());
+  out.offered_flit_rate = bits_double(r.u64());
+  out.accepted_flit_rate = bits_double(r.u64());
+  out.saturated = r.u64() != 0;
+  out.spec_grants_used = r.u64();
+  out.misspeculations = r.u64();
+  out.ugal_nonminimal_fraction = bits_double(r.u64());
+  out.cycles_simulated = r.u64();
+  out.router_steps_total = r.u64();
+  out.router_steps_skipped = r.u64();
+  out.arena_high_water = static_cast<std::size_t>(r.u64());
+}
+
+/// magic + format version + reserved pad + results version + key echo,
+/// then the payload, then FNV-1a over everything before the hash. The key
+/// echo catches a record renamed to the wrong slot; the trailing hash
+/// catches torn or bit-flipped bytes.
+constexpr std::size_t kResultHeaderSize = 4 + 2 + 2 + 8 + 8;
+constexpr std::size_t kResultPayloadWords = 14;
+constexpr std::size_t kResultRecordSize =
+    kResultHeaderSize + kResultPayloadWords * 8 + 8;
+
+void encode_result(std::uint64_t key, const noc::SimResult& result,
+                   std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kResultRecordSize);
+  StateWriter w(out);
+  w.pod(kResultMagic);
+  w.pod(kResultFormatVersion);
+  w.pod(std::uint16_t{0});
+  w.u64(kResultsVersion);
+  w.u64(key);
+  write_result(w, result);
+  w.u64(fnv1a(out.data(), out.size()));
+}
+
+bool decode_result(const std::vector<std::uint8_t>& bytes, std::uint64_t key,
+                   noc::SimResult& out) {
+  if (bytes.size() != kResultRecordSize) return false;
+  const std::uint64_t want_hash =
+      fnv1a(bytes.data(), kResultRecordSize - 8);
+  StateReader r(bytes.data(), bytes.size());
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t reserved = 0;
+  r.pod(magic);
+  r.pod(version);
+  r.pod(reserved);
+  const std::uint64_t results_version = r.u64();
+  const std::uint64_t key_echo = r.u64();
+  if (magic != kResultMagic || version != kResultFormatVersion ||
+      results_version != kResultsVersion || key_echo != key) {
+    return false;
+  }
+  read_result(r, out);
+  return r.u64() == want_hash;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+/// Mixes a domain tag, the results version, and extra words into a config
+/// hash, so e.g. a cold-batch record can never answer a curve-point query.
+std::uint64_t derive_key(char domain, const noc::SimConfig& cfg,
+                         const std::uint64_t* extra, std::size_t n_extra) {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(static_cast<std::uint8_t>(domain));
+  {
+    StateWriter w(bytes);
+    w.u64(kResultsVersion);
+    for (std::size_t i = 0; i < n_extra; ++i) w.u64(extra[i]);
+  }
+  canonical_config_bytes(cfg, bytes);
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+/// Serializes cross-process publications in one cache directory. flock on a
+/// dedicated lock file (never the data files: their names come and go under
+/// rename) -- advisory, but every writer is this code.
+class DirLock {
+ public:
+  explicit DirLock(const std::string& dir) {
+    fd_ = ::open((dir + "/.lock").c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~DirLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Unique within and across processes: pid + a process-wide counter (pool
+/// threads store concurrently into one directory).
+std::string unique_tmp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+SweepCache::SweepCache(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is the common, fine case
+}
+
+std::unique_ptr<SweepCache> SweepCache::from_env() {
+  const char* dir = std::getenv("NOCALLOC_SWEEP_CACHE");
+  if (dir == nullptr || dir[0] == '\0') return nullptr;
+  return std::make_unique<SweepCache>(dir);
+}
+
+std::uint64_t SweepCache::batch_key(const noc::SimConfig& cfg) {
+  return derive_key('B', cfg, nullptr, 0);
+}
+
+std::uint64_t SweepCache::curve_point_key(const noc::SimConfig& point_cfg,
+                                          double warm_rate,
+                                          std::uint64_t fork_warmup) {
+  const std::uint64_t extra[2] = {double_bits(warm_rate), fork_warmup};
+  return derive_key('C', point_cfg, extra, 2);
+}
+
+std::string SweepCache::result_path(std::uint64_t key) const {
+  return dir_ + "/res-" + hex16(key) + ".nres";
+}
+
+bool SweepCache::lookup_result(std::uint64_t key, noc::SimResult& out) const {
+  const std::string path = result_path(key);
+  std::vector<std::uint8_t> bytes;
+  if (!read_file(path, bytes)) return false;
+  if (decode_result(bytes, key, out)) return true;
+  // Corrupt or stale record: delete it so the slot heals on the next
+  // store, and recompute (a miss can only cost time, never correctness).
+  std::remove(path.c_str());
+  return false;
+}
+
+void SweepCache::store_result(std::uint64_t key,
+                              const noc::SimResult& result) const {
+  std::vector<std::uint8_t> bytes;
+  encode_result(key, result, bytes);
+  const std::string path = result_path(key);
+  const std::string tmp = path + unique_tmp_suffix();
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;  // read-only cache dir: run without storing
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  DirLock lock(dir_);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+std::string SweepCache::snapshot_path(const noc::SimConfig& warm_cfg) const {
+  return dir_ + "/snap-" + hex16(config_fingerprint(warm_cfg)) + ".nsnp";
+}
+
+bool SweepCache::lookup_snapshot(const noc::SimConfig& warm_cfg,
+                                 noc::SimSnapshot& out) const {
+  return static_cast<bool>(
+      read_snapshot_file(snapshot_path(warm_cfg), warm_cfg, out));
+}
+
+void SweepCache::store_snapshot(const noc::SimConfig& warm_cfg,
+                                const noc::SimSnapshot& snap) const {
+  const std::string path = snapshot_path(warm_cfg);
+  const std::string tmp_base = path + unique_tmp_suffix();
+  // write_snapshot_file appends its own .tmp.<pid>; give it the final tmp
+  // name as the "path" and rename under the lock ourselves for symmetry
+  // with store_result.
+  if (!write_snapshot_file(tmp_base, warm_cfg, snap)) return;
+  DirLock lock(dir_);
+  if (std::rename(tmp_base.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_base.c_str());
+  }
+}
+
+}  // namespace nocalloc::sweep

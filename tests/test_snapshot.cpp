@@ -179,13 +179,13 @@ TEST(SnapshotFork, RateKnobForksDiverge) {
   EXPECT_NE(low_a.packets_measured, high.packets_measured);
 }
 
-// Snapshotting the same state twice yields byte-identical buffers, and two
-// identically configured and warmed instances produce buffers of the same
-// size. (Cross-instance buffers are only *semantically* equal -- the raw
-// memcpy stream includes struct padding bytes, which are indeterminate --
-// so restores are compared through simulation results, not bytes; see the
-// SnapshotRestoreTest suite.)
-TEST(SnapshotFork, SnapshotBytesStable) {
+// The canonical stream is deterministic: snapshotting the same state twice
+// yields byte-identical buffers, and -- because every padded struct is
+// serialized field by field (no indeterminate padding bytes ever reach the
+// stream) -- two identically configured and warmed INSTANCES also produce
+// byte-identical buffers. That cross-instance identity is what makes
+// snapshots hashable and persistable (sweep/snapshot_io).
+TEST(SnapshotFork, SnapshotBytesCanonicalAcrossInstances) {
   const SimConfig cfg = small_config(TopologyKind::kFbfly4x4, false);
 
   SimInstance a(cfg);
@@ -201,8 +201,8 @@ TEST(SnapshotFork, SnapshotBytesStable) {
   b.warmup();
   SimSnapshot snap_b;
   b.snapshot(snap_b);
-  EXPECT_EQ(snap_a1.network.bytes.size(), snap_b.network.bytes.size());
-  EXPECT_EQ(snap_a1.driver.size(), snap_b.driver.size());
+  EXPECT_EQ(snap_a1.network.bytes, snap_b.network.bytes);
+  EXPECT_EQ(snap_a1.driver, snap_b.driver);
 }
 
 }  // namespace

@@ -1,0 +1,312 @@
+// On-disk snapshot encoding: round-trips must be exact (a disk-restored
+// simulation evolves bit-identically to an in-process restore, mmap
+// included), and every malformed input -- truncation, foreign magic, wrong
+// version, mismatched config fingerprint, flipped payload bytes -- must be
+// rejected with a readable reason, never a crash or a silent misrestore.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "noc/sim.hpp"
+#include "sweep/snapshot_io.hpp"
+
+namespace nocalloc::sweep {
+namespace {
+
+noc::SimConfig small_config() {
+  noc::SimConfig cfg;
+  cfg.topology = noc::TopologyKind::kMesh8x8;
+  cfg.vcs_per_class = 2;
+  cfg.injection_rate = 0.12;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 500;
+  cfg.drain_cycles = 1500;
+  cfg.seed = 0x5EED;
+  return cfg;
+}
+
+void expect_identical(const noc::SimResult& got, const noc::SimResult& want) {
+  EXPECT_EQ(got.avg_packet_latency, want.avg_packet_latency);
+  EXPECT_EQ(got.avg_network_latency, want.avg_network_latency);
+  EXPECT_EQ(got.p99_packet_latency, want.p99_packet_latency);
+  EXPECT_EQ(got.packets_measured, want.packets_measured);
+  EXPECT_EQ(got.offered_flit_rate, want.offered_flit_rate);
+  EXPECT_EQ(got.accepted_flit_rate, want.accepted_flit_rate);
+  EXPECT_EQ(got.saturated, want.saturated);
+  EXPECT_EQ(got.spec_grants_used, want.spec_grants_used);
+  EXPECT_EQ(got.misspeculations, want.misspeculations);
+  EXPECT_EQ(got.cycles_simulated, want.cycles_simulated);
+}
+
+/// Fresh per-test scratch directory under the test temp root.
+class SnapshotIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl = ::testing::TempDir() + "snapio_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    ASSERT_NE(::mkdtemp(buf.data()), nullptr);
+    dir_ = buf.data();
+  }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static std::vector<std::uint8_t> slurp(const std::string& p) {
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    std::fclose(f);
+    return bytes;
+  }
+
+  static void spit(const std::string& p, const std::vector<std::uint8_t>& b) {
+    std::FILE* f = std::fopen(p.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!b.empty()) {
+      ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+    }
+    std::fclose(f);
+  }
+
+  std::string dir_;
+};
+
+// The declared header size must be exactly what the encoder emits -- the
+// payload offset every reader computes from it.
+TEST_F(SnapshotIoTest, EncodedSizeMatchesHeaderArithmetic) {
+  const noc::SimConfig cfg = small_config();
+  noc::SimInstance sim(cfg);
+  sim.warmup();
+  noc::SimSnapshot snap;
+  sim.snapshot(snap);
+
+  std::vector<std::uint8_t> bytes;
+  encode_snapshot(cfg, snap, bytes);
+  EXPECT_EQ(bytes.size(), kSnapshotHeaderSize + snap.network.bytes.size() +
+                              snap.driver.size());
+}
+
+// encode -> decode restores the exact payload bytes, and a simulation
+// restored from the decoded snapshot matches the uninterrupted run.
+TEST_F(SnapshotIoTest, EncodeDecodeRoundTripsBytes) {
+  const noc::SimConfig cfg = small_config();
+  noc::SimInstance sim(cfg);
+  sim.warmup();
+  noc::SimSnapshot snap;
+  sim.snapshot(snap);
+
+  std::vector<std::uint8_t> bytes;
+  encode_snapshot(cfg, snap, bytes);
+  noc::SimSnapshot back;
+  const IoStatus status =
+      decode_snapshot(bytes.data(), bytes.size(), config_fingerprint(cfg), back);
+  ASSERT_TRUE(status) << status.error;
+  EXPECT_EQ(back.network.bytes, snap.network.bytes);
+  EXPECT_EQ(back.driver, snap.driver);
+}
+
+// Disk round-trip into a FRESH instance reproduces the uninterrupted run.
+TEST_F(SnapshotIoTest, FileRestoreMatchesInProcessRestore) {
+  const noc::SimConfig cfg = small_config();
+
+  noc::SimInstance warm(cfg);
+  warm.warmup();
+  noc::SimSnapshot snap;
+  warm.snapshot(snap);
+  const noc::SimResult want = warm.measure_and_drain();
+
+  const std::string p = path("warm.nsnp");
+  ASSERT_TRUE(write_snapshot_file(p, cfg, snap));
+
+  noc::SimSnapshot from_disk;
+  const IoStatus status = read_snapshot_file(p, cfg, from_disk);
+  ASSERT_TRUE(status) << status.error;
+
+  noc::SimInstance fresh(cfg);
+  fresh.restore(from_disk);
+  expect_identical(fresh.measure_and_drain(), want);
+}
+
+// Disk round-trip into a DIRTY instance (ran on past the snapshot at a
+// different load) also reproduces it: restore rewinds everything.
+TEST_F(SnapshotIoTest, FileRestoreIntoDirtyInstanceMatches) {
+  const noc::SimConfig cfg = small_config();
+
+  noc::SimInstance sim(cfg);
+  sim.warmup();
+  noc::SimSnapshot snap;
+  sim.snapshot(snap);
+
+  const std::string p = path("warm.nsnp");
+  ASSERT_TRUE(write_snapshot_file(p, cfg, snap));
+
+  noc::SimInstance uninterrupted(cfg);
+  uninterrupted.warmup();
+  const noc::SimResult want = uninterrupted.measure_and_drain();
+
+  // Dirty: run well past the snapshot at 3x the load, then restore from
+  // the file.
+  sim.set_injection_rate(cfg.injection_rate * 3.0);
+  sim.run_cycles(800);
+  noc::SimSnapshot from_disk;
+  ASSERT_TRUE(read_snapshot_file(p, cfg, from_disk));
+  sim.restore(from_disk);
+  sim.set_injection_rate(cfg.injection_rate);
+
+  const noc::SimResult got = sim.measure_and_drain();
+  EXPECT_EQ(got.avg_packet_latency, want.avg_packet_latency);
+  EXPECT_EQ(got.packets_measured, want.packets_measured);
+  EXPECT_EQ(got.accepted_flit_rate, want.accepted_flit_rate);
+}
+
+// The multi-process path: decoding from a read-only mmap yields the same
+// snapshot as the file reader, and a simulation restored from the mapping
+// produces bit-identical results to an in-process restore (what lets
+// nocsweep workers share one warm-snapshot file).
+TEST_F(SnapshotIoTest, MmapRestoreBitIdenticalToInProcessRestore) {
+  const noc::SimConfig cfg = small_config();
+  noc::SimInstance warm(cfg);
+  warm.warmup();
+  noc::SimSnapshot snap;
+  warm.snapshot(snap);
+
+  const std::string p = path("warm.nsnp");
+  ASSERT_TRUE(write_snapshot_file(p, cfg, snap));
+
+  MappedFile map;
+  ASSERT_TRUE(map.open(p));
+  noc::SimSnapshot from_map;
+  const IoStatus status = decode_snapshot(map.data(), map.size(),
+                                          config_fingerprint(cfg), from_map);
+  ASSERT_TRUE(status) << status.error;
+  EXPECT_EQ(from_map.network.bytes, snap.network.bytes);
+  EXPECT_EQ(from_map.driver, snap.driver);
+
+  noc::SimInstance in_process(cfg);
+  in_process.restore(snap);
+  const noc::SimResult want = in_process.measure_and_drain();
+
+  noc::SimInstance via_map(cfg);
+  via_map.restore(from_map);
+  expect_identical(via_map.measure_and_drain(), want);
+}
+
+// Every malformed-file class rejects with a readable reason; none crash.
+TEST_F(SnapshotIoTest, RejectsMalformedFiles) {
+  const noc::SimConfig cfg = small_config();
+  noc::SimInstance sim(cfg);
+  sim.warmup();
+  noc::SimSnapshot snap;
+  sim.snapshot(snap);
+  const std::string good = path("good.nsnp");
+  ASSERT_TRUE(write_snapshot_file(good, cfg, snap));
+  const std::vector<std::uint8_t> bytes = slurp(good);
+  noc::SimSnapshot out;
+
+  {  // Truncated below the header.
+    std::vector<std::uint8_t> t(bytes.begin(), bytes.begin() + 10);
+    spit(path("trunc1.nsnp"), t);
+    const IoStatus s = read_snapshot_file(path("trunc1.nsnp"), cfg, out);
+    ASSERT_FALSE(s);
+    EXPECT_NE(s.error.find("truncated"), std::string::npos) << s.error;
+  }
+  {  // Truncated mid-payload.
+    std::vector<std::uint8_t> t(bytes.begin(), bytes.end() - 17);
+    spit(path("trunc2.nsnp"), t);
+    const IoStatus s = read_snapshot_file(path("trunc2.nsnp"), cfg, out);
+    ASSERT_FALSE(s);
+    EXPECT_NE(s.error.find("truncated"), std::string::npos) << s.error;
+  }
+  {  // Empty file.
+    spit(path("empty.nsnp"), {});
+    const IoStatus s = read_snapshot_file(path("empty.nsnp"), cfg, out);
+    ASSERT_FALSE(s);
+    EXPECT_NE(s.error.find("truncated"), std::string::npos) << s.error;
+  }
+  {  // Foreign magic.
+    std::vector<std::uint8_t> t = bytes;
+    t[0] ^= 0xFF;
+    spit(path("magic.nsnp"), t);
+    const IoStatus s = read_snapshot_file(path("magic.nsnp"), cfg, out);
+    ASSERT_FALSE(s);
+    EXPECT_NE(s.error.find("magic"), std::string::npos) << s.error;
+  }
+  {  // Future format version (bytes 4..5).
+    std::vector<std::uint8_t> t = bytes;
+    t[4] = 0x7F;
+    spit(path("version.nsnp"), t);
+    const IoStatus s = read_snapshot_file(path("version.nsnp"), cfg, out);
+    ASSERT_FALSE(s);
+    EXPECT_NE(s.error.find("version"), std::string::npos) << s.error;
+  }
+  {  // Config mismatch: same file, different expected config.
+    noc::SimConfig other = cfg;
+    other.seed += 1;
+    const IoStatus s = read_snapshot_file(good, other, out);
+    ASSERT_FALSE(s);
+    EXPECT_NE(s.error.find("fingerprint"), std::string::npos) << s.error;
+  }
+  {  // Flipped payload byte.
+    std::vector<std::uint8_t> t = bytes;
+    t[kSnapshotHeaderSize + t.size() / 2] ^= 0x01;
+    spit(path("corrupt.nsnp"), t);
+    const IoStatus s = read_snapshot_file(path("corrupt.nsnp"), cfg, out);
+    ASSERT_FALSE(s);
+    EXPECT_NE(s.error.find("hash"), std::string::npos) << s.error;
+  }
+  {  // Missing file.
+    const IoStatus s = read_snapshot_file(path("absent.nsnp"), cfg, out);
+    ASSERT_FALSE(s);
+    EXPECT_FALSE(s.error.empty());
+  }
+
+  // The good file still reads after all of the above.
+  EXPECT_TRUE(read_snapshot_file(good, cfg, out));
+}
+
+// The fingerprint must move when ANY config field moves -- that is the
+// whole guarantee that a snapshot can only restore into the config that
+// wrote it.
+TEST_F(SnapshotIoTest, FingerprintSensitiveToEveryFieldKind) {
+  const noc::SimConfig base = small_config();
+  const std::uint64_t fp = config_fingerprint(base);
+
+  noc::SimConfig c = base;
+  c.topology = noc::TopologyKind::kFbfly4x4;
+  EXPECT_NE(config_fingerprint(c), fp);
+
+  c = base;
+  c.sw_alloc = AllocatorKind::kWavefront;
+  EXPECT_NE(config_fingerprint(c), fp);
+
+  c = base;
+  c.injection_rate += 1e-9;  // doubles hash by exact bits
+  EXPECT_NE(config_fingerprint(c), fp);
+
+  c = base;
+  c.warmup_cycles += 1;
+  EXPECT_NE(config_fingerprint(c), fp);
+
+  c = base;
+  c.seed += 1;
+  EXPECT_NE(config_fingerprint(c), fp);
+
+  c = base;
+  c.check_invariants = !c.check_invariants;
+  EXPECT_NE(config_fingerprint(c), fp);
+
+  // And it must NOT move for an identical config (stability is what makes
+  // snapshots shareable across processes).
+  EXPECT_EQ(config_fingerprint(base), fp);
+}
+
+}  // namespace
+}  // namespace nocalloc::sweep
