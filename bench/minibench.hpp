@@ -14,6 +14,8 @@
 // Environment knobs:
 //   NOCALLOC_BENCH_FAST=1      -- shorter calibration target (smoke mode)
 //   NOCALLOC_BENCH_MIN_TIME=s  -- explicit calibration target in seconds
+//   NOCALLOC_BENCH_JSON=path   -- also write a machine-readable summary
+//                                 (one entry per benchmark run) to `path`
 #pragma once
 
 #include <cstdint>
@@ -141,6 +143,20 @@ inline std::vector<Registration*>& registry() {
   return r;
 }
 
+/// One finished (benchmark, arg set) run, kept for the JSON summary.
+struct RunResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  double cpu_ns_per_op = 0.0;
+  std::size_t iterations = 0;
+  double items_per_second = 0.0;  // 0 when the bench sets no item count
+};
+
+inline std::vector<RunResult>& results() {
+  static std::vector<RunResult> r;
+  return r;
+}
+
 }  // namespace detail
 
 /// Builder returned by BENCHMARK_CAPTURE; Arg/Args append one run each.
@@ -211,18 +227,52 @@ inline void run_one(const Registration& reg,
   }
 
   const double its = static_cast<double>(iters);
+  RunResult res;
+  res.name = name;
+  res.ns_per_op = wall / its * 1e9;
+  res.cpu_ns_per_op = cpu / its * 1e9;
+  res.iterations = iters;
   std::string line = name;
   if (line.size() < 32) line.resize(32, ' ');
   char nums[160];
   std::snprintf(nums, sizeof nums, " %10.0f ns %12.0f ns %12zu",
-                wall / its * 1e9, cpu / its * 1e9, iters);
+                res.ns_per_op, res.cpu_ns_per_op, iters);
   line += nums;
   if (items > 0) {
-    line += " items_per_second=" +
-            human_rate(static_cast<double>(items) / wall) + "/s";
+    res.items_per_second = static_cast<double>(items) / wall;
+    line += " items_per_second=" + human_rate(res.items_per_second) + "/s";
   }
+  results().push_back(std::move(res));
   std::printf("%s\n", line.c_str());
   std::fflush(stdout);
+}
+
+/// Writes the collected runs to NOCALLOC_BENCH_JSON when it is set; the
+/// format mirrors the hand-rolled summaries the network microbenches emit
+/// (one object per run, rates in ops/s so trends diff directly).
+inline void write_json_summary(const char* argv0) {
+  const char* path = std::getenv("NOCALLOC_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not write %s\n", path);
+    return;
+  }
+  const char* base = std::strrchr(argv0, '/');
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"runs\": [\n",
+               base != nullptr ? base + 1 : argv0);
+  const std::vector<RunResult>& rs = results();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const RunResult& r = rs[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"cpu_ns_per_op\": %.3f, \"iterations\": %zu, "
+                 "\"items_per_second\": %.1f}%s\n",
+                 r.name.c_str(), r.ns_per_op, r.cpu_ns_per_op, r.iterations,
+                 r.items_per_second, i + 1 < rs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 inline int run_all(const char* argv0) {
@@ -247,6 +297,7 @@ inline int run_all(const char* argv0) {
   for (const Registration* reg : registry()) {
     for (const auto& args : reg->arg_sets) run_one(*reg, args);
   }
+  write_json_summary(argv0);
   return 0;
 }
 

@@ -4,7 +4,7 @@
 # to bench_results/progress.log, which always ends with FULL_BENCH_DONE.
 # Each bench's wall-clock seconds are recorded next to its completion line.
 # The microbenches additionally write machine-readable summaries
-# (bench_results/BENCH_{sim,replica,sweep,netlist}.json) so the perf
+# (bench_results/BENCH_{alloc,sim,replica,sweep,netlist}.json) so the perf
 # trajectory across commits can be diffed without parsing the tables.
 #
 # Environment knobs:
@@ -61,6 +61,7 @@ is_net_bench() {
 # disables the emission).
 json_for() {
   case "$1" in
+    microbench_allocators) echo "bench_results/BENCH_alloc.json" ;;
     microbench_sim) echo "bench_results/BENCH_sim.json" ;;
     microbench_replica) echo "bench_results/BENCH_replica.json" ;;
     microbench_sweep) echo "bench_results/BENCH_sweep.json" ;;

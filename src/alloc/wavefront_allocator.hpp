@@ -50,6 +50,28 @@ class WavefrontAllocator final : public Allocator {
   static void allocate_from_diagonal_mask(const BitMatrix& req,
                                           std::size_t start, BitMatrix& gnt);
 
+  /// One requested (row, column) cell on the sparse fast path.
+  struct SparseCell {
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+  };
+
+  /// Sparse single-call equivalent of one allocate() cycle: the request
+  /// matrix is given as its set cells (any order, rows/cols < n, no
+  /// duplicates), the granted cells are appended to `granted`, and the
+  /// starting diagonal advances exactly as allocate() would -- including for
+  /// an empty cell list, which must still be issued once per cycle so the
+  /// rotating priority matches a densely called scalar run.
+  ///
+  /// Cost is O(m + n/64) for m cells: cells are wave-bucketed with a
+  /// counting sort keyed by their wrapped diagonal's distance from the
+  /// starting one, then scanned in wave order against packed free-row /
+  /// free-column masks. Cells of one wave share neither row nor column, so
+  /// the linear scan over the wave-sorted cells makes exactly the grants of
+  /// the nested diagonal loop.
+  void allocate_sparse(const SparseCell* cells, std::size_t m,
+                       std::vector<SparseCell>& granted);
+
  private:
   std::size_t n_;  // padded square dimension
   std::size_t diagonal_ = 0;
@@ -57,6 +79,12 @@ class WavefrontAllocator final : public Allocator {
   // path performs no heap allocations.
   std::vector<bits::Word> row_free_;
   std::vector<bits::Word> col_free_;
+  // Sparse-path scratch: per-wave cell counts (zeroed after use via the
+  // touched-wave bitmap), bucket write cursors, and the wave-sorted cells.
+  std::vector<std::uint32_t> wave_cnt_;
+  std::vector<std::uint32_t> wave_off_;
+  std::vector<bits::Word> wave_occ_;
+  std::vector<SparseCell> sorted_;
 };
 
 }  // namespace nocalloc

@@ -32,6 +32,22 @@ class MatrixArbiter final : public Arbiter {
   /// Priority relation (exposed for tests): true if i beats j.
   bool has_priority(std::size_t i, std::size_t j) const;
 
+  /// Single-word pick with pick_words() semantics for arbiters of width
+  /// <= 64: candidate i wins iff no other requester holds priority over it,
+  /// i.e. (req & ~prio_row(i)) has no bit besides i itself. The replica
+  /// engine's sparse kernels use this as the packed least-recently-served
+  /// selection, skipping virtual dispatch and the multi-word row scan.
+  int pick_word(bits::Word req) const {
+    NOCALLOC_DCHECK(wpr_ == 1);
+    bits::Word cur = req;
+    while (cur != 0) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(cur));
+      cur &= cur - 1;
+      if ((req & ~prio_[i] & ~bits::bit(i)) == 0) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
  private:
   const bits::Word* prio_row(std::size_t i) const {
     return prio_.data() + i * wpr_;

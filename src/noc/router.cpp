@@ -55,17 +55,16 @@ Router::Router(int id, const RouterConfig& cfg, RoutingFunction& routing,
     spec_alloc_ = std::make_unique<SpeculativeSwitchAllocator>(sa, cfg.spec);
   }
 
-  // Replica fast path: available when every allocator stage has a
-  // single-word sparse kernel against concrete round-robin arbiters.
-  fast_va_ = dynamic_cast<VcSeparableInputFirstAllocator*>(vc_alloc_.get());
-  if (sw_alloc_ != nullptr) {
-    fast_sa_ = dynamic_cast<SaSeparableInputFirst*>(sw_alloc_.get());
-  }
+  // Replica fast path: available when every allocator stage reports a
+  // single-word sparse kernel (separable input-/output-first and wavefront
+  // families over round-robin or matrix arbiters).
   fast_ok_ = vcs_ <= bits::kWordBits && cfg_.ports <= bits::kWordBits &&
-             fast_va_ != nullptr && fast_va_->fast_ready() &&
+             vc_alloc_->fast_ready() &&
              (cfg_.spec == SpecMode::kNonSpeculative
-                  ? fast_sa_ != nullptr && fast_sa_->fast_ready()
+                  ? sw_alloc_->fast_ready()
                   : spec_alloc_->fast_ready());
+  va_rotates_ = cfg_.vc_alloc_kind == AllocatorKind::kWavefront;
+  sa_rotates_ = cfg_.sw_alloc_kind == AllocatorKind::kWavefront;
   if (fast_ok_) {
     fast_vreq_.resize(total);
     fast_ns_words_.assign(cfg_.ports, 0);
@@ -231,6 +230,7 @@ void Router::allocate(Cycle now) {
   });
 
   vc_alloc_->allocate(vreq_, vgrant_);
+  vgrant_dirty_ = true;  // full rewrite leaves granted entries >= 0 behind
   if (checker_ != nullptr) checker_->on_vc_alloc(*this, now, vreq_, vgrant_);
 
   // --- Switch allocation requests (from pre-VA state) ----------------------
@@ -340,6 +340,15 @@ void Router::allocate_fast(Cycle now) {
   const bool speculative = cfg_.spec != SpecMode::kNonSpeculative;
   const bits::Word class_span = bits::low_mask(cfg_.partition.vcs_per_class());
 
+  // Restore the kernels' all--1 vgrant_ contract if a scalar cycle (fallback
+  // or direct allocate() call) rewrote the vector; fast cycles maintain the
+  // invariant per granted entry in the commit scan below, so the bulk wipe
+  // runs only when something actually dirtied it.
+  if (vgrant_dirty_) {
+    std::fill(vgrant_.begin(), vgrant_.end(), -1);
+    vgrant_dirty_ = false;
+  }
+
   // --- VC allocation requests, packed into single-word candidate masks -----
   // The candidate set (free VCs of the packet's class at the requested
   // output) is one word op against the derived allocated-mask instead of a
@@ -356,14 +365,20 @@ void Router::allocate_fast(Cycle now) {
     const bits::Word mask = (class_span << base) & ~out_alloc_words_[out_port];
     fast_vreq_[n_vreq++] = {static_cast<std::uint32_t>(i),
                             static_cast<std::uint32_t>(out_port), mask};
-    vgrant_[i] = -1;  // scalar fallback cycles leave stale grants behind
     if (speculative) {
       fast_sp_words_[i / vcs_] |= bits::bit(i % vcs_);
       fast_out_port_[i] = static_cast<std::uint8_t>(out_port);
     }
   });
 
-  if (n_vreq != 0) fast_va_->allocate_fast(fast_vreq_.data(), n_vreq, vgrant_);
+  if (n_vreq != 0) {
+    vc_alloc_->allocate_fast(fast_vreq_.data(), n_vreq, vgrant_);
+  } else if (va_rotates_) {
+    // The scalar path calls the VC allocator every non-empty cycle; a
+    // wavefront VA rotates its diagonals even with zero requests, so the
+    // skipped kernel call is replayed as a pure priority rotation.
+    vc_alloc_->advance_priority(1);
+  }
 
   // --- Switch allocation requests (from pre-VA state) ----------------------
   bits::Word ns_any = 0;
@@ -400,19 +415,22 @@ void Router::allocate_fast(Cycle now) {
   }
 
   // --- Switch allocation and commit ----------------------------------------
-  // With no requests at all, the kernels and the commit scan are no-ops on
-  // every piece of state they touch (no arbiter updates without winners),
-  // so the whole stage is skipped.
+  // With no requests reaching a stage, its kernel and commit scan are no-ops
+  // on every piece of state they touch (separable arbiters update only on
+  // grants), so the stage is skipped -- except for wavefront cores, whose
+  // unconditional diagonal rotation is replayed via advance_priority(1).
   if (!speculative) {
     if (ns_any != 0) {
-      fast_sa_->allocate_fast(fast_ns_words_.data(), fast_out_port_.data(),
-                              sw_grants_);
+      sw_alloc_->allocate_fast(fast_ns_words_.data(), fast_out_port_.data(),
+                               sw_grants_);
       for (std::size_t p = 0; p < cfg_.ports; ++p) {
         if (sw_grants_[p].granted()) {
           commit_grant(p, static_cast<std::size_t>(sw_grants_[p].vc), now);
         }
       }
       std::fill(fast_ns_words_.begin(), fast_ns_words_.end(), bits::Word{0});
+    } else if (sa_rotates_) {
+      sw_alloc_->advance_priority(1);
     }
   } else if (ns_any != 0 || n_vreq != 0) {
     spec_alloc_->allocate_fast(fast_ns_words_.data(), fast_out_port_.data(),
@@ -438,6 +456,10 @@ void Router::allocate_fast(Cycle now) {
     }
     std::fill(fast_ns_words_.begin(), fast_ns_words_.end(), bits::Word{0});
     std::fill(fast_sp_words_.begin(), fast_sp_words_.end(), bits::Word{0});
+  } else if (sa_rotates_) {
+    // Credit-blocked cycle with no bids on either side: the scalar path
+    // still runs both inner allocators, rotating wavefront cores.
+    spec_alloc_->advance_priority(1);
   }
 }
 
@@ -604,6 +626,9 @@ void Router::load_state(StateReader& r) {
       out_alloc_words_[p] = alloc;
       out_credit_words_[p] = credit;
     }
+    // The restored stream says nothing about vgrant_ (pure scratch); treat
+    // it as dirtied so the next fast cycle re-establishes the all--1 state.
+    vgrant_dirty_ = true;
   }
   rx_flit_pending_ = 0;
   rx_credit_pending_ = 0;

@@ -40,12 +40,10 @@
 #include "noc/packet_arena.hpp"
 #include "noc/routing.hpp"
 #include "noc/types.hpp"
-#include "sa/sa_separable.hpp"
 #include "sa/speculative_switch_allocator.hpp"
 #include "sa/switch_allocator.hpp"
 #include "vc/vc_allocator.hpp"
 #include "vc/vc_partition.hpp"
-#include "vc/vc_separable_allocator.hpp"
 
 namespace nocalloc::noc {
 
@@ -105,15 +103,16 @@ class Router {
   /// Devirtualized allocate() for the replica engine: the same stage
   /// sequence, stats, and priority-state evolution, but the VC-request
   /// build, VA, SA, and speculation masks run as single-word sparse kernels
-  /// directly against the router's own round-robin arbiters. Falls back to
-  /// allocate() whenever the configuration has no fast path (non-round-robin
-  /// arbiters, non-separable-input-first allocators, attached checker, or
-  /// reference-path mode), so results are bit-identical either way.
+  /// against the allocators' own priority state (separable input-/output-
+  /// first, wavefront; round-robin or matrix arbiters). Falls back to
+  /// allocate() whenever the configuration has no fast path (maximum-size
+  /// allocators, over-word dimensions, attached checker, or reference-path
+  /// mode), so results are bit-identical either way.
   void allocate_fast(Cycle now);
 
   /// True when allocate_fast() takes its devirtualized path rather than
   /// falling back (exposed for tests and benches).
-  bool fast_path_available() const { return fast_ok_ && checker_ == nullptr; }
+  bool fast_path_active() const { return fast_ok_ && checker_ == nullptr; }
 
   void receive(Cycle now);
 
@@ -225,12 +224,23 @@ class Router {
   bits::Word rx_flit_pending_ = 0;
   bits::Word rx_credit_pending_ = 0;
 
-  // Replica fast path: concrete allocator handles plus single-word request
-  // scratch (per-port VC masks and the per-input-VC requested output port).
+  // Replica fast path: single-word request scratch (per-port VC masks and
+  // the per-input-VC requested output port). The kernels themselves are the
+  // allocators' own allocate_fast overrides, gated by fast_ready().
   bool fast_ok_ = false;
-  VcSeparableInputFirstAllocator* fast_va_ = nullptr;
-  SaSeparableInputFirst* fast_sa_ = nullptr;  // non-speculative mode only
-  std::vector<VcSeparableInputFirstAllocator::FastRequest> fast_vreq_;
+  // Allocators with cycle-rotating priority state (wavefront diagonals)
+  // rotate on every allocate() call, requested or not; when the fast path
+  // skips a stage's kernel because no request reached it, it compensates
+  // with advance_priority(1) so the rotation matches the scalar path.
+  bool va_rotates_ = false;
+  bool sa_rotates_ = false;
+  // True whenever vgrant_ may hold stale (>= 0) entries: scalar allocate()
+  // rewrites the whole vector and leaves grants behind, and load_state
+  // restores unrelated content. The fast path's kernels require the all--1
+  // contract on entry, restore it per granted entry on commit, and bulk-wipe
+  // only when this flag says a scalar cycle actually dirtied the vector.
+  bool vgrant_dirty_ = false;
+  std::vector<FastVcRequest> fast_vreq_;
   std::vector<bits::Word> fast_ns_words_;     // [p]: SA-requesting VCs
   std::vector<bits::Word> fast_sp_words_;     // [p]: speculative bids
   std::vector<std::uint8_t> fast_out_port_;   // [p * V + v]

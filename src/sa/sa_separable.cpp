@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
-#include "arbiter/round_robin_arbiter.hpp"
-
 namespace nocalloc {
+
+namespace {
+
+// Resolves devirtualized handles for a V:1-per-input / P:1-per-output arbiter
+// pair; false (leaving the vectors untouched beyond what was pushed) if any
+// arbiter is neither round-robin nor single-word matrix.
+bool resolve_sa_fast_arbiters(
+    const std::vector<std::unique_ptr<Arbiter>>& vc_arb,
+    const std::vector<std::unique_ptr<Arbiter>>& out_arb,
+    std::vector<FastArb>& vc_fa, std::vector<FastArb>& out_fa) {
+  for (const auto& a : vc_arb) {
+    const FastArb fa = FastArb::from(*a);
+    if (!fa.ok()) return false;
+    vc_fa.push_back(fa);
+  }
+  for (const auto& a : out_arb) {
+    const FastArb fa = FastArb::from(*a);
+    if (!fa.ok()) return false;
+    out_fa.push_back(fa);
+  }
+  return true;
+}
+
+}  // namespace
 
 SaSeparableInputFirst::SaSeparableInputFirst(std::size_t ports,
                                              std::size_t vcs, ArbiterKind arb)
@@ -21,20 +43,9 @@ SaSeparableInputFirst::SaSeparableInputFirst(std::size_t ports,
 }
 
 void SaSeparableInputFirst::init_fast(ArbiterKind arb) {
-  if (arb != ArbiterKind::kRoundRobin || vcs() > bits::kWordBits ||
-      ports() > bits::kWordBits) {
-    return;
-  }
-  for (auto& a : vc_arb_) {
-    auto* rr = dynamic_cast<RoundRobinArbiter*>(a.get());
-    if (rr == nullptr) return;
-    vc_rr_.push_back(rr);
-  }
-  for (auto& a : out_arb_) {
-    auto* rr = dynamic_cast<RoundRobinArbiter*>(a.get());
-    if (rr == nullptr) return;
-    out_rr_.push_back(rr);
-  }
+  static_cast<void>(arb);
+  if (vcs() > bits::kWordBits || ports() > bits::kWordBits) return;
+  if (!resolve_sa_fast_arbiters(vc_arb_, out_arb_, vc_fa_, out_fa_)) return;
   fast_bids_.assign(ports(), 0);
   fast_ok_ = true;
 }
@@ -55,7 +66,7 @@ void SaSeparableInputFirst::allocate_fast(const bits::Word* vc_words,
       port_vc_[p] = -1;
       continue;
     }
-    const int v = rr_pick_word(w, vc_rr_[p]->pointer());
+    const int v = vc_fa_[p].pick(w);
     port_vc_[p] = v;
     const std::size_t o = out_ports[p * v_count + static_cast<std::size_t>(v)];
     fast_bids_[o] |= bits::bit(p);
@@ -67,12 +78,12 @@ void SaSeparableInputFirst::allocate_fast(const bits::Word* vc_words,
   while (out_any != 0) {
     const auto o = static_cast<std::size_t>(std::countr_zero(out_any));
     out_any &= out_any - 1;
-    const int p = rr_pick_word(fast_bids_[o], out_rr_[o]->pointer());
+    const int p = out_fa_[o].pick(fast_bids_[o]);
     fast_bids_[o] = 0;
     grant[static_cast<std::size_t>(p)] = {port_vc_[static_cast<std::size_t>(p)],
                                           static_cast<int>(o)};
-    out_rr_[o]->update(p);
-    vc_rr_[static_cast<std::size_t>(p)]->update(
+    out_fa_[o].update(p);
+    vc_fa_[static_cast<std::size_t>(p)].update(
         port_vc_[static_cast<std::size_t>(p)]);
   }
 }
@@ -173,6 +184,74 @@ SaSeparableOutputFirst::SaSeparableOutputFirst(std::size_t ports,
   port_won_.resize(bits::word_count(ports));
   vc_cand_.resize(bits::word_count(vcs));
   out_choice_.resize(ports);
+  init_fast();
+}
+
+void SaSeparableOutputFirst::init_fast() {
+  if (vcs() > bits::kWordBits || ports() > bits::kWordBits) return;
+  if (!resolve_sa_fast_arbiters(vc_arb_, out_arb_, vc_fa_, out_fa_)) return;
+  fast_cols_.assign(ports(), 0);
+  fast_ok_ = true;
+}
+
+void SaSeparableOutputFirst::allocate_fast(const bits::Word* vc_words,
+                                           const std::uint8_t* out_ports,
+                                           std::vector<SwitchGrant>& grant) {
+  NOCALLOC_DCHECK(fast_ok_);
+  const std::size_t p_count = ports();
+  const std::size_t v_count = vcs();
+  grant.assign(p_count, SwitchGrant{});
+
+  // Union request columns: bit p of column o set iff any VC at input port p
+  // requests output o.
+  bits::Word out_any = 0;
+  for (std::size_t p = 0; p < p_count; ++p) {
+    bits::Word w = vc_words[p];
+    while (w != 0) {
+      const auto v = static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      const std::size_t o = out_ports[p * v_count + v];
+      fast_cols_[o] |= bits::bit(p);
+      out_any |= bits::bit(o);
+    }
+  }
+
+  // Stage 1: per requested output port, pick a winning input port. Picks are
+  // pure (updates deferred to stage 2, as in allocate_mask), so the ascending
+  // scan matches the mask path's for_each_set order.
+  bits::Word port_won = 0;
+  bits::Word scan = out_any;
+  while (scan != 0) {
+    const auto o = static_cast<std::size_t>(std::countr_zero(scan));
+    scan &= scan - 1;
+    const int p = out_fa_[o].pick(fast_cols_[o]);
+    fast_cols_[o] = 0;
+    out_choice_[o] = p;
+    port_won |= bits::bit(static_cast<std::size_t>(p));
+  }
+
+  // Stage 2: per input port that won at least one output, arbitrate among
+  // VCs whose requested output chose this port; only then update priorities
+  // (VC arbiter, then the chosen output's arbiter -- the mask path's order).
+  while (port_won != 0) {
+    const auto p = static_cast<std::size_t>(std::countr_zero(port_won));
+    port_won &= port_won - 1;
+    bits::Word cand = 0;
+    bits::Word w = vc_words[p];
+    while (w != 0) {
+      const auto v = static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;
+      if (out_choice_[out_ports[p * v_count + v]] == static_cast<int>(p)) {
+        cand |= bits::bit(v);
+      }
+    }
+    const int v = vc_fa_[p].pick(cand);
+    NOCALLOC_DCHECK(v >= 0);
+    const int o = out_ports[p * v_count + static_cast<std::size_t>(v)];
+    grant[p] = {v, o};
+    vc_fa_[p].update(v);
+    out_fa_[static_cast<std::size_t>(o)].update(static_cast<int>(p));
+  }
 }
 
 void SaSeparableOutputFirst::allocate(const std::vector<SwitchRequest>& req,

@@ -11,26 +11,24 @@
 // won, discarding surplus output grants.
 #pragma once
 
+#include "arbiter/fast_arb.hpp"
 #include "sa/switch_allocator.hpp"
 
 namespace nocalloc {
-
-class RoundRobinArbiter;
 
 class SaSeparableInputFirst final : public SwitchAllocator {
  public:
   SaSeparableInputFirst(std::size_t ports, std::size_t vcs, ArbiterKind arb);
 
-  /// True when allocate_fast() is available: round-robin arbiters with V and
-  /// P each fitting one lane word.
-  bool fast_ready() const { return fast_ok_; }
+  /// True when allocate_fast() is available: round-robin or matrix arbiters
+  /// with V and P each fitting one lane word.
+  bool fast_ready() const override { return fast_ok_; }
 
   /// Sparse single-word variant of the word-parallel fast path, bit-identical
-  /// to allocate() in grants and arbiter state. `vc_words[p]` holds input
-  /// port p's requesting-VC mask; `out_ports[p * V + v]` the requested output
-  /// port of every set bit. `grant` is fully rewritten (one entry per port).
+  /// to allocate() in grants and arbiter state; see
+  /// SwitchAllocator::allocate_fast for the contract.
   void allocate_fast(const bits::Word* vc_words, const std::uint8_t* out_ports,
-                     std::vector<SwitchGrant>& grant);
+                     std::vector<SwitchGrant>& grant) override;
 
   void allocate(const std::vector<SwitchRequest>& req,
                 std::vector<SwitchGrant>& grant) override;
@@ -59,17 +57,28 @@ class SaSeparableInputFirst final : public SwitchAllocator {
   std::vector<bits::Word> out_bids_;
   std::vector<bits::Word> out_any_;
   std::vector<int> port_vc_;
-  // Fast-path caches: concrete round-robin arbiters and single-word bid
+  // Fast-path caches: devirtualized arbiter handles and single-word bid
   // masks per output port.
   bool fast_ok_ = false;
-  std::vector<RoundRobinArbiter*> vc_rr_;   // [p]
-  std::vector<RoundRobinArbiter*> out_rr_;  // [o]
-  std::vector<bits::Word> fast_bids_;       // [o], P-wide
+  std::vector<FastArb> vc_fa_;         // [p]
+  std::vector<FastArb> out_fa_;        // [o]
+  std::vector<bits::Word> fast_bids_;  // [o], P-wide
 };
 
 class SaSeparableOutputFirst final : public SwitchAllocator {
  public:
   SaSeparableOutputFirst(std::size_t ports, std::size_t vcs, ArbiterKind arb);
+
+  /// True when allocate_fast() is available: round-robin or matrix arbiters
+  /// with V and P each fitting one lane word.
+  bool fast_ready() const override { return fast_ok_; }
+
+  /// Sparse single-word sep_of kernel: per-output union columns arbitrate
+  /// first (all picks pure), then each winning input port's V:1 arbiter
+  /// chooses among VCs whose output chose it, updating priorities exactly as
+  /// allocate_mask does. See SwitchAllocator::allocate_fast for the contract.
+  void allocate_fast(const bits::Word* vc_words, const std::uint8_t* out_ports,
+                     std::vector<SwitchGrant>& grant) override;
 
   void allocate(const std::vector<SwitchRequest>& req,
                 std::vector<SwitchGrant>& grant) override;
@@ -88,6 +97,7 @@ class SaSeparableOutputFirst final : public SwitchAllocator {
                      std::vector<SwitchGrant>& grant);
   void allocate_ref(const std::vector<SwitchRequest>& req,
                     std::vector<SwitchGrant>& grant);
+  void init_fast();
 
   std::vector<std::unique_ptr<Arbiter>> out_arb_;  // per output port, width P
   std::vector<std::unique_ptr<Arbiter>> vc_arb_;   // per input port, width V
@@ -98,6 +108,12 @@ class SaSeparableOutputFirst final : public SwitchAllocator {
   std::vector<bits::Word> port_won_;
   std::vector<bits::Word> vc_cand_;
   std::vector<int> out_choice_;
+  // Fast-path caches: devirtualized arbiter handles and single-word union
+  // columns per output port.
+  bool fast_ok_ = false;
+  std::vector<FastArb> out_fa_;        // [o]
+  std::vector<FastArb> vc_fa_;         // [p]
+  std::vector<bits::Word> fast_cols_;  // [o], P-wide
 };
 
 }  // namespace nocalloc

@@ -1,7 +1,6 @@
 #include "sa/speculative_switch_allocator.hpp"
 
 #include "common/bitops.hpp"
-#include "sa/sa_separable.hpp"
 
 namespace nocalloc {
 
@@ -23,14 +22,10 @@ SpeculativeSwitchAllocator::SpeculativeSwitchAllocator(
       nonspec_(make_switch_allocator(cfg)),
       spec_(make_switch_allocator(cfg)) {
   NOCALLOC_CHECK(mode != SpecMode::kNonSpeculative);
-  fast_ns_ = dynamic_cast<SaSeparableInputFirst*>(nonspec_.get());
-  if (fast_ns_ != nullptr && !fast_ns_->fast_ready()) fast_ns_ = nullptr;
-  fast_sp_ = dynamic_cast<SaSeparableInputFirst*>(spec_.get());
-  if (fast_sp_ != nullptr && !fast_sp_->fast_ready()) fast_sp_ = nullptr;
 }
 
 bool SpeculativeSwitchAllocator::fast_ready() const {
-  return fast_ns_ != nullptr && fast_sp_ != nullptr;
+  return nonspec_->fast_ready() && spec_->fast_ready();
 }
 
 void SpeculativeSwitchAllocator::allocate_fast(
@@ -41,8 +36,8 @@ void SpeculativeSwitchAllocator::allocate_fast(
   const std::size_t v_count = vcs();
   grant.assign(p_count, SpecSwitchGrant{});
 
-  fast_ns_->allocate_fast(ns_words, ns_out, ns_gnt_);
-  fast_sp_->allocate_fast(sp_words, sp_out, sp_gnt_);
+  nonspec_->allocate_fast(ns_words, ns_out, ns_gnt_);
+  spec_->allocate_fast(sp_words, sp_out, sp_gnt_);
 
   // Row/column conflict summaries as single words; same content as the
   // per-port byte flags of the generic path.

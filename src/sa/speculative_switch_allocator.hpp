@@ -30,8 +30,6 @@
 
 namespace nocalloc {
 
-class SaSeparableInputFirst;
-
 /// Speculation policy for the router's switch-allocation stage.
 enum class SpecMode {
   kNonSpeculative,  // "nonspec": head flits wait for VC allocation first
@@ -68,13 +66,14 @@ class SpeculativeSwitchAllocator {
                 const std::vector<SwitchRequest>& spec_req,
                 std::vector<SpecSwitchGrant>& grant);
 
-  /// True when allocate_fast() is available: both internal allocators are
-  /// separable input-first with single-word round-robin fast paths.
+  /// True when allocate_fast() is available: both internal allocators expose
+  /// a single-word fast path (any separable or wavefront family).
   bool fast_ready() const;
 
   /// Sparse single-word variant of allocate(), bit-identical in grants,
   /// arbiter state, and the masked-grant counter. The word/out_port pairs
-  /// use the same layout as SaSeparableInputFirst::allocate_fast.
+  /// use the layout of SwitchAllocator::allocate_fast; the conflict-masking
+  /// policy is independent of the underlying allocator kind.
   void allocate_fast(const bits::Word* ns_words, const std::uint8_t* ns_out,
                      const bits::Word* sp_words, const std::uint8_t* sp_out,
                      std::vector<SpecSwitchGrant>& grant);
@@ -115,10 +114,6 @@ class SpeculativeSwitchAllocator {
   SpecMode mode_;
   std::unique_ptr<SwitchAllocator> nonspec_;
   std::unique_ptr<SwitchAllocator> spec_;
-  // Concrete handles for allocate_fast (null when the configured switch
-  // allocator kind has no single-word fast path).
-  SaSeparableInputFirst* fast_ns_ = nullptr;
-  SaSeparableInputFirst* fast_sp_ = nullptr;
   std::uint64_t masked_ = 0;
   // Per-call scratch, kept as members so the per-cycle path is allocation
   // free once warm.

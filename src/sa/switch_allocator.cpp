@@ -6,6 +6,15 @@
 
 namespace nocalloc {
 
+void SwitchAllocator::allocate_fast(const bits::Word* vc_words,
+                                    const std::uint8_t* out_ports,
+                                    std::vector<SwitchGrant>& grant) {
+  static_cast<void>(vc_words);
+  static_cast<void>(out_ports);
+  static_cast<void>(grant);
+  NOCALLOC_CHECK(false && "allocate_fast called without fast_ready()");
+}
+
 void SwitchAllocator::prepare(const std::vector<SwitchRequest>& req,
                               std::vector<SwitchGrant>& grant) const {
   NOCALLOC_CHECK(req.size() == total());

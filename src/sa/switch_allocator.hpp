@@ -47,6 +47,21 @@ class SwitchAllocator {
   virtual void allocate(const std::vector<SwitchRequest>& req,
                         std::vector<SwitchGrant>& grant) = 0;
 
+  /// True when allocate_fast() is available for this instance: the
+  /// architecture has a sparse single-word kernel and the configured
+  /// dimensions/arbiters admit it. Default: no fast path.
+  virtual bool fast_ready() const { return false; }
+
+  /// Sparse single-word variant of one allocate() call, bit-identical to it
+  /// in grants and priority-state evolution (including rotating-priority
+  /// architectures). `vc_words[p]` holds input port p's requesting-VC mask;
+  /// `out_ports[p * V + v]` the requested output port of every set bit.
+  /// `grant` is fully rewritten (one entry per port). Must only be called
+  /// when fast_ready() is true.
+  virtual void allocate_fast(const bits::Word* vc_words,
+                             const std::uint8_t* out_ports,
+                             std::vector<SwitchGrant>& grant);
+
   virtual void reset() = 0;
 
   /// Advances priority state as `cycles` empty-request allocate() calls

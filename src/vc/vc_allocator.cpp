@@ -6,6 +6,14 @@
 
 namespace nocalloc {
 
+void VcAllocator::allocate_fast(const FastVcRequest* req, std::size_t n,
+                                std::vector<int>& grant) {
+  static_cast<void>(req);
+  static_cast<void>(n);
+  static_cast<void>(grant);
+  NOCALLOC_CHECK(false && "allocate_fast called without fast_ready()");
+}
+
 void VcAllocator::prepare(const std::vector<VcRequest>& req,
                           std::vector<int>& grant) const {
   NOCALLOC_CHECK(req.size() == total());

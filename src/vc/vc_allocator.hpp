@@ -29,6 +29,17 @@ struct VcRequest {
   ReqVector vc_mask;    // V-wide candidate mask over out_port's VCs
 };
 
+/// One waiting head's request on the replica engine's sparse fast path:
+/// input VC index, destination port, and the candidate mask packed into a
+/// single word (V <= 64). A zero mask is a valid entry (all candidate VCs
+/// taken) and grants nothing, exactly like a valid VcRequest with an empty
+/// mask.
+struct FastVcRequest {
+  std::uint32_t input = 0;
+  std::uint32_t out_port = 0;
+  bits::Word vc_mask = 0;
+};
+
 class VcAllocator {
  public:
   VcAllocator(std::size_t ports, std::size_t vcs)
@@ -46,6 +57,20 @@ class VcAllocator {
   /// from its candidate mask.
   virtual void allocate(const std::vector<VcRequest>& req,
                         std::vector<int>& grant) = 0;
+
+  /// True when allocate_fast() is available for this instance: the
+  /// architecture has a sparse single-word kernel and the configured
+  /// dimensions/arbiters admit it. Default: no fast path.
+  virtual bool fast_ready() const { return false; }
+
+  /// Sparse single-word variant of one allocate() call, bit-identical in
+  /// grants and priority-state evolution (including rotating-priority
+  /// architectures, which advance exactly as one allocate() would).
+  /// Contract: `grant` is all -1 on entry (the caller clears the entries it
+  /// reads back), requests are ascending by input index, and only granted
+  /// entries are written. Must only be called when fast_ready() is true.
+  virtual void allocate_fast(const FastVcRequest* req, std::size_t n,
+                             std::vector<int>& grant);
 
   /// Resets priority state.
   virtual void reset() = 0;

@@ -2,10 +2,41 @@
 
 #include <algorithm>
 
-#include "arbiter/round_robin_arbiter.hpp"
 #include "arbiter/tree_arbiter.hpp"
 
 namespace nocalloc {
+namespace {
+
+/// Resolves the devirtualized handles a separable fast path needs: one per
+/// input VC plus both levels of every output tree arbiter. Returns false
+/// (leaving the vectors in an unusable state) when any arbiter lacks a
+/// single-word kernel.
+bool resolve_fast_arbiters(
+    const std::vector<std::unique_ptr<Arbiter>>& input_arb,
+    const std::vector<std::unique_ptr<Arbiter>>& output_arb, std::size_t ports,
+    std::vector<FastArb>& in_fa, std::vector<FastArb>& out_top_fa,
+    std::vector<FastArb>& out_local_fa) {
+  in_fa.reserve(input_arb.size());
+  out_top_fa.reserve(output_arb.size());
+  out_local_fa.reserve(output_arb.size() * ports);
+  for (const auto& a : input_arb) {
+    in_fa.push_back(FastArb::from(*a));
+    if (!in_fa.back().ok()) return false;
+  }
+  for (const auto& a : output_arb) {
+    auto* tree = dynamic_cast<TreeArbiter*>(a.get());
+    if (tree == nullptr) return false;
+    out_top_fa.push_back(FastArb::from(tree->top()));
+    if (!out_top_fa.back().ok()) return false;
+    for (std::size_t g = 0; g < ports; ++g) {
+      out_local_fa.push_back(FastArb::from(tree->local(g)));
+      if (!out_local_fa.back().ok()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 VcSeparableInputFirstAllocator::VcSeparableInputFirstAllocator(
     std::size_t ports, std::size_t vcs, ArbiterKind arb)
@@ -21,29 +52,11 @@ VcSeparableInputFirstAllocator::VcSeparableInputFirstAllocator(
 }
 
 void VcSeparableInputFirstAllocator::init_fast(ArbiterKind arb) {
-  if (arb != ArbiterKind::kRoundRobin || vcs() > bits::kWordBits ||
-      ports() > bits::kWordBits) {
+  static_cast<void>(arb);
+  if (vcs() > bits::kWordBits || ports() > bits::kWordBits) return;
+  if (!resolve_fast_arbiters(input_arb_, output_arb_, ports(), in_fa_,
+                             out_top_fa_, out_local_fa_)) {
     return;
-  }
-  in_rr_.reserve(total());
-  out_top_rr_.reserve(total());
-  out_local_rr_.reserve(total() * ports());
-  for (auto& a : input_arb_) {
-    auto* rr = dynamic_cast<RoundRobinArbiter*>(a.get());
-    if (rr == nullptr) return;
-    in_rr_.push_back(rr);
-  }
-  for (auto& a : output_arb_) {
-    auto* tree = dynamic_cast<TreeArbiter*>(a.get());
-    if (tree == nullptr) return;
-    auto* top = dynamic_cast<RoundRobinArbiter*>(&tree->top());
-    if (top == nullptr) return;
-    out_top_rr_.push_back(top);
-    for (std::size_t g = 0; g < ports(); ++g) {
-      auto* local = dynamic_cast<RoundRobinArbiter*>(&tree->local(g));
-      if (local == nullptr) return;
-      out_local_rr_.push_back(local);
-    }
   }
   fast_bids_.assign(total() * ports(), 0);
   fast_port_any_.assign(total(), 0);
@@ -51,21 +64,21 @@ void VcSeparableInputFirstAllocator::init_fast(ArbiterKind arb) {
   fast_ok_ = true;
 }
 
-void VcSeparableInputFirstAllocator::allocate_fast(const FastRequest* req,
+void VcSeparableInputFirstAllocator::allocate_fast(const FastVcRequest* req,
                                                    std::size_t n,
                                                    std::vector<int>& grant) {
   NOCALLOC_DCHECK(fast_ok_ && grant.size() == total());
   const std::size_t p_count = ports();
   const std::size_t v_count = vcs();
 
-  // Stage 1, as in allocate_mask: each input VC's round-robin arbiter picks
-  // one candidate output VC; the bid lands in the per-port slice of that
-  // output VC's tree arbiter.
+  // Stage 1, as in allocate_mask: each input VC's arbiter picks one
+  // candidate output VC; the bid lands in the per-port slice of that output
+  // VC's tree arbiter.
   for (std::size_t k = 0; k < n; ++k) {
     const bits::Word mask = req[k].vc_mask;
     if (mask == 0) continue;  // empty candidate mask
     const std::size_t i = req[k].input;
-    const int v = rr_pick_word(mask, in_rr_[i]->pointer());
+    const int v = in_fa_[i].pick(mask);
     const std::size_t o =
         req[k].out_port * v_count + static_cast<std::size_t>(v);
     if (fast_port_any_[o] == 0) fast_touched_.push_back(o);
@@ -79,16 +92,16 @@ void VcSeparableInputFirstAllocator::allocate_fast(const FastRequest* req,
   // (every input bids on exactly one), so touch order does not matter.
   for (const std::size_t o : fast_touched_) {
     const auto g = static_cast<std::size_t>(
-        rr_pick_word(fast_port_any_[o], out_top_rr_[o]->pointer()));
-    RoundRobinArbiter* local = out_local_rr_[o * p_count + g];
-    const auto l = static_cast<std::size_t>(
-        rr_pick_word(fast_bids_[o * p_count + g], local->pointer()));
+        out_top_fa_[o].pick(fast_port_any_[o]));
+    FastArb& local = out_local_fa_[o * p_count + g];
+    const auto l =
+        static_cast<std::size_t>(local.pick(fast_bids_[o * p_count + g]));
     const std::size_t winner = g * v_count + l;
     grant[winner] = static_cast<int>(o);
-    out_top_rr_[o]->update(static_cast<int>(g));
-    local->update(static_cast<int>(l));
+    out_top_fa_[o].update(static_cast<int>(g));
+    local.update(static_cast<int>(l));
     // The winning input VC's stage-1 choice succeeded: advance its priority.
-    in_rr_[winner]->update(static_cast<int>(o % v_count));
+    in_fa_[winner].update(static_cast<int>(o % v_count));
     bits::for_each_set(&fast_port_any_[o], 1, [&](std::size_t p) {
       fast_bids_[o * p_count + p] = 0;
     });
@@ -190,6 +203,88 @@ VcSeparableOutputFirstAllocator::VcSeparableOutputFirstAllocator(
   in_won_.resize(bits::word_count(total()));
   offered_.resize(bits::word_count(vcs));
   output_choice_.resize(total());
+  init_fast();
+}
+
+void VcSeparableOutputFirstAllocator::init_fast() {
+  if (vcs() > bits::kWordBits || ports() > bits::kWordBits) return;
+  if (!resolve_fast_arbiters(input_arb_, output_arb_, ports(), in_fa_,
+                             out_top_fa_, out_local_fa_)) {
+    return;
+  }
+  fast_bids_.assign(total() * ports(), 0);
+  fast_port_any_.assign(total(), 0);
+  fast_offered_.assign(total(), 0);
+  fast_touched_.reserve(total());
+  fast_winners_.reserve(total());
+  fast_ok_ = true;
+}
+
+void VcSeparableOutputFirstAllocator::allocate_fast(const FastVcRequest* req,
+                                                    std::size_t n,
+                                                    std::vector<int>& grant) {
+  NOCALLOC_DCHECK(fast_ok_ && grant.size() == total());
+  const std::size_t p_count = ports();
+  const std::size_t v_count = vcs();
+
+  // Bid build, as in allocate_mask's column transpose: every candidate bit
+  // of every request reaches its output VC's tree arbiter eagerly, landing
+  // in the per-port group slice for input i's port.
+  for (std::size_t k = 0; k < n; ++k) {
+    bits::Word mask = req[k].vc_mask;
+    if (mask == 0) continue;
+    const std::size_t i = req[k].input;
+    const std::size_t g = i / v_count;
+    const bits::Word l_bit = bits::bit(i % v_count);
+    const std::size_t out_base = req[k].out_port * v_count;
+    bits::for_each_set(&mask, 1, [&](std::size_t w) {
+      const std::size_t o = out_base + w;
+      if (fast_port_any_[o] == 0) fast_touched_.push_back(o);
+      fast_port_any_[o] |= bits::bit(g);
+      fast_bids_[o * p_count + g] |= l_bit;
+    });
+  }
+
+  // Stage 1: every requested output VC picks a winning input VC through its
+  // tree arbiter. Picks are pure (no updates until stage 2, as in
+  // allocate_mask), so visiting touched outputs in insertion order selects
+  // the same winners as the mask path's ascending scan. Each winner's
+  // offered set collects the output VC at its single destination port.
+  for (const std::size_t o : fast_touched_) {
+    const auto g = static_cast<std::size_t>(
+        out_top_fa_[o].pick(fast_port_any_[o]));
+    const auto l = static_cast<std::size_t>(
+        out_local_fa_[o * p_count + g].pick(fast_bids_[o * p_count + g]));
+    const std::size_t winner = g * v_count + l;
+    if (fast_offered_[winner] == 0) {
+      fast_winners_.push_back({static_cast<std::uint32_t>(winner),
+                               static_cast<std::uint32_t>(o / v_count)});
+    }
+    fast_offered_[winner] |= bits::bit(o % v_count);
+    // Clear this output's bid scratch now that its pick is taken.
+    bits::for_each_set(&fast_port_any_[o], 1, [&](std::size_t p) {
+      fast_bids_[o * p_count + p] = 0;
+    });
+    fast_port_any_[o] = 0;
+  }
+  fast_touched_.clear();
+
+  // Stage 2: each input VC that won output VCs picks the one actually taken
+  // and only then updates priorities -- its own V:1 arbiter plus the chosen
+  // output's tree levels. Winners hold disjoint outputs (stage 1 assigned
+  // each output to exactly one input), so processing order is immaterial.
+  for (const FastWinner& fw : fast_winners_) {
+    const std::size_t i = fw.input;
+    const auto v = static_cast<std::size_t>(in_fa_[i].pick(fast_offered_[i]));
+    fast_offered_[i] = 0;
+    const std::size_t o = fw.out_port * v_count + v;
+    grant[i] = static_cast<int>(o);
+    in_fa_[i].update(static_cast<int>(v));
+    out_top_fa_[o].update(static_cast<int>(i / v_count));
+    out_local_fa_[o * p_count + i / v_count].update(
+        static_cast<int>(i % v_count));
+  }
+  fast_winners_.clear();
 }
 
 void VcSeparableOutputFirstAllocator::allocate(

@@ -12,37 +12,29 @@
 // this cycle -- the source of sep_of's lower matching quality).
 #pragma once
 
+#include "arbiter/fast_arb.hpp"
 #include "vc/vc_allocator.hpp"
 
 namespace nocalloc {
-
-class RoundRobinArbiter;
 
 class VcSeparableInputFirstAllocator final : public VcAllocator {
  public:
   VcSeparableInputFirstAllocator(std::size_t ports, std::size_t vcs,
                                  ArbiterKind arb);
 
-  /// One waiting head's request on the replica engine's sparse fast path:
-  /// input VC index, destination port, and the candidate mask packed into a
-  /// single word (V <= 64).
-  struct FastRequest {
-    std::uint32_t input = 0;
-    std::uint32_t out_port = 0;
-    bits::Word vc_mask = 0;
-  };
+  /// Historical name of the sparse fast-path request, now shared by every
+  /// VC-allocator family at namespace scope.
+  using FastRequest = FastVcRequest;
 
-  /// True when allocate_fast() is available: round-robin arbiters with V and
-  /// P each fitting one lane word.
-  bool fast_ready() const { return fast_ok_; }
+  /// True when allocate_fast() is available: round-robin or matrix arbiters
+  /// with V and P each fitting one lane word.
+  bool fast_ready() const override { return fast_ok_; }
 
   /// Sparse single-word variant of the word-parallel fast path, bit-identical
-  /// to allocate() in grants and arbiter state evolution. Contract: `grant`
-  /// is all -1 on entry (the caller clears the entries it reads back),
-  /// requests are ascending by input index, and only granted entries are
-  /// written.
-  void allocate_fast(const FastRequest* req, std::size_t n,
-                     std::vector<int>& grant);
+  /// to allocate() in grants and arbiter state evolution; see
+  /// VcAllocator::allocate_fast for the contract.
+  void allocate_fast(const FastVcRequest* req, std::size_t n,
+                     std::vector<int>& grant) override;
 
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
@@ -68,22 +60,35 @@ class VcSeparableInputFirstAllocator final : public VcAllocator {
   std::vector<bits::Word> in_mask_;
   std::vector<bits::Word> bids_;
   std::vector<bits::Word> out_any_;
-  // Fast-path caches: the concrete round-robin arbiters behind input_arb_
-  // and both levels of each output tree arbiter, plus per-output-VC bid
-  // state kept as one V-wide word per input port (the tree's group slices).
+  // Fast-path caches: devirtualized handles for the arbiters behind
+  // input_arb_ and both levels of each output tree arbiter, plus
+  // per-output-VC bid state kept as one V-wide word per input port (the
+  // tree's group slices).
   bool fast_ok_ = false;
-  std::vector<RoundRobinArbiter*> in_rr_;         // [i]
-  std::vector<RoundRobinArbiter*> out_top_rr_;    // [o]
-  std::vector<RoundRobinArbiter*> out_local_rr_;  // [o * P + p]
-  std::vector<bits::Word> fast_bids_;             // [o * P + p], V-wide
-  std::vector<bits::Word> fast_port_any_;         // [o], P-wide
-  std::vector<std::size_t> fast_touched_;         // outputs bid for
+  std::vector<FastArb> in_fa_;         // [i]
+  std::vector<FastArb> out_top_fa_;    // [o]
+  std::vector<FastArb> out_local_fa_;  // [o * P + p]
+  std::vector<bits::Word> fast_bids_;  // [o * P + p], V-wide
+  std::vector<bits::Word> fast_port_any_;  // [o], P-wide
+  std::vector<std::size_t> fast_touched_;  // outputs bid for
 };
 
 class VcSeparableOutputFirstAllocator final : public VcAllocator {
  public:
   VcSeparableOutputFirstAllocator(std::size_t ports, std::size_t vcs,
                                   ArbiterKind arb);
+
+  /// True when allocate_fast() is available: round-robin or matrix arbiters
+  /// with V and P each fitting one lane word.
+  bool fast_ready() const override { return fast_ok_; }
+
+  /// Sparse single-word sep_of kernel: all stage-1 output-side tree picks
+  /// run first (pure), then each input VC that won arbitrates among its
+  /// offered output VCs and only then are priorities updated -- the exact
+  /// structure (and state evolution) of allocate_mask. See
+  /// VcAllocator::allocate_fast for the contract.
+  void allocate_fast(const FastVcRequest* req, std::size_t n,
+                     std::vector<int>& grant) override;
 
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
@@ -100,6 +105,7 @@ class VcSeparableOutputFirstAllocator final : public VcAllocator {
  private:
   void allocate_mask(const std::vector<VcRequest>& req, std::vector<int>& grant);
   void allocate_ref(const std::vector<VcRequest>& req, std::vector<int>& grant);
+  void init_fast();
 
   std::vector<std::unique_ptr<Arbiter>> output_arb_;  // per output VC, width P*V
   std::vector<std::unique_ptr<Arbiter>> input_arb_;   // per input VC, width V
@@ -111,6 +117,22 @@ class VcSeparableOutputFirstAllocator final : public VcAllocator {
   std::vector<bits::Word> in_won_;
   std::vector<bits::Word> offered_;
   std::vector<int> output_choice_;
+  // Fast-path caches: devirtualized arbiter handles, per-output-VC bid words
+  // (tree group slices), the per-input offered-VC word, and the stage-1
+  // winner list carrying each winning input's destination port.
+  struct FastWinner {
+    std::uint32_t input = 0;
+    std::uint32_t out_port = 0;
+  };
+  bool fast_ok_ = false;
+  std::vector<FastArb> in_fa_;         // [i]
+  std::vector<FastArb> out_top_fa_;    // [o]
+  std::vector<FastArb> out_local_fa_;  // [o * P + p]
+  std::vector<bits::Word> fast_bids_;  // [o * P + p], V-wide
+  std::vector<bits::Word> fast_port_any_;  // [o], P-wide
+  std::vector<bits::Word> fast_offered_;   // [i], V-wide offered outputs
+  std::vector<std::size_t> fast_touched_;  // output VCs requested
+  std::vector<FastWinner> fast_winners_;   // input VCs offered >= 1 output
 };
 
 }  // namespace nocalloc

@@ -17,6 +17,60 @@ VcWavefrontAllocator::VcWavefrontAllocator(std::size_t ports,
   } else {
     cores_.push_back(std::make_unique<WavefrontAllocator>(total(), total()));
   }
+  fast_cells_.resize(cores_.size());
+}
+
+void VcWavefrontAllocator::allocate_fast(const FastVcRequest* req,
+                                         std::size_t n,
+                                         std::vector<int>& grant) {
+  NOCALLOC_DCHECK(fast_ready() && grant.size() == total());
+  const std::size_t v_count = vcs();
+  const std::size_t span =
+      sparse_ ? partition_.resource_classes() * partition_.vcs_per_class()
+              : v_count;
+  const std::size_t width = span;  // VCs per port in each block
+
+  // Scatter requests into their message class's block as (row, column)
+  // cells. A request only ever appears as a row of the block holding its
+  // input VC, and candidate bits outside that block are ignored -- exactly
+  // the dense path's per-block matrix build.
+  for (std::size_t k = 0; k < n; ++k) {
+    bits::Word mask = req[k].vc_mask;
+    if (mask == 0) continue;
+    const std::size_t v_in = static_cast<std::size_t>(req[k].input) % v_count;
+    const std::size_t m = v_in / span;
+    const std::size_t vc_lo = m * span;
+    const std::size_t row =
+        (req[k].input / v_count) * width + (v_in - vc_lo);
+    const std::size_t out_base = req[k].out_port * width;
+    if (span < bits::kWordBits) {
+      mask = (mask >> vc_lo) & bits::low_mask(span);
+    } else {
+      mask >>= vc_lo;
+    }
+    bits::for_each_set(&mask, 1, [&](std::size_t w) {
+      fast_cells_[m].push_back(
+          {static_cast<std::uint32_t>(row),
+           static_cast<std::uint32_t>(out_base + w)});
+    });
+  }
+
+  // Every core runs every cycle (empty or not), so all diagonals rotate in
+  // lock-step with the dense path.
+  for (std::size_t m = 0; m < cores_.size(); ++m) {
+    const std::size_t vc_lo = m * span;
+    fast_granted_.clear();
+    cores_[m]->allocate_sparse(fast_cells_[m].data(), fast_cells_[m].size(),
+                               fast_granted_);
+    fast_cells_[m].clear();
+    for (const auto& cell : fast_granted_) {
+      const std::size_t p = cell.row / width;
+      const std::size_t v = vc_lo + cell.row % width;
+      const std::size_t out_port = cell.col / width;
+      const std::size_t out_vc = vc_lo + cell.col % width;
+      grant[p * v_count + v] = static_cast<int>(out_port * v_count + out_vc);
+    }
+  }
 }
 
 void VcWavefrontAllocator::allocate_block(const std::vector<VcRequest>& req,

@@ -22,6 +22,18 @@ class VcWavefrontAllocator final : public VcAllocator {
   VcWavefrontAllocator(std::size_t ports, const VcPartition& partition,
                        bool sparse);
 
+  /// True when allocate_fast() is available: the per-request candidate mask
+  /// must fit one lane word.
+  bool fast_ready() const override { return vcs() <= bits::kWordBits; }
+
+  /// Sparse single-call kernel: requests become (row, column) cells of their
+  /// message class's block and each core runs one wave-bucketed
+  /// WavefrontAllocator::allocate_sparse pass -- every core exactly once per
+  /// call, so all diagonals rotate as one dense allocate() would. See
+  /// VcAllocator::allocate_fast for the contract.
+  void allocate_fast(const FastVcRequest* req, std::size_t n,
+                     std::vector<int>& grant) override;
+
   void allocate(const std::vector<VcRequest>& req,
                 std::vector<int>& grant) override;
   void reset() override;
@@ -54,6 +66,9 @@ class VcWavefrontAllocator final : public VcAllocator {
   bool sparse_;
   // One core when dense; one per message class when sparse.
   std::vector<std::unique_ptr<WavefrontAllocator>> cores_;
+  // Fast-path scratch: per-core request cells and the shared granted list.
+  std::vector<std::vector<WavefrontAllocator::SparseCell>> fast_cells_;
+  std::vector<WavefrontAllocator::SparseCell> fast_granted_;
 };
 
 }  // namespace nocalloc

@@ -6,9 +6,10 @@
 // run_simulation() (fresh scalar instance per lane) and against the
 // reference path (set_reference_path(true), which routes every lane through
 // Network::step() and the scalar allocators), across:
-//   - design points with a single-word fast path (sep_if VA + sep_if SA,
-//     round-robin, all three speculation modes) and without one (sep_of,
-//     wavefront, matrix arbiters), on mesh / fbfly / torus / ring;
+//   - design points with a single-word fast path (sep_if, sep_of, and
+//     wavefront allocators over round-robin or matrix arbiters, all three
+//     speculation modes) and without one (maximum-size allocators), on
+//     mesh / fbfly / torus / ring;
 //   - lanes that diverge in seed, offered load, and invariant checking
 //     (checker lanes take the scalar allocator path inside allocate_fast);
 //   - partial lane counts (1, 3, 64);
@@ -33,10 +34,12 @@ SimConfig base_config(TopologyKind topo) {
   return cfg;
 }
 
-// The six design-point shapes under test. Fast-path coverage: #0 (spec
+// The design-point shapes under test. Fast-path coverage: #0 (sep_if spec
 // pessimistic), #1 (nonspec, fast SA directly), #2 (conservative), #3
-// (fbfly + UGAL), #4 (torus, V = 8 per port). Fallback coverage: #5
-// (sep_of VA + wavefront SA -- no single-word kernel).
+// (fbfly + UGAL), #4 (torus, V = 8 per port), #5 (sep_of VA + wavefront
+// SA), #6 (wavefront VA + SA, spec pessimistic), #7 (sep_of VA + SA,
+// conservative), #8 (matrix arbiters everywhere, nonspec). Fallback
+// coverage: #9 (maximum-size SA -- no single-word kernel).
 std::vector<SimConfig> design_points() {
   std::vector<SimConfig> pts;
 
@@ -62,10 +65,32 @@ std::vector<SimConfig> design_points() {
   torus.injection_rate = 0.1;
   pts.push_back(torus);
 
-  SimConfig mesh_slow = mesh;
-  mesh_slow.vc_alloc = AllocatorKind::kSeparableOutputFirst;
-  mesh_slow.sw_alloc = AllocatorKind::kWavefront;
-  pts.push_back(mesh_slow);
+  SimConfig mesh_mixed = mesh;
+  mesh_mixed.vc_alloc = AllocatorKind::kSeparableOutputFirst;
+  mesh_mixed.sw_alloc = AllocatorKind::kWavefront;
+  pts.push_back(mesh_mixed);
+
+  SimConfig mesh_wf = mesh;
+  mesh_wf.vc_alloc = AllocatorKind::kWavefront;
+  mesh_wf.sw_alloc = AllocatorKind::kWavefront;
+  pts.push_back(mesh_wf);
+
+  SimConfig mesh_of = mesh;
+  mesh_of.vc_alloc = AllocatorKind::kSeparableOutputFirst;
+  mesh_of.sw_alloc = AllocatorKind::kSeparableOutputFirst;
+  mesh_of.spec = SpecMode::kConservative;
+  pts.push_back(mesh_of);
+
+  SimConfig mesh_mx = mesh;
+  mesh_mx.vc_arb = ArbiterKind::kMatrix;
+  mesh_mx.sw_arb = ArbiterKind::kMatrix;
+  mesh_mx.spec = SpecMode::kNonSpeculative;
+  pts.push_back(mesh_mx);
+
+  SimConfig mesh_max = mesh;
+  mesh_max.sw_alloc = AllocatorKind::kMaximumSize;
+  mesh_max.spec = SpecMode::kNonSpeculative;
+  pts.push_back(mesh_max);
 
   return pts;
 }
@@ -93,6 +118,19 @@ std::string describe(const SimConfig& cfg) {
   return to_string(cfg.topology) + " C=" + std::to_string(cfg.vcs_per_class) +
          " va=" + to_string(cfg.vc_alloc) + " sa=" + to_string(cfg.sw_alloc) +
          " spec=" + to_string(cfg.spec);
+}
+
+TEST(ReplicaSim, FastPathCoversAllAllocatorFamilies) {
+  // Every design point except the maximum-size fallback must take the
+  // devirtualized path; a silent fallback would still be bit-identical but
+  // void the perf contract.
+  const std::vector<SimConfig> pts = design_points();
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    SCOPED_TRACE(describe(pts[k]));
+    const bool expect_fast = pts[k].sw_alloc != AllocatorKind::kMaximumSize;
+    SimInstance sim(pts[k]);
+    EXPECT_EQ(sim.network().router(0).fast_path_active(), expect_fast);
+  }
 }
 
 TEST(ReplicaSim, LanesMatchScalarRunsAcrossDesignPoints) {
@@ -173,40 +211,57 @@ TEST(ReplicaSim, PartialLaneCountsMatchScalar) {
 }
 
 TEST(ReplicaSim, WarmSnapshotRestoresIntoLanesBitIdentically) {
-  SimConfig pt = base_config(TopologyKind::kMesh8x8);
-  pt.vcs_per_class = 2;
+  // One point per fast-path allocator family: restored priority state
+  // (round-robin pointers, matrix rows, wavefront diagonals) must fork
+  // bit-identically into lanes.
+  SimConfig sep_if = base_config(TopologyKind::kMesh8x8);
+  sep_if.vcs_per_class = 2;
 
-  // Warm one scalar instance at the lowest rate and capture the state.
-  SimInstance warm_sim(pt);
-  warm_sim.warmup();
-  SimSnapshot warm;
-  warm_sim.snapshot(warm);
+  SimConfig wf = sep_if;
+  wf.vc_alloc = AllocatorKind::kWavefront;
+  wf.sw_alloc = AllocatorKind::kWavefront;
 
-  const std::vector<double> rates = {0.1, 0.15, 0.2, 0.25};
-  const std::size_t fork_warmup = 200;
+  SimConfig of_mx = sep_if;
+  of_mx.vc_alloc = AllocatorKind::kSeparableOutputFirst;
+  of_mx.sw_alloc = AllocatorKind::kSeparableOutputFirst;
+  of_mx.vc_arb = ArbiterKind::kMatrix;
+  of_mx.sw_arb = ArbiterKind::kMatrix;
 
-  // Scalar warm fork: fresh instance per rate, restore + set rate + run.
-  std::vector<SimResult> scalar;
-  for (const double rate : rates) {
-    SimInstance sim(pt);
-    sim.restore(warm);
-    sim.set_injection_rate(rate);
+  for (const SimConfig& pt : {sep_if, wf, of_mx}) {
+    SCOPED_TRACE(describe(pt));
+
+    // Warm one scalar instance at the lowest rate and capture the state.
+    SimInstance warm_sim(pt);
+    warm_sim.warmup();
+    SimSnapshot warm;
+    warm_sim.snapshot(warm);
+
+    const std::vector<double> rates = {0.1, 0.15, 0.2, 0.25};
+    const std::size_t fork_warmup = 200;
+
+    // Scalar warm fork: fresh instance per rate, restore + set rate + run.
+    std::vector<SimResult> scalar;
+    for (const double rate : rates) {
+      SimInstance sim(pt);
+      sim.restore(warm);
+      sim.set_injection_rate(rate);
+      sim.run_cycles(fork_warmup);
+      scalar.push_back(sim.measure_and_drain());
+    }
+
+    // Replica warm fork: all rates as lanes of one lock-step batch.
+    ReplicaSim sim(std::vector<SimConfig>(rates.size(), pt));
+    for (std::size_t l = 0; l < rates.size(); ++l) {
+      sim.restore(l, warm);
+      sim.set_injection_rate(l, rates[l]);
+    }
     sim.run_cycles(fork_warmup);
-    scalar.push_back(sim.measure_and_drain());
-  }
+    const std::vector<SimResult> replica = sim.measure_and_drain();
 
-  // Replica warm fork: all rates as lanes of one lock-step batch.
-  ReplicaSim sim(std::vector<SimConfig>(rates.size(), pt));
-  for (std::size_t l = 0; l < rates.size(); ++l) {
-    sim.restore(l, warm);
-    sim.set_injection_rate(l, rates[l]);
-  }
-  sim.run_cycles(fork_warmup);
-  const std::vector<SimResult> replica = sim.measure_and_drain();
-
-  for (std::size_t l = 0; l < rates.size(); ++l) {
-    SCOPED_TRACE("rate " + std::to_string(rates[l]));
-    expect_same_result(replica[l], scalar[l]);
+    for (std::size_t l = 0; l < rates.size(); ++l) {
+      SCOPED_TRACE("rate " + std::to_string(rates[l]));
+      expect_same_result(replica[l], scalar[l]);
+    }
   }
 }
 

@@ -37,6 +37,10 @@ struct GoldenPoint {
   std::uint64_t spec_grants_used;
   std::uint64_t misspeculations;
   double ugal_nonminimal_fraction;
+  // Trailing (defaulted) so the originally recorded rows stay untouched;
+  // the per-family rows at the bottom of the table override them.
+  ArbiterKind vc_arb = ArbiterKind::kRoundRobin;
+  ArbiterKind sw_arb = ArbiterKind::kRoundRobin;
 };
 
 // Short phases keep the whole table under a few seconds even with the
@@ -48,6 +52,8 @@ SimConfig config_for(const GoldenPoint& pt) {
   cfg.vcs_per_class = pt.vcs_per_class;
   cfg.vc_alloc = pt.vc_alloc;
   cfg.sw_alloc = pt.sw_alloc;
+  cfg.vc_arb = pt.vc_arb;
+  cfg.sw_arb = pt.sw_arb;
   cfg.spec = pt.spec;
   cfg.injection_rate = pt.load;
   cfg.seed = pt.seed;
@@ -118,6 +124,27 @@ const GoldenPoint kGoldens[] = {
      0.10000000000000001, 5ull,
      425u, 19.503529411764696, 18.821176470588217,
      35, 0.100859375, 6208ull, 39ull,
+     0},
+    // Per-family rows covering the replica fast path's allocator matrix:
+    // matrix arbiters under sep_if, sep_of on the torus (conservative
+    // speculation), and wavefront on the torus (non-speculative).
+    {TopologyKind::kMesh8x8, 2u, AllocatorKind::kSeparableInputFirst,
+     AllocatorKind::kSeparableInputFirst, SpecMode::kPessimistic,
+     0.14999999999999999, 6ull,
+     2689u, 24.937151357381961, 24.107103012272209,
+     49, 0.16011718750000001, 42498ull, 61ull,
+     0, ArbiterKind::kMatrix, ArbiterKind::kMatrix},
+    {TopologyKind::kTorus8x8, 1u, AllocatorKind::kSeparableOutputFirst,
+     AllocatorKind::kSeparableOutputFirst, SpecMode::kConservative,
+     0.10000000000000001, 7ull,
+     1688u, 20.095379146919477, 19.380331753554536,
+     36, 0.10021484375, 23941ull, 103ull,
+     0},
+    {TopologyKind::kTorus8x8, 2u, AllocatorKind::kWavefront,
+     AllocatorKind::kWavefront, SpecMode::kNonSpeculative,
+     0.10000000000000001, 8ull,
+     1689u, 24.750148016577853, 24.062759029011243,
+     42, 0.1006640625, 0ull, 0ull,
      0},
 };
 
